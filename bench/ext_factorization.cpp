@@ -1,0 +1,97 @@
+// Extension: tiled Cholesky (POTRF) at paper scale -- the solver workload
+// class (MUMPS and friends) that motivates XKBlas's composition design.
+// POTRF is a long chain of TRSM/SYRK/GEMM graphs with a low-parallelism
+// critical path, so it stresses exactly what the heuristics improve: the
+// latency of moving panel results between GPUs.
+#include <cstdio>
+
+#include "baselines/common.hpp"
+#include "blas/tiled_factor.hpp"
+#include "util/table.hpp"
+
+using namespace xkb;
+using namespace xkb::baselines;
+
+namespace {
+
+double run_potrf(const ModelSpec& spec, std::size_t n, std::size_t tile) {
+  rt::PerfModel perf;
+  rt::Platform plat(topo::Topology::dgx1(), perf, {});
+  rt::RuntimeOptions ropt;
+  ropt.heuristics = spec.heur;
+  ropt.task_overhead = spec.task_overhead;
+  ropt.prepare_window = spec.prepare_window;
+  std::unique_ptr<rt::Scheduler> sched;
+  if (spec.dmdas)
+    sched = std::make_unique<rt::DmdasScheduler>();
+  else
+    sched = std::make_unique<rt::OwnerComputesScheduler>(spec.stealing);
+  rt::Runtime runtime(plat, std::move(sched), ropt);
+
+  SymbolicMatrix<double> A(n, n, 0);
+  blas::EmitOptions emit;
+  emit.tile = tile;
+  emit.attach_functional = false;
+  auto [P, Q] = blas::default_grid(plat.num_gpus());
+  emit.home = [P = P, Q = Q](std::size_t i, std::size_t j) {
+    return static_cast<int>(i % static_cast<std::size_t>(P)) * Q +
+           static_cast<int>(j % static_cast<std::size_t>(Q));
+  };
+  MatrixView<double> Av = A.view();
+  blas::tiled_potrf<double>(runtime, Uplo::Lower, Av, emit);
+  // Results stay on device for the (hypothetical) solve that follows; bring
+  // back the factor like a standalone library call would.
+  MatrixView<const double> Ac = A.cview();
+  for (std::size_t i = 0; i < n; i += tile)
+    for (std::size_t j = 0; j <= i; j += tile)
+      runtime.coherent_async(blas::detail::tile_handle(
+          runtime, Ac, i, j, std::min(tile, n - i), std::min(tile, n - j)));
+  const double t = runtime.run() + spec.call_overhead;
+  const double flops = static_cast<double>(n) * n * n / 3.0;
+  return flops / t / 1e12;
+}
+
+ModelSpec xkblas_spec(rt::HeuristicConfig heur) {
+  ModelSpec s;
+  s.heur = heur;
+  s.task_overhead = 3e-6;
+  s.prepare_window = 16;
+  s.call_overhead = 1e-3;
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "== Extension: tiled Cholesky (DPOTRF) on the simulated DGX-1 ==\n\n");
+
+  ModelSpec cham;
+  cham.dmdas = true;
+  cham.heur = {rt::SourcePolicy::kFirstValid, false};
+  cham.task_overhead = 20e-6;
+  cham.call_overhead = 80e-3;
+
+  Table t({"N", "XKBlas", "XKBlas no heuristics", "dmdas model"});
+  for (std::size_t n : {8192ul, 16384ul, 24576ul, 32768ul, 49152ul}) {
+    const std::size_t tile = n >= 32768 ? 2048 : 1024;
+    t.add_row(
+        {std::to_string(n),
+         Table::num(run_potrf(xkblas_spec(rt::HeuristicConfig::xkblas()), n,
+                              tile), 2),
+         Table::num(
+             run_potrf(xkblas_spec(rt::HeuristicConfig::no_heuristic_no_topo()),
+                       n, tile), 2),
+         Table::num(run_potrf(cham, n, tile), 2)});
+  }
+  std::printf("DPOTRF (TFlop/s, lower, data-on-host, factor returned)\n%s\n",
+              t.to_text().c_str());
+  std::printf(
+      "The factorization's critical path (panel -> solves -> update) makes "
+      "it overhead- and latency-sensitive rather than bandwidth-bound: the "
+      "data-movement heuristics change little here, while the lightweight "
+      "runtime (3 us/task vs the dmdas model's 20 us + 80 ms setup) "
+      "dominates at small and medium sizes -- the property that makes "
+      "XKBlas attractive to sparse solvers like MUMPS (paper Section V).\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Figure 1: the hybrid cube-mesh network topology between GPUs and CPUs on
+// the NVIDIA DGX-1, rendered as a link-class matrix plus adjacency lists.
+#include <cstdio>
+
+#include "topo/topology.hpp"
+#include "util/table.hpp"
+
+using namespace xkb;
+
+int main() {
+  const topo::Topology t = topo::Topology::dgx1();
+  std::printf("== Fig. 1: DGX-1 hybrid cube-mesh topology ==\n\n");
+
+  std::vector<std::string> header{"GPU"};
+  for (int g = 0; g < t.num_gpus(); ++g) header.push_back(std::to_string(g));
+  Table tab(header);
+  for (int a = 0; a < t.num_gpus(); ++a) {
+    std::vector<std::string> row{std::to_string(a)};
+    for (int b = 0; b < t.num_gpus(); ++b)
+      row.push_back(topo::to_string(t.link_class(a, b)));
+    tab.add_row(row);
+  }
+  std::printf("Link classes (NV2 = 2x NVLink, NV1 = 1x NVLink):\n%s\n",
+              tab.to_text().c_str());
+
+  for (int g = 0; g < t.num_gpus(); ++g) {
+    std::printf("GPU %d: NVLink peers {", g);
+    bool first = true;
+    for (int o = 0; o < t.num_gpus(); ++o) {
+      const auto c = t.link_class(g, o);
+      if (c == topo::LinkClass::kNVLink2 || c == topo::LinkClass::kNVLink1) {
+        std::printf("%s%d(%s)", first ? "" : ", ", o, topo::to_string(c));
+        first = false;
+      }
+    }
+    std::printf("}, PCIe switch %d\n", t.host_link_of(g));
+  }
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Figure 2: bandwidth (GB/s) measured between GPUs on the simulated DGX-1.
+//
+// Like the paper's measurement, this times an actual large transfer on every
+// directed pair through the simulator (not just printing configuration), so
+// it validates the platform's channel plumbing end to end.
+#include <cstdio>
+
+#include "runtime/platform.hpp"
+#include "util/table.hpp"
+
+using namespace xkb;
+
+int main() {
+  std::printf(
+      "== Fig. 2: bandwidth (GB/s) measured between GPUs (simulated "
+      "DGX-1) ==\n\n");
+  const std::size_t bytes = 1ull << 30;  // 1 GiB probe transfer
+
+  rt::Platform plat(topo::Topology::dgx1(), rt::PerfModel{}, {});
+  const int n = plat.num_gpus();
+
+  std::vector<std::string> header{"D\\D"};
+  for (int g = 0; g < n; ++g) header.push_back(std::to_string(g));
+  Table tab(header);
+  for (int src = 0; src < n; ++src) {
+    std::vector<std::string> row{std::to_string(src)};
+    for (int dst = 0; dst < n; ++dst) {
+      if (src == dst) {
+        row.push_back(
+            Table::num(plat.topology().gpu_bandwidth_gbps(src, src), 2));
+        continue;
+      }
+      auto iv = plat.copy_p2p(src, dst, bytes, {});
+      plat.engine().run();
+      row.push_back(
+          Table::num(static_cast<double>(bytes) / iv.duration() / 1e9, 2));
+    }
+    tab.add_row(row);
+  }
+  std::printf("%s\n", tab.to_text().c_str());
+
+  std::printf("Host <-> GPU (per PCIe switch, shared by two GPUs):\n");
+  for (int g = 0; g < n; g += 2) {
+    auto iv = plat.copy_h2d(g, bytes, {});
+    plat.engine().run();
+    std::printf("  switch %d: %.2f GB/s\n", plat.topology().host_link_of(g),
+                static_cast<double>(bytes) / iv.duration() / 1e9);
+  }
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Figure 3: impact of the optimistic device-to-device and topology-aware
+// heuristics on FP64 GEMM, SYR2K and TRSM (data-on-host, 8 GPUs).
+//
+// Series, as in the paper:
+//   cuBLAS-XT                      -- reference library
+//   XKBlas                         -- both heuristics enabled
+//   XKBlas, no heuristic           -- optimistic D2D disabled
+//   XKBlas, no heuristic, no topo  -- both disabled
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace xkb;
+using namespace xkb::baselines;
+
+int main() {
+  std::printf(
+      "== Fig. 3: device-to-device and topology-aware heuristics "
+      "(data-on-host, FP64, 8 GPUs, DGX-1) ==\n\n");
+
+  auto xkblas = make_xkblas(rt::HeuristicConfig::xkblas());
+  auto no_heur = make_xkblas(rt::HeuristicConfig::no_heuristic(),
+                             ", no heuristic");
+  auto no_topo = make_xkblas(rt::HeuristicConfig::no_heuristic_no_topo(),
+                             ", no heuristic, no topo");
+  auto cublasxt = make_cublasxt();
+
+  for (Blas3 routine : {Blas3::kGemm, Blas3::kSyr2k, Blas3::kTrsm}) {
+    Table t({"N", "cuBLAS-XT", "XKBlas", "XKBlas no heur",
+             "XKBlas no heur no topo"});
+    for (std::size_t n : bench::paper_sizes()) {
+      BenchConfig cfg;
+      cfg.routine = routine;
+      cfg.n = n;
+      t.add_row({std::to_string(n),
+                 bench::tf(bench::best_over_tiles(*cublasxt, cfg)),
+                 bench::tf(bench::best_over_tiles(*xkblas, cfg)),
+                 bench::tf(bench::best_over_tiles(*no_heur, cfg)),
+                 bench::tf(bench::best_over_tiles(*no_topo, cfg))});
+    }
+    std::printf("%s (TFlop/s)\n%s\n", blas3_name(routine),
+                t.to_text().c_str());
+  }
+  return 0;
+}

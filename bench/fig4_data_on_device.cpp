@@ -1,0 +1,37 @@
+// Figure 4: performance with data-on-device (2D block-cyclic distribution
+// over the 8 GPUs, (4,2) grid) on FP64 GEMM, SYR2K and TRSM, against the
+// data-on-host runs of XKBlas, Chameleon Tile and cuBLAS-XT as references.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace xkb;
+using namespace xkb::baselines;
+
+int main() {
+  std::printf(
+      "== Fig. 4: data-on-device vs data-on-host (FP64, 8 GPUs) ==\n\n");
+
+  auto xkblas = make_xkblas(rt::HeuristicConfig::xkblas());
+  auto chameleon = make_chameleon(/*tile_layout=*/true);
+  auto cublasxt = make_cublasxt();
+
+  for (Blas3 routine : {Blas3::kGemm, Blas3::kSyr2k, Blas3::kTrsm}) {
+    Table t({"N", "Chameleon Tile", "cuBLAS-XT", "XKBlas", "XKBlas DoD"});
+    for (std::size_t n : bench::paper_sizes()) {
+      BenchConfig cfg;
+      cfg.routine = routine;
+      cfg.n = n;
+      BenchConfig dod = cfg;
+      dod.data_on_device = true;
+      t.add_row({std::to_string(n),
+                 bench::tf(bench::best_over_tiles(*chameleon, cfg)),
+                 bench::tf(bench::best_over_tiles(*cublasxt, cfg)),
+                 bench::tf(bench::best_over_tiles(*xkblas, cfg)),
+                 bench::tf(bench::best_over_tiles(*xkblas, dod))});
+    }
+    std::printf("%s (TFlop/s)\n%s\n", blas3_name(routine),
+                t.to_text().c_str());
+  }
+  return 0;
+}

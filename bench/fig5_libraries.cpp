@@ -1,0 +1,82 @@
+// Figure 5: performance of the 8 libraries on the (simulated) DGX-1 with 8
+// GPUs for the 6 paper BLAS-3 subroutines, data-on-host, best tile size per
+// point.  Also prints the drop-in replacement comparison of Section IV-D
+// (the libraries supporting LAPACK layout for all 9 routines) and the
+// Hermitian trio as an extension.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace xkb;
+using namespace xkb::baselines;
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  std::printf(
+      "== Fig. 5: 8 libraries x 6 BLAS-3 subroutines (FP64, data-on-host, "
+      "8 GPUs) ==\n\n");
+
+  auto models = all_models();
+
+  std::vector<std::size_t> sizes = bench::paper_sizes();
+  if (quick) sizes = {8192, 24576, 40960};
+
+  const Blas3 routines[] = {Blas3::kGemm,  Blas3::kSymm, Blas3::kSyr2k,
+                            Blas3::kSyrk,  Blas3::kTrmm, Blas3::kTrsm};
+  for (Blas3 routine : routines) {
+    std::vector<std::string> header{"N"};
+    for (auto& m : models) header.push_back(m->name());
+    Table t(header);
+    for (std::size_t n : sizes) {
+      std::vector<std::string> row{std::to_string(n)};
+      for (auto& m : models) {
+        BenchConfig cfg;
+        cfg.routine = routine;
+        cfg.n = n;
+        row.push_back(bench::tf(bench::best_over_tiles(*m, cfg)));
+      }
+      t.add_row(row);
+    }
+    std::printf("%s (TFlop/s)\n%s\n", blas3_name(routine),
+                t.to_text().c_str());
+  }
+
+  // Section IV-D: drop-in replacement ratios at a representative size.
+  std::printf(
+      "-- Drop-in replacement comparison (LAPACK layout, Section IV-D) --\n");
+  {
+    auto xkblas = make_xkblas(rt::HeuristicConfig::xkblas());
+    auto cublasxt = make_cublasxt();
+    auto cham_lap = make_chameleon(/*tile_layout=*/false);
+    BenchConfig cfg;
+    cfg.routine = Blas3::kGemm;
+    cfg.n = 16384;
+    const double xk = bench::best_over_tiles(*xkblas, cfg).tflops;
+    const double xt = bench::best_over_tiles(*cublasxt, cfg).tflops;
+    const double cl = bench::best_over_tiles(*cham_lap, cfg).tflops;
+    std::printf(
+        "  DGEMM N=16384: XKBlas %.1f TF = %.0f%% of cuBLAS-XT (%.1f TF), "
+        "%.0f%% of Chameleon LAPACK (%.1f TF)\n\n",
+        xk, 100.0 * xk / xt, xt, 100.0 * xk / cl, cl);
+  }
+
+  // Extension: the Hermitian trio completing the 9 standard routines.
+  std::printf("-- Extension: Hermitian routines (complex FP64) --\n");
+  {
+    auto xkblas = make_xkblas(rt::HeuristicConfig::xkblas());
+    auto cham = make_chameleon(/*tile_layout=*/true);
+    auto xt = make_cublasxt();
+    Table t({"Routine", "N", "cuBLAS-XT", "Chameleon Tile", "XKBlas"});
+    for (Blas3 r : {Blas3::kHemm, Blas3::kHerk, Blas3::kHer2k}) {
+      BenchConfig cfg;
+      cfg.routine = r;
+      cfg.n = 16384;
+      t.add_row({blas3_name(r), "16384",
+                 bench::tf(bench::best_over_tiles(*xt, cfg)),
+                 bench::tf(bench::best_over_tiles(*cham, cfg)),
+                 bench::tf(bench::best_over_tiles(*xkblas, cfg))});
+    }
+    std::printf("%s\n", t.to_text().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Figure 8: composition of TRSM + GEMM FP64 (block size 2048) over 8 GPUs,
+// sweeping the matrix dimension: XKBlas composes the two calls into one
+// task graph; Chameleon synchronises between the calls.
+#include <cstdio>
+
+#include "baselines/composition.hpp"
+#include "bench_common.hpp"
+
+using namespace xkb;
+using namespace xkb::baselines;
+
+int main() {
+  std::printf(
+      "== Fig. 8: composition TRSM + GEMM FP64, block size 2048, 8 GPUs "
+      "==\n\n");
+
+  ModelSpec xkblas;
+  xkblas.name = "XKBlas";
+  xkblas.heur = rt::HeuristicConfig::xkblas();
+  xkblas.task_overhead = 3e-6;
+  xkblas.prepare_window = 16;
+  xkblas.call_overhead = 1e-3;
+
+  ModelSpec cham;
+  cham.name = "Chameleon Tile";
+  cham.dmdas = true;
+  cham.heur = {rt::SourcePolicy::kFirstValid, false};
+  cham.task_overhead = 20e-6;
+  cham.call_overhead = 80e-3;
+
+  Table t({"N", "Chameleon Tiled", "XKBlas", "XKBlas/Chameleon"});
+  for (std::size_t n : bench::paper_sizes()) {
+    const auto rc = run_trsm_gemm(cham, n, 2048, /*sync_between_calls=*/true);
+    const auto rx = run_trsm_gemm(xkblas, n, 2048,
+                                  /*sync_between_calls=*/false);
+    t.add_row({std::to_string(n), Table::num(rc.tflops, 2),
+               Table::num(rx.tflops, 2),
+               Table::num(rx.tflops / rc.tflops, 2) + "x"});
+  }
+  std::printf("%s (TFlop/s)\n", t.to_text().c_str());
+  std::printf(
+      "Paper reference at N=32768: XKBlas 56.6 TFlop/s (near its GEMM peak "
+      "of 56.9) vs Chameleon 36.6 (below its 51.3 GEMM peak).\n");
+  return 0;
+}

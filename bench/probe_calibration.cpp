@@ -1,0 +1,40 @@
+// Calibration probe: one-line summaries (TFlop/s, transfer counts, time
+// breakdown) for every library model at a single (N, tile, routine) point.
+// Used to tune the performance model against the paper's reference numbers;
+// kept as a fast smoke check of the whole baseline stack.
+//
+//   probe_calibration [N] [tile] [gemm|syr2k|syrk|trsm|trmm|symm]
+#include <cstdio>
+#include "baselines/common.hpp"
+using namespace xkb;
+using namespace xkb::baselines;
+int main(int argc, char** argv) {
+  BenchConfig cfg;
+  cfg.routine = Blas3::kGemm;
+  if (argc > 3) {
+    std::string r = argv[3];
+    if (r == "syr2k") cfg.routine = Blas3::kSyr2k;
+    if (r == "syrk") cfg.routine = Blas3::kSyrk;
+    if (r == "trsm") cfg.routine = Blas3::kTrsm;
+    if (r == "trmm") cfg.routine = Blas3::kTrmm;
+    if (r == "symm") cfg.routine = Blas3::kSymm;
+  }
+  cfg.n = argc > 1 ? atoi(argv[1]) : 32768;
+  cfg.tile = argc > 2 ? atoi(argv[2]) : 2048;
+  auto show = [&](const char* name, std::unique_ptr<LibraryModel> m) {
+    BenchResult r = m->run(cfg);
+    printf("%-28s %6.2f TF  t=%.3fs  h2d=%zu d2d=%zu d2h=%zu ow=%zu steals=%zu tasks=%zu  kern=%.2fs htod=%.2fs ptop=%.2fs dtoh=%.2fs\n",
+           name, r.tflops, r.seconds, r.transfers.h2d, r.transfers.d2d,
+           r.transfers.d2h, r.transfers.optimistic_waits, r.steals, r.tasks,
+           r.breakdown.kernel, r.breakdown.htod, r.breakdown.ptop, r.breakdown.dtoh);
+  };
+  show("XKBlas", make_xkblas(rt::HeuristicConfig::xkblas()));
+  show("XKBlas no heur", make_xkblas(rt::HeuristicConfig::no_heuristic()));
+  show("XKBlas no heur no topo", make_xkblas(rt::HeuristicConfig::no_heuristic_no_topo()));
+  show("cuBLAS-XT", make_cublasxt());
+  show("Chameleon Tile", make_chameleon(true));
+  show("Slate", make_slate());
+  show("cuBLAS-MG", make_cublasmg());
+  show("DPLASMA", make_dplasma());
+  return 0;
+}

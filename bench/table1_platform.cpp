@@ -1,0 +1,32 @@
+// Table I: main characteristics of the (simulated) DGX-1 multi-GPU system.
+#include <cstdio>
+
+#include "runtime/platform.hpp"
+#include "util/table.hpp"
+
+using namespace xkb;
+
+int main() {
+  const topo::Topology t = topo::Topology::dgx1();
+  const rt::PerfModel perf;
+  std::printf("== Table I: main characteristics of the simulated DGX-1 ==\n\n");
+  Table tab({"Property", "Value"});
+  tab.add_row({"Name", "Gemini (simulated)"});
+  tab.add_row({"CPU", "2x Xeon E5-2698 v4 2.2GHz (modeled: host worker + "
+               "4 PCIe Gen3 x16 switches)"});
+  tab.add_row({"GPU", std::to_string(t.num_gpus()) +
+               "x NVIDIA Tesla V100-SXM2, 32GB (simulated)"});
+  tab.add_row({"GPU FP64 peak", Table::num(perf.peak_flops_dp / 1e12, 1) +
+               " TFlop/s per GPU, " +
+               Table::num(t.num_gpus() * perf.peak_flops_dp / 1e12, 1) +
+               " TFlop/s aggregate"});
+  tab.add_row({"GPU-GPU interconnect", "NVLink-2 hybrid cube-mesh "
+               "(96.4 / 48.4 GB/s) + PCIe (17.2 GB/s)"});
+  tab.add_row({"CPU-GPU interconnect",
+               Table::num(t.host_bandwidth_gbps(0), 1) +
+               " GB/s effective per PCIe switch, 2 GPUs per switch"});
+  tab.add_row({"DMA latency", Table::num(t.transfer_latency() * 1e6, 1) +
+               " us per transfer"});
+  std::printf("%s\n", tab.to_text().c_str());
+  return 0;
+}

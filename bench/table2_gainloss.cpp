@@ -1,0 +1,53 @@
+// Table II: maximum loss/gain of performance for the XKBlas variants with
+// respect to the baseline XKBlas, over matrix dimensions >= 16384:
+//   * data-on-device (2D block-cyclic pre-distribution)   -> gain
+//   * no heuristic (optimistic D2D disabled)              -> loss
+//   * no heuristic, no topo (both heuristics disabled)    -> loss
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace xkb;
+using namespace xkb::baselines;
+
+int main() {
+  std::printf(
+      "== Table II: max loss/gain vs baseline XKBlas (N >= 16384) ==\n\n");
+
+  auto xkblas = make_xkblas(rt::HeuristicConfig::xkblas());
+  auto no_heur = make_xkblas(rt::HeuristicConfig::no_heuristic());
+  auto no_topo = make_xkblas(rt::HeuristicConfig::no_heuristic_no_topo());
+
+  Table t({"Kernel", "data-on-device", "no heuristic",
+           "no heuristic, no topo"});
+  for (Blas3 routine : {Blas3::kGemm, Blas3::kSyr2k, Blas3::kTrsm}) {
+    double best_gain = -1e9, worst_heur = 1e9, worst_topo = 1e9;
+    for (std::size_t n : bench::paper_sizes()) {
+      if (n < 16384) continue;
+      BenchConfig cfg;
+      cfg.routine = routine;
+      cfg.n = n;
+      const auto base = bench::best_over_tiles(*xkblas, cfg);
+      BenchConfig dod = cfg;
+      dod.data_on_device = true;
+      const auto r_dod = bench::best_over_tiles(*xkblas, dod);
+      const auto r_heur = bench::best_over_tiles(*no_heur, cfg);
+      const auto r_topo = bench::best_over_tiles(*no_topo, cfg);
+      best_gain =
+          std::max(best_gain, 100.0 * (r_dod.tflops / base.tflops - 1.0));
+      worst_heur =
+          std::min(worst_heur, 100.0 * (r_heur.tflops / base.tflops - 1.0));
+      worst_topo =
+          std::min(worst_topo, 100.0 * (r_topo.tflops / base.tflops - 1.0));
+    }
+    t.add_row({std::string("D") + blas3_name(routine),
+               "+" + Table::num(best_gain, 1) + "%",
+               Table::num(worst_heur, 1) + "%",
+               Table::num(worst_topo, 1) + "%"});
+  }
+  std::printf("%s\n", t.to_text().c_str());
+  std::printf(
+      "Paper reference: DGEMM +111.7%% / -43.5%% / -43%%; DSYR2K +71.1%% / "
+      "-19.4%% / -53.5%%; DTRSM +52.6%% / -29.6%% / -29.3%%.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+#include "baselines/composition.hpp"
+
+#include "trace/gantt.hpp"
+
+namespace xkb::baselines {
+
+CompositionResult run_trsm_gemm(const ModelSpec& spec, std::size_t n,
+                                std::size_t tile, bool sync_between_calls,
+                                bool want_gantt, int gantt_width) {
+  CompositionResult out;
+
+  rt::PerfModel perf;
+  perf.peak_flops_dp *= spec.peak_scale;
+  rt::PlatformOptions popt;
+  rt::Platform plat(topo::Topology::dgx1(), perf, popt);
+  rt::RuntimeOptions ropt;
+  ropt.heuristics = spec.heur;
+  ropt.drop_inputs_after_use = spec.drop_inputs;
+  ropt.task_overhead = spec.task_overhead;
+  ropt.prepare_window = spec.prepare_window;
+  std::unique_ptr<rt::Scheduler> sched;
+  if (spec.dmdas)
+    sched = std::make_unique<rt::DmdasScheduler>();
+  else
+    sched = std::make_unique<rt::OwnerComputesScheduler>(spec.stealing);
+  rt::Runtime runtime(plat, std::move(sched), ropt);
+
+  SymbolicMatrix<double> A(n, n, 0), B(n, n, 1), C(n, n, 2), D(n, n, 3);
+
+  blas::EmitOptions emit;
+  emit.tile = tile;
+  emit.attach_functional = false;
+  emit.flush_outputs_each_task = spec.flush_outputs_each_task;
+  auto [P, Q] = blas::default_grid(plat.num_gpus());
+  auto bc = [P = P, Q = Q](std::size_t i, std::size_t j) {
+    return static_cast<int>(i % static_cast<std::size_t>(P)) * Q +
+           static_cast<int>(j % static_cast<std::size_t>(Q));
+  };
+  if (spec.static_block_cyclic)
+    emit.force_place = bc;
+  else
+    emit.home = bc;
+
+  auto coherent = [&](MatrixView<const double> m) {
+    for (std::size_t i = 0; i < m.m; i += tile)
+      for (std::size_t j = 0; j < m.n; j += tile)
+        runtime.coherent_async(blas::detail::tile_handle(
+            runtime, m, i, j, std::min(tile, m.m - i),
+            std::min(tile, m.n - j)));
+  };
+
+  blas::tiled_trsm<double>(runtime, Side::Left, Uplo::Lower, Op::NoTrans,
+                           Diag::NonUnit, 1.0, A.cview(), B.view(), emit);
+  if (sync_between_calls) {
+    // Synchronous inter-call semantics: results must be coherent on the
+    // host before the next routine starts (paper Section IV-F).
+    coherent(B.cview());
+    runtime.run();
+  }
+  blas::tiled_gemm<double>(runtime, Op::NoTrans, Op::NoTrans, 1.0, B.cview(),
+                           D.cview(), 1.0, C.view(), emit);
+  coherent(B.cview());
+  coherent(C.cview());
+  const double t = runtime.run();
+
+  const double nn = static_cast<double>(n);
+  const double flops = nn * nn * nn + 2.0 * nn * nn * nn;  // TRSM + GEMM
+  out.seconds = t + spec.call_overhead * (sync_between_calls ? 2.0 : 1.0);
+  out.tflops = flops / out.seconds / 1e12;
+  out.breakdown = plat.trace().breakdown();
+  if (want_gantt)
+    out.gantt = trace::gantt_ascii(plat.trace(), plat.num_gpus(), gantt_width);
+  return out;
+}
+
+}  // namespace xkb::baselines

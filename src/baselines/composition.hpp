@@ -1,0 +1,31 @@
+// The composition benchmark of the paper's Section IV-F (Figs. 8-9):
+// TRSM followed by GEMM on shared operands, submitted back to back.
+//
+// XKBlas composes the two calls in one task graph (point-to-point
+// dependencies through the shared B tiles, no global barrier); libraries
+// with synchronous inter-call semantics drain the device between the calls,
+// which is the synchronisation gap visible in the paper's Gantt chart.
+#pragma once
+
+#include <string>
+
+#include "baselines/common.hpp"
+
+namespace xkb::baselines {
+
+struct CompositionResult {
+  double seconds = 0.0;
+  double tflops = 0.0;
+  trace::Breakdown breakdown;
+  std::string gantt;  ///< ASCII Gantt chart (filled when requested)
+};
+
+/// Run  B := A^-1 B  (TRSM)  then  C := B D + C  (GEMM) under `spec`.
+/// `sync_between_calls` inserts a full drain between the two routines
+/// (Chameleon-style); XKBlas runs them as one composed graph.
+CompositionResult run_trsm_gemm(const ModelSpec& spec, std::size_t n,
+                                std::size_t tile, bool sync_between_calls,
+                                bool want_gantt = false,
+                                int gantt_width = 100);
+
+}  // namespace xkb::baselines

@@ -1,0 +1,21 @@
+// cuBLAS-MG (early access): GEMM only, matrices distributed 2D block-cyclic
+// across devices.  Placement is static (owner of the C block); peer copies
+// are used but without topology ranking, and there is no optimistic
+// forwarding -- the gap to XKBlas the paper measures (up to 1.13x).
+#include "baselines/common.hpp"
+
+namespace xkb::baselines {
+
+std::unique_ptr<LibraryModel> make_cublasmg() {
+  ModelSpec s;
+  s.name = "cuBLAS-MG";
+  s.heur = {rt::SourcePolicy::kFirstValid, /*optimistic=*/false};
+  s.static_block_cyclic = true;
+  s.stealing = false;
+  s.task_overhead = 2e-6;
+  s.call_overhead = 90e-3;  // grid descriptor setup + explicit distribution
+  s.routines = {Blas3::kGemm};  // current version only implements GEMM
+  return std::make_unique<SpecModel>(std::move(s));
+}
+
+}  // namespace xkb::baselines

@@ -1,0 +1,24 @@
+// cuBLAS-XT: NVIDIA's out-of-core multi-GPU BLAS.  Tiles of the output are
+// statically distributed; every input block is streamed from host memory for
+// each tile product (no software cache across products) and results return
+// to the host at the end of every call (synchronous semantics).  All traffic
+// crosses PCIe -- no peer transfers -- which is why the paper measures it
+// spending most of its time in HtoD copies (Fig. 6).
+#include "baselines/common.hpp"
+
+namespace xkb::baselines {
+
+std::unique_ptr<LibraryModel> make_cublasxt() {
+  ModelSpec s;
+  s.name = "cuBLAS-XT";
+  s.heur = {rt::SourcePolicy::kHostOnly, /*optimistic=*/false};
+  s.static_block_cyclic = true;
+  s.stealing = false;
+  s.drop_inputs = true;  // streams blocks, no cross-product caching
+  s.task_overhead = 2e-6;
+  s.call_overhead = 5e-3;
+  s.prepare_window = 3;  // shallow per-stream pipelining, no tile sharing
+  return std::make_unique<SpecModel>(std::move(s));
+}
+
+}  // namespace xkb::baselines

@@ -1,0 +1,20 @@
+// DPLASMA over PaRSEC: static 2D block-cyclic data distribution with the
+// hierarchical DAG scheduler.  GPU support (GEMM only) stages transfers
+// through host memory, without topology-aware peer selection.
+#include "baselines/common.hpp"
+
+namespace xkb::baselines {
+
+std::unique_ptr<LibraryModel> make_dplasma() {
+  ModelSpec s;
+  s.name = "DPLASMA";
+  s.heur = {rt::SourcePolicy::kHostOnly, /*optimistic=*/false};
+  s.static_block_cyclic = true;
+  s.stealing = false;
+  s.task_overhead = 10e-6;
+  s.call_overhead = 100e-3;  // PaRSEC DAG instantiation
+  s.routines = {Blas3::kGemm};  // GPU-enabled GEMM only
+  return std::make_unique<SpecModel>(std::move(s));
+}
+
+}  // namespace xkb::baselines

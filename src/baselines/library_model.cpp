@@ -1,0 +1,296 @@
+#include "baselines/library_model.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "baselines/common.hpp"
+
+namespace xkb::baselines {
+
+namespace {
+
+template <typename T>
+void coherent_matrix(rt::Runtime& runtime, MatrixView<const T> m,
+                     std::size_t ts) {
+  for (std::size_t i = 0; i < m.m; i += ts)
+    for (std::size_t j = 0; j < m.n; j += ts) {
+      mem::DataHandle* h = blas::detail::tile_handle(
+          runtime, m, i, j, std::min(ts, m.m - i), std::min(ts, m.n - j));
+      runtime.coherent_async(h);
+    }
+}
+
+template <typename T>
+void distribute_matrix(rt::Runtime& runtime, MatrixView<const T> m,
+                       std::size_t ts, int P, int Q) {
+  for (std::size_t i = 0; i < m.m; i += ts)
+    for (std::size_t j = 0; j < m.n; j += ts) {
+      mem::DataHandle* h = blas::detail::tile_handle(
+          runtime, m, i, j, std::min(ts, m.m - i), std::min(ts, m.n - j));
+      const int dev = static_cast<int>((i / ts) % P) * Q +
+                      static_cast<int>((j / ts) % Q);
+      h->home_device = dev;
+      rt::TaskDesc d;
+      d.label = "dist";
+      d.accesses.push_back({h, rt::Access::kR});
+      d.forced_device = dev;
+      runtime.submit(std::move(d));
+    }
+}
+
+}  // namespace
+
+RoutinePlan plan_routine(rt::Runtime& runtime, Blas3 routine, std::size_t n,
+                         const blas::EmitOptions& emit, int P, int Q) {
+  using Z = std::complex<double>;
+  RoutinePlan plan;
+  plan.flops = routine_flops(routine, static_cast<double>(n));
+  const std::size_t ts = emit.tile;
+  const double mat_bytes_d = static_cast<double>(n) * n * sizeof(double);
+  const double mat_bytes_z = static_cast<double>(n) * n * sizeof(Z);
+
+  auto A = std::make_shared<SymbolicMatrix<double>>(n, n, 0);
+  auto B = std::make_shared<SymbolicMatrix<double>>(n, n, 1);
+  auto C = std::make_shared<SymbolicMatrix<double>>(n, n, 2);
+  auto ZA = std::make_shared<SymbolicMatrix<Z>>(n, n, 3);
+  auto ZB = std::make_shared<SymbolicMatrix<Z>>(n, n, 4);
+  auto ZC = std::make_shared<SymbolicMatrix<Z>>(n, n, 5);
+  auto& rt = runtime;
+
+  switch (routine) {
+    case Blas3::kGemm:
+      plan.emit = [&rt, A, B, C, emit] {
+        blas::tiled_gemm(rt, Op::NoTrans, Op::NoTrans, 1.0, A->cview(),
+                         B->cview(), 1.0, C->view(), emit);
+      };
+      plan.distribute = [&rt, A, B, C, ts, P, Q] {
+        distribute_matrix(rt, A->cview(), ts, P, Q);
+        distribute_matrix(rt, B->cview(), ts, P, Q);
+        distribute_matrix(rt, C->cview(), ts, P, Q);
+      };
+      plan.coherent = [&rt, C, ts] { coherent_matrix(rt, C->cview(), ts); };
+      plan.input_bytes = 3 * mat_bytes_d;
+      plan.output_bytes = mat_bytes_d;
+      break;
+    case Blas3::kSymm:
+      plan.emit = [&rt, A, B, C, emit] {
+        blas::tiled_symm(rt, Side::Left, Uplo::Lower, 1.0, A->cview(),
+                         B->cview(), 1.0, C->view(), emit);
+      };
+      plan.distribute = [&rt, A, B, C, ts, P, Q] {
+        distribute_matrix(rt, A->cview(), ts, P, Q);
+        distribute_matrix(rt, B->cview(), ts, P, Q);
+        distribute_matrix(rt, C->cview(), ts, P, Q);
+      };
+      plan.coherent = [&rt, C, ts] { coherent_matrix(rt, C->cview(), ts); };
+      plan.input_bytes = 3 * mat_bytes_d;
+      plan.output_bytes = mat_bytes_d;
+      break;
+    case Blas3::kSyrk:
+      plan.emit = [&rt, A, C, emit] {
+        blas::tiled_syrk(rt, Uplo::Lower, Op::NoTrans, 1.0, A->cview(), 1.0,
+                         C->view(), emit);
+      };
+      plan.distribute = [&rt, A, C, ts, P, Q] {
+        distribute_matrix(rt, A->cview(), ts, P, Q);
+        distribute_matrix(rt, C->cview(), ts, P, Q);
+      };
+      plan.coherent = [&rt, C, ts] { coherent_matrix(rt, C->cview(), ts); };
+      plan.input_bytes = 2 * mat_bytes_d;
+      plan.output_bytes = mat_bytes_d;
+      break;
+    case Blas3::kSyr2k:
+      plan.emit = [&rt, A, B, C, emit] {
+        blas::tiled_syr2k(rt, Uplo::Lower, Op::NoTrans, 1.0, A->cview(),
+                          B->cview(), 1.0, C->view(), emit);
+      };
+      plan.distribute = [&rt, A, B, C, ts, P, Q] {
+        distribute_matrix(rt, A->cview(), ts, P, Q);
+        distribute_matrix(rt, B->cview(), ts, P, Q);
+        distribute_matrix(rt, C->cview(), ts, P, Q);
+      };
+      plan.coherent = [&rt, C, ts] { coherent_matrix(rt, C->cview(), ts); };
+      plan.input_bytes = 3 * mat_bytes_d;
+      plan.output_bytes = mat_bytes_d;
+      break;
+    case Blas3::kTrmm:
+      plan.emit = [&rt, A, B, emit] {
+        blas::tiled_trmm(rt, Side::Left, Uplo::Lower, Op::NoTrans,
+                         Diag::NonUnit, 1.0, A->cview(), B->view(), emit);
+      };
+      plan.distribute = [&rt, A, B, ts, P, Q] {
+        distribute_matrix(rt, A->cview(), ts, P, Q);
+        distribute_matrix(rt, B->cview(), ts, P, Q);
+      };
+      plan.coherent = [&rt, B, ts] { coherent_matrix(rt, B->cview(), ts); };
+      plan.input_bytes = 2 * mat_bytes_d;
+      plan.output_bytes = mat_bytes_d;
+      break;
+    case Blas3::kTrsm:
+      plan.emit = [&rt, A, B, emit] {
+        blas::tiled_trsm(rt, Side::Left, Uplo::Lower, Op::NoTrans,
+                         Diag::NonUnit, 1.0, A->cview(), B->view(), emit);
+      };
+      plan.distribute = [&rt, A, B, ts, P, Q] {
+        distribute_matrix(rt, A->cview(), ts, P, Q);
+        distribute_matrix(rt, B->cview(), ts, P, Q);
+      };
+      plan.coherent = [&rt, B, ts] { coherent_matrix(rt, B->cview(), ts); };
+      plan.input_bytes = 2 * mat_bytes_d;
+      plan.output_bytes = mat_bytes_d;
+      break;
+    case Blas3::kHemm:
+      plan.emit = [&rt, ZA, ZB, ZC, emit] {
+        blas::tiled_hemm(rt, Side::Left, Uplo::Lower, Z{1.0}, ZA->cview(),
+                         ZB->cview(), Z{1.0}, ZC->view(), emit);
+      };
+      plan.distribute = [&rt, ZA, ZB, ZC, ts, P, Q] {
+        distribute_matrix(rt, ZA->cview(), ts, P, Q);
+        distribute_matrix(rt, ZB->cview(), ts, P, Q);
+        distribute_matrix(rt, ZC->cview(), ts, P, Q);
+      };
+      plan.coherent = [&rt, ZC, ts] { coherent_matrix(rt, ZC->cview(), ts); };
+      plan.flops *= 4.0;  // complex arithmetic
+      plan.input_bytes = 3 * mat_bytes_z;
+      plan.output_bytes = mat_bytes_z;
+      break;
+    case Blas3::kHerk:
+      plan.emit = [&rt, ZA, ZC, emit] {
+        blas::tiled_herk(rt, Uplo::Lower, Op::NoTrans, 1.0, ZA->cview(), 1.0,
+                         ZC->view(), emit);
+      };
+      plan.distribute = [&rt, ZA, ZC, ts, P, Q] {
+        distribute_matrix(rt, ZA->cview(), ts, P, Q);
+        distribute_matrix(rt, ZC->cview(), ts, P, Q);
+      };
+      plan.coherent = [&rt, ZC, ts] { coherent_matrix(rt, ZC->cview(), ts); };
+      plan.flops *= 4.0;
+      plan.input_bytes = 2 * mat_bytes_z;
+      plan.output_bytes = mat_bytes_z;
+      break;
+    case Blas3::kHer2k:
+      plan.emit = [&rt, ZA, ZB, ZC, emit] {
+        blas::tiled_her2k(rt, Uplo::Lower, Op::NoTrans, Z{1.0}, ZA->cview(),
+                          ZB->cview(), 1.0, ZC->view(), emit);
+      };
+      plan.distribute = [&rt, ZA, ZB, ZC, ts, P, Q] {
+        distribute_matrix(rt, ZA->cview(), ts, P, Q);
+        distribute_matrix(rt, ZB->cview(), ts, P, Q);
+        distribute_matrix(rt, ZC->cview(), ts, P, Q);
+      };
+      plan.coherent = [&rt, ZC, ts] { coherent_matrix(rt, ZC->cview(), ts); };
+      plan.flops *= 4.0;
+      plan.input_bytes = 3 * mat_bytes_z;
+      plan.output_bytes = mat_bytes_z;
+      break;
+  }
+  return plan;
+}
+
+bool SpecModel::supports(Blas3 r) const {
+  if (spec_.routines.empty()) return true;
+  return std::find(spec_.routines.begin(), spec_.routines.end(), r) !=
+         spec_.routines.end();
+}
+
+BenchResult SpecModel::run(const BenchConfig& cfg) {
+  if (!supports(cfg.routine)) {
+    BenchResult res;
+    res.supported = false;
+    return res;
+  }
+  return run_with_spec(spec_, cfg);
+}
+
+BenchResult run_with_spec(const ModelSpec& spec, const BenchConfig& cfg) {
+  BenchResult res;
+  if (cfg.n > spec.max_n) {
+    res.failed = true;
+    res.error = "memory allocation error";
+    return res;
+  }
+
+  rt::PerfModel perf = cfg.perf;
+  perf.peak_flops_dp *= spec.peak_scale;
+
+  rt::PlatformOptions popt;
+  popt.functional = false;
+  popt.kernel_streams = cfg.kernel_streams;
+  popt.device_capacity = cfg.device_capacity;
+  popt.eviction = spec.eviction;
+  rt::Platform plat(cfg.topology, perf, popt);
+
+  rt::RuntimeOptions ropt;
+  ropt.heuristics = spec.heur;
+  ropt.drop_inputs_after_use = spec.drop_inputs;
+  ropt.task_overhead = spec.task_overhead;
+  ropt.prepare_window = spec.prepare_window;
+  std::unique_ptr<rt::Scheduler> sched;
+  if (spec.dmdas)
+    sched = std::make_unique<rt::DmdasScheduler>();
+  else
+    sched = std::make_unique<rt::OwnerComputesScheduler>(spec.stealing);
+  rt::Runtime runtime(plat, std::move(sched), ropt);
+
+  blas::EmitOptions emit;
+  emit.tile = cfg.tile;
+  emit.attach_functional = false;
+  emit.flush_outputs_each_task = spec.flush_outputs_each_task;
+  auto [P, Q] = blas::default_grid(plat.num_gpus());
+  auto bc = [P = P, Q = Q](std::size_t i, std::size_t j) {
+    return static_cast<int>(i % static_cast<std::size_t>(P)) * Q +
+           static_cast<int>(j % static_cast<std::size_t>(Q));
+  };
+  if (spec.static_block_cyclic)
+    emit.force_place = bc;
+  else
+    emit.home = bc;
+
+  RoutinePlan plan = plan_routine(runtime, cfg.routine, cfg.n, emit, P, Q);
+
+  double t0 = 0.0;
+  try {
+    if (cfg.data_on_device) {
+      plan.distribute();
+      runtime.run();
+      t0 = plat.engine().now();
+      plat.trace().clear();
+    }
+    plan.emit();
+    if (spec.coherent_at_end && !cfg.data_on_device) plan.coherent();
+    const double t1 = runtime.run();
+    double seconds = t1 - t0;
+    seconds += spec.call_overhead;
+    if (spec.lapack_conversion)
+      seconds += (plan.input_bytes + plan.output_bytes) / perf.host_conv_bw;
+    res.seconds = seconds;
+    res.tflops = plan.flops / seconds / 1e12;
+  } catch (const mem::OutOfDeviceMemory& e) {
+    res.failed = true;
+    res.error = e.what();
+    return res;
+  }
+
+  res.breakdown = plat.trace().breakdown();
+  for (int g = 0; g < plat.num_gpus(); ++g)
+    res.per_gpu.push_back(plat.trace().breakdown(g));
+  res.transfers = runtime.data_manager().stats();
+  res.steals = runtime.steals();
+  res.tasks = runtime.tasks_completed();
+  return res;
+}
+
+std::vector<std::unique_ptr<LibraryModel>> all_models() {
+  std::vector<std::unique_ptr<LibraryModel>> v;
+  v.push_back(make_blasx());
+  v.push_back(make_chameleon(/*tile_layout=*/false));  // Chameleon LAPACK
+  v.push_back(make_chameleon(/*tile_layout=*/true));   // Chameleon Tile
+  v.push_back(make_cublasmg());
+  v.push_back(make_cublasxt());
+  v.push_back(make_dplasma());
+  v.push_back(make_slate());
+  v.push_back(make_xkblas(rt::HeuristicConfig::xkblas()));
+  return v;
+}
+
+}  // namespace xkb::baselines

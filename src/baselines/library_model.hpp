@@ -1,0 +1,75 @@
+// Policy-faithful models of the BLAS libraries the paper compares against
+// (Section IV-D), all running on the same simulated platform so that, as in
+// the paper, performance differences come only from scheduling and data
+// management policies.
+//
+// | Library          | Placement              | Sources        | Extras |
+// |------------------|------------------------|----------------|--------|
+// | XKBlas           | owner-computes + WS    | topology-aware | optimistic D2D, lazy coherency |
+// | cuBLAS-XT        | static round-robin     | host only      | synchronous per call, streams inputs (no cache) |
+// | BLASX            | owner-computes + WS    | switch peer    | GEMM only, 2-level cache, OOM > 45k |
+// | Chameleon Tile   | dmdas                  | first valid    | tile layout native |
+// | Chameleon LAPACK | dmdas                  | first valid    | host layout conversions before/after |
+// | cuBLAS-MG        | static 2D block cyclic | first valid    | GEMM only, distribute+collect in time |
+// | Slate            | static 2D block cyclic | host only      | batched outer products, per-step sync |
+// | DPLASMA          | static 2D block cyclic | first valid    | GEMM only |
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/data_manager.hpp"
+#include "runtime/perf_model.hpp"
+#include "topo/topology.hpp"
+#include "trace/trace.hpp"
+#include "util/flops.hpp"
+
+namespace xkb::baselines {
+
+struct BenchConfig {
+  Blas3 routine = Blas3::kGemm;
+  std::size_t n = 16384;      ///< square matrix dimension
+  std::size_t tile = 2048;
+  bool data_on_device = false;  ///< 2D block-cyclic pre-distribution
+  topo::Topology topology = topo::Topology::dgx1();
+  rt::PerfModel perf;
+  std::size_t device_capacity = 32ull << 30;
+  int kernel_streams = 2;
+};
+
+struct BenchResult {
+  bool supported = true;
+  bool failed = false;        ///< e.g. BLASX memory allocation error
+  std::string error;
+  double seconds = 0.0;       ///< end-to-end virtual time
+  double tflops = 0.0;
+  trace::Breakdown breakdown;  ///< per-op-class busy time
+  std::vector<trace::Breakdown> per_gpu;
+  rt::TransferStats transfers;
+  std::size_t steals = 0;
+  std::size_t tasks = 0;
+};
+
+class LibraryModel {
+ public:
+  virtual ~LibraryModel() = default;
+  virtual std::string name() const = 0;
+  virtual bool supports(Blas3 r) const = 0;
+  virtual BenchResult run(const BenchConfig& cfg) = 0;
+};
+
+/// All models in the paper's Fig. 5 order.
+std::vector<std::unique_ptr<LibraryModel>> all_models();
+
+/// The XKBlas variants of the Fig. 3 ablation.
+std::unique_ptr<LibraryModel> make_xkblas(rt::HeuristicConfig heur,
+                                          std::string suffix = "");
+std::unique_ptr<LibraryModel> make_cublasxt();
+std::unique_ptr<LibraryModel> make_blasx();
+std::unique_ptr<LibraryModel> make_chameleon(bool tile_layout);
+std::unique_ptr<LibraryModel> make_cublasmg();
+std::unique_ptr<LibraryModel> make_slate();
+std::unique_ptr<LibraryModel> make_dplasma();
+
+}  // namespace xkb::baselines

@@ -1,0 +1,26 @@
+// Slate: targets distributed-memory supercomputers; accelerator support goes
+// through block outer products on batched GEMM.  On a single DGX-1 node this
+// design cannot exploit the NVLink fabric: all traffic crosses the four PCIe
+// switches, panels are re-streamed from the host each step, and output
+// blocks round-trip between host and device every panel update (host-centric
+// memory management) -- which is why the paper measures it flat-lining well
+// below the other libraries.
+#include "baselines/common.hpp"
+
+namespace xkb::baselines {
+
+std::unique_ptr<LibraryModel> make_slate() {
+  ModelSpec s;
+  s.name = "Slate";
+  s.heur = {rt::SourcePolicy::kHostOnly, /*optimistic=*/false};
+  s.static_block_cyclic = true;
+  s.stealing = false;
+  s.drop_inputs = true;             // panels re-broadcast each step
+  s.flush_outputs_each_task = true;  // host-centric outer products
+  s.task_overhead = 5e-6;
+  s.call_overhead = 60e-3;
+  s.peak_scale = 0.9;  // batched GEMM below hand-tuned cuBLAS peak
+  return std::make_unique<SpecModel>(std::move(s));
+}
+
+}  // namespace xkb::baselines

@@ -1,0 +1,27 @@
+// XKBlas: the paper's library -- owner-computes placement with XKaapi work
+// stealing, lazy host coherency, and the two heuristics under test
+// (topology-aware source selection + optimistic device-to-device
+// forwarding).  Heuristic variants of Fig. 3 are produced by passing the
+// corresponding HeuristicConfig.
+#include "baselines/common.hpp"
+
+namespace xkb::baselines {
+
+std::unique_ptr<LibraryModel> make_xkblas(rt::HeuristicConfig heur,
+                                          std::string suffix) {
+  ModelSpec s;
+  s.name = "XKBlas" + suffix;
+  s.heur = heur;
+  s.stealing = true;
+  // XKaapi's runtime is lightweight; the paper credits this for XKBlas's
+  // reactivity on small matrices.
+  s.task_overhead = 3e-6;
+  // XKaapi prefetches deeply ahead of execution (asynchronous tasks are
+  // known well in advance), which is what lets the optimistic heuristic
+  // catch so many concurrent first touches.
+  s.prepare_window = 16;
+  s.call_overhead = 1e-3;
+  return std::make_unique<SpecModel>(std::move(s));
+}
+
+}  // namespace xkb::baselines

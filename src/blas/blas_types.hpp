@@ -1,0 +1,36 @@
+// BLAS option enumerations shared by reference kernels, tiled algorithms and
+// the public XKBlas-style API.
+#pragma once
+
+#include <complex>
+
+namespace xkb {
+
+enum class Op { NoTrans, Trans, ConjTrans };
+enum class Uplo { Lower, Upper };
+enum class Side { Left, Right };
+enum class Diag { NonUnit, Unit };
+
+inline const char* to_string(Op v) {
+  switch (v) {
+    case Op::NoTrans: return "N";
+    case Op::Trans: return "T";
+    case Op::ConjTrans: return "C";
+  }
+  return "?";
+}
+inline const char* to_string(Uplo v) { return v == Uplo::Lower ? "L" : "U"; }
+inline const char* to_string(Side v) { return v == Side::Left ? "L" : "R"; }
+inline const char* to_string(Diag v) { return v == Diag::NonUnit ? "N" : "U"; }
+
+/// conj() that is the identity for real scalar types.
+template <typename T>
+inline T conj_if(T v) {
+  return v;
+}
+template <typename T>
+inline std::complex<T> conj_if(std::complex<T> v) {
+  return std::conj(v);
+}
+
+}  // namespace xkb

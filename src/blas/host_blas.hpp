@@ -1,0 +1,290 @@
+// Reference host implementations of the nine standard BLAS level-3 routines
+// on column-major (LAPACK layout) views.
+//
+// These serve three roles in the reproduction:
+//   1. ground truth for tests of the tiled algorithms and of the simulated
+//      multi-GPU execution (functional mode must match these bit-for-bit for
+//      deterministic schedules, and to rounding for reordered reductions);
+//   2. the functional payload of simulated GPU kernels: when the simulator
+//      runs in functional mode, a "device kernel" executes one of these on
+//      the device's replica buffers;
+//   3. the CPU-side kernels of baseline models that compute on the host
+//      (e.g. Chameleon LAPACK layout conversions are host work).
+//
+// They are deliberately straightforward loop nests: correctness and clarity
+// over speed, since paper-scale performance comes from the simulator's cost
+// model, not from host execution.
+#pragma once
+
+#include <cassert>
+
+#include "blas/blas_types.hpp"
+#include "util/matrix.hpp"
+
+namespace xkb::host {
+
+namespace detail {
+/// Element (i,j) of op(A) where A is the stored matrix.
+template <typename T>
+inline T op_elem(const MatrixView<const T>& a, Op op, std::size_t i,
+                 std::size_t j) {
+  switch (op) {
+    case Op::NoTrans: return a(i, j);
+    case Op::Trans: return a(j, i);
+    case Op::ConjTrans: return conj_if(a(j, i));
+  }
+  return T{};
+}
+
+/// Element (i,j) of a symmetric matrix stored in the uplo triangle.
+template <typename T>
+inline T sy_elem(const MatrixView<const T>& a, Uplo uplo, std::size_t i,
+                 std::size_t j) {
+  if ((uplo == Uplo::Lower && i >= j) || (uplo == Uplo::Upper && i <= j))
+    return a(i, j);
+  return a(j, i);
+}
+
+/// Element (i,j) of a Hermitian matrix stored in the uplo triangle.
+template <typename T>
+inline T he_elem(const MatrixView<const T>& a, Uplo uplo, std::size_t i,
+                 std::size_t j) {
+  // BLAS convention: imaginary parts of the diagonal are assumed zero.
+  if (i == j) return T{std::real(a(i, i))};
+  if ((uplo == Uplo::Lower && i > j) || (uplo == Uplo::Upper && i < j))
+    return a(i, j);
+  return conj_if(a(j, i));
+}
+
+/// Element (i,j) of a triangular matrix with optional implicit unit diagonal.
+template <typename T>
+inline T tr_elem(const MatrixView<const T>& a, Uplo uplo, Op op, Diag diag,
+                 std::size_t i, std::size_t j) {
+  std::size_t si = i, sj = j;
+  if (op != Op::NoTrans) std::swap(si, sj);
+  if (si == sj && diag == Diag::Unit) return T{1};
+  const bool stored =
+      (uplo == Uplo::Lower) ? (si >= sj) : (si <= sj);
+  if (!stored) return T{};
+  T v = a(si, sj);
+  if (op == Op::ConjTrans && si != sj) v = conj_if(v);
+  return v;
+}
+}  // namespace detail
+
+/// C = alpha * op(A) * op(B) + beta * C, with C m-by-n and inner dim k.
+template <typename T>
+void gemm(Op opa, Op opb, T alpha, MatrixView<const T> a,
+          MatrixView<const T> b, T beta, MatrixView<T> c) {
+  const std::size_t m = c.m, n = c.n;
+  const std::size_t k = (opa == Op::NoTrans) ? a.n : a.m;
+  assert(((opa == Op::NoTrans) ? a.m : a.n) == m);
+  assert(((opb == Op::NoTrans) ? b.m : b.n) == k);
+  assert(((opb == Op::NoTrans) ? b.n : b.m) == n);
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = 0; i < m; ++i) {
+      T acc{};
+      for (std::size_t l = 0; l < k; ++l)
+        acc += detail::op_elem(a, opa, i, l) * detail::op_elem(b, opb, l, j);
+      c(i, j) = (beta == T{}) ? alpha * acc : alpha * acc + beta * c(i, j);
+    }
+}
+
+/// C = alpha*A*B + beta*C (Side::Left) or alpha*B*A + beta*C (Side::Right),
+/// A symmetric stored in `uplo`, C m-by-n.
+template <typename T>
+void symm(Side side, Uplo uplo, T alpha, MatrixView<const T> a,
+          MatrixView<const T> b, T beta, MatrixView<T> c) {
+  const std::size_t m = c.m, n = c.n;
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = 0; i < m; ++i) {
+      T acc{};
+      if (side == Side::Left) {
+        for (std::size_t l = 0; l < m; ++l)
+          acc += detail::sy_elem(a, uplo, i, l) * b(l, j);
+      } else {
+        for (std::size_t l = 0; l < n; ++l)
+          acc += b(i, l) * detail::sy_elem(a, uplo, l, j);
+      }
+      c(i, j) = (beta == T{}) ? alpha * acc : alpha * acc + beta * c(i, j);
+    }
+}
+
+/// Hermitian variant of symm.
+template <typename T>
+void hemm(Side side, Uplo uplo, T alpha, MatrixView<const T> a,
+          MatrixView<const T> b, T beta, MatrixView<T> c) {
+  const std::size_t m = c.m, n = c.n;
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = 0; i < m; ++i) {
+      T acc{};
+      if (side == Side::Left) {
+        for (std::size_t l = 0; l < m; ++l)
+          acc += detail::he_elem(a, uplo, i, l) * b(l, j);
+      } else {
+        for (std::size_t l = 0; l < n; ++l)
+          acc += b(i, l) * detail::he_elem(a, uplo, l, j);
+      }
+      c(i, j) = (beta == T{}) ? alpha * acc : alpha * acc + beta * c(i, j);
+    }
+}
+
+/// C = alpha * op(A) * op(A)^T + beta * C, only the `uplo` triangle of the
+/// n-by-n C is referenced/updated.  op is NoTrans (A n-by-k) or Trans.
+template <typename T>
+void syrk(Uplo uplo, Op op, T alpha, MatrixView<const T> a, T beta,
+          MatrixView<T> c) {
+  const std::size_t n = c.n;
+  const std::size_t k = (op == Op::NoTrans) ? a.n : a.m;
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = 0; i < n; ++i) {
+      if (uplo == Uplo::Lower ? i < j : i > j) continue;
+      T acc{};
+      for (std::size_t l = 0; l < k; ++l)
+        acc += detail::op_elem(a, op, i, l) * detail::op_elem(a, op, j, l);
+      c(i, j) = (beta == T{}) ? alpha * acc : alpha * acc + beta * c(i, j);
+    }
+}
+
+/// C = alpha*op(A)*op(B)^T + alpha*op(B)*op(A)^T + beta*C on the uplo triangle.
+template <typename T>
+void syr2k(Uplo uplo, Op op, T alpha, MatrixView<const T> a,
+           MatrixView<const T> b, T beta, MatrixView<T> c) {
+  const std::size_t n = c.n;
+  const std::size_t k = (op == Op::NoTrans) ? a.n : a.m;
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = 0; i < n; ++i) {
+      if (uplo == Uplo::Lower ? i < j : i > j) continue;
+      T acc{};
+      for (std::size_t l = 0; l < k; ++l)
+        acc += detail::op_elem(a, op, i, l) * detail::op_elem(b, op, j, l) +
+               detail::op_elem(b, op, i, l) * detail::op_elem(a, op, j, l);
+      c(i, j) = (beta == T{}) ? alpha * acc : alpha * acc + beta * c(i, j);
+    }
+}
+
+/// Hermitian rank-k update: C = alpha*op(A)*op(A)^H + beta*C (alpha, beta
+/// real).  op is NoTrans or ConjTrans.
+template <typename T>
+void herk(Uplo uplo, Op op, real_t<T> alpha, MatrixView<const T> a,
+          real_t<T> beta, MatrixView<T> c) {
+  const std::size_t n = c.n;
+  const std::size_t k = (op == Op::NoTrans) ? a.n : a.m;
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = 0; i < n; ++i) {
+      if (uplo == Uplo::Lower ? i < j : i > j) continue;
+      T acc{};
+      for (std::size_t l = 0; l < k; ++l) {
+        const T ai = (op == Op::NoTrans) ? a(i, l) : conj_if(a(l, i));
+        const T aj = (op == Op::NoTrans) ? a(j, l) : conj_if(a(l, j));
+        acc += ai * conj_if(aj);
+      }
+      c(i, j) = (beta == real_t<T>{}) ? T{alpha} * acc
+                                       : T{alpha} * acc + T{beta} * c(i, j);
+    }
+}
+
+/// Hermitian rank-2k update: C = alpha*op(A)*op(B)^H + conj(alpha)*op(B)*op(A)^H
+/// + beta*C (beta real).
+template <typename T>
+void her2k(Uplo uplo, Op op, T alpha, MatrixView<const T> a,
+           MatrixView<const T> b, real_t<T> beta, MatrixView<T> c) {
+  const std::size_t n = c.n;
+  const std::size_t k = (op == Op::NoTrans) ? a.n : a.m;
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = 0; i < n; ++i) {
+      if (uplo == Uplo::Lower ? i < j : i > j) continue;
+      T acc{};
+      for (std::size_t l = 0; l < k; ++l) {
+        const T ai = (op == Op::NoTrans) ? a(i, l) : conj_if(a(l, i));
+        const T aj = (op == Op::NoTrans) ? a(j, l) : conj_if(a(l, j));
+        const T bi = (op == Op::NoTrans) ? b(i, l) : conj_if(b(l, i));
+        const T bj = (op == Op::NoTrans) ? b(j, l) : conj_if(b(l, j));
+        acc += alpha * ai * conj_if(bj) + conj_if(alpha) * bi * conj_if(aj);
+      }
+      c(i, j) = (beta == real_t<T>{}) ? acc : acc + T{beta} * c(i, j);
+    }
+}
+
+/// B = alpha * op(A) * B (Side::Left) or alpha * B * op(A) (Side::Right),
+/// A triangular in `uplo` with optional unit diagonal.  In place on B.
+template <typename T>
+void trmm(Side side, Uplo uplo, Op op, Diag diag, T alpha,
+          MatrixView<const T> a, MatrixView<T> b) {
+  const std::size_t m = b.m, n = b.n;
+  Matrix<T> tmp(m, n);
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = 0; i < m; ++i) {
+      T acc{};
+      if (side == Side::Left) {
+        for (std::size_t l = 0; l < m; ++l)
+          acc += detail::tr_elem(a, uplo, op, diag, i, l) * b(l, j);
+      } else {
+        for (std::size_t l = 0; l < n; ++l)
+          acc += b(i, l) * detail::tr_elem(a, uplo, op, diag, l, j);
+      }
+      tmp(i, j) = alpha * acc;
+    }
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = 0; i < m; ++i) b(i, j) = tmp(i, j);
+}
+
+/// Solve op(A) * X = alpha * B (Side::Left) or X * op(A) = alpha * B
+/// (Side::Right); X overwrites B.  A triangular in `uplo`.
+template <typename T>
+void trsm(Side side, Uplo uplo, Op op, Diag diag, T alpha,
+          MatrixView<const T> a, MatrixView<T> b) {
+  const std::size_t m = b.m, n = b.n;
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = 0; i < m; ++i) b(i, j) = alpha * b(i, j);
+
+  // The effective triangular factor op(A) is lower when (uplo==Lower) XOR
+  // (op!=NoTrans) -- forward substitution; otherwise backward substitution.
+  const bool eff_lower = (uplo == Uplo::Lower) == (op == Op::NoTrans);
+  auto diag_of = [&](std::size_t i) {
+    return detail::tr_elem(a, uplo, op, diag, i, i);
+  };
+
+  if (side == Side::Left) {
+    // Solve op(A) X = B column by column.
+    for (std::size_t j = 0; j < n; ++j) {
+      if (eff_lower) {
+        for (std::size_t i = 0; i < m; ++i) {
+          T acc = b(i, j);
+          for (std::size_t l = 0; l < i; ++l)
+            acc -= detail::tr_elem(a, uplo, op, diag, i, l) * b(l, j);
+          b(i, j) = acc / diag_of(i);
+        }
+      } else {
+        for (std::size_t ii = m; ii-- > 0;) {
+          T acc = b(ii, j);
+          for (std::size_t l = ii + 1; l < m; ++l)
+            acc -= detail::tr_elem(a, uplo, op, diag, ii, l) * b(l, j);
+          b(ii, j) = acc / diag_of(ii);
+        }
+      }
+    }
+  } else {
+    // Solve X op(A) = B row by row: x_{i,:} op(A) = b_{i,:}.
+    for (std::size_t i = 0; i < m; ++i) {
+      if (eff_lower) {
+        // op(A) lower: columns solved from last to first.
+        for (std::size_t jj = n; jj-- > 0;) {
+          T acc = b(i, jj);
+          for (std::size_t l = jj + 1; l < n; ++l)
+            acc -= b(i, l) * detail::tr_elem(a, uplo, op, diag, l, jj);
+          b(i, jj) = acc / diag_of(jj);
+        }
+      } else {
+        for (std::size_t jj = 0; jj < n; ++jj) {
+          T acc = b(i, jj);
+          for (std::size_t l = 0; l < jj; ++l)
+            acc -= b(i, l) * detail::tr_elem(a, uplo, op, diag, l, jj);
+          b(i, jj) = acc / diag_of(jj);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace xkb::host

@@ -1,0 +1,68 @@
+// Reference host implementations of the unblocked factorization kernels
+// used by the tiled factorization algorithms (and as ground truth in
+// tests): Cholesky (POTRF) and LU without pivoting (GETRF-nopiv).
+#pragma once
+
+#include <cmath>
+#include <stdexcept>
+
+#include "blas/blas_types.hpp"
+#include "util/matrix.hpp"
+
+namespace xkb::host {
+
+/// Unblocked Cholesky factorization of the `uplo` triangle of the n x n
+/// matrix in place: A = L L^T (Lower) or A = U^T U (Upper).  Throws
+/// std::domain_error if A is not positive definite.
+template <typename T>
+void potrf(Uplo uplo, MatrixView<T> a) {
+  const std::size_t n = a.n;
+  if (uplo == Uplo::Lower) {
+    for (std::size_t j = 0; j < n; ++j) {
+      T d = a(j, j);
+      for (std::size_t k = 0; k < j; ++k) d -= a(j, k) * a(j, k);
+      if (!(static_cast<double>(d) > 0.0))
+        throw std::domain_error("potrf: matrix not positive definite");
+      d = static_cast<T>(std::sqrt(static_cast<double>(d)));
+      a(j, j) = d;
+      for (std::size_t i = j + 1; i < n; ++i) {
+        T s = a(i, j);
+        for (std::size_t k = 0; k < j; ++k) s -= a(i, k) * a(j, k);
+        a(i, j) = s / d;
+      }
+    }
+  } else {
+    for (std::size_t j = 0; j < n; ++j) {
+      T d = a(j, j);
+      for (std::size_t k = 0; k < j; ++k) d -= a(k, j) * a(k, j);
+      if (!(static_cast<double>(d) > 0.0))
+        throw std::domain_error("potrf: matrix not positive definite");
+      d = static_cast<T>(std::sqrt(static_cast<double>(d)));
+      a(j, j) = d;
+      for (std::size_t i = j + 1; i < n; ++i) {
+        T s = a(j, i);
+        for (std::size_t k = 0; k < j; ++k) s -= a(k, j) * a(k, i);
+        a(j, i) = s / d;
+      }
+    }
+  }
+}
+
+/// Unblocked LU factorization without pivoting, in place: A = L U with L
+/// unit-lower and U upper.  Suitable for diagonally dominant matrices.
+template <typename T>
+void getrf_nopiv(MatrixView<T> a) {
+  const std::size_t n = a.m < a.n ? a.m : a.n;
+  for (std::size_t k = 0; k < n; ++k) {
+    const T piv = a(k, k);
+    if (piv == T{})
+      throw std::domain_error("getrf_nopiv: zero pivot");
+    for (std::size_t i = k + 1; i < a.m; ++i) {
+      a(i, k) = a(i, k) / piv;
+      for (std::size_t j = k + 1; j < a.n; ++j)
+        a(i, j) -= a(i, k) * a(k, j);
+    }
+  }
+}
+
+}  // namespace xkb::host

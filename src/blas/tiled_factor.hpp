@@ -1,0 +1,128 @@
+// Tiled one-sided factorizations on top of the BLAS-3 task graphs:
+// Cholesky (POTRF) and LU without pivoting (GETRF-nopiv).
+//
+// These are the paper's motivating use case: real applications (sparse
+// direct solvers like MUMPS, which supports XKBlas) schedule *sequences of
+// dependent BLAS calls*, and the composition machinery -- shared tile
+// handles, point-to-point dependencies, lazy coherency -- is what keeps the
+// GPUs busy across panels.  Each factorization below is literally a
+// composition of the tiled TRSM/SYRK/GEMM generators plus one small
+// diagonal-kernel task per panel.
+#pragma once
+
+#include "blas/host_lapack.hpp"
+#include "blas/tiled.hpp"
+
+namespace xkb::blas {
+
+/// Tiled Cholesky of the `uplo` triangle of the n x n matrix A, in place.
+/// Right-looking: POTRF(diag) -> TRSM(panel) -> SYRK/GEMM(trailing).
+template <typename T>
+void tiled_potrf(rt::Runtime& rt, Uplo uplo, MatrixView<T> A,
+                 const EmitOptions& o) {
+  using namespace detail;
+  const std::size_t ts = o.tile;
+  const std::size_t Nt = nt(A.n, ts);
+  MatrixView<const T> Ac(A.data, A.m, A.n, A.ld);
+
+  for (std::size_t k = 0; k < Nt; ++k) {
+    const std::size_t bk = std::min(ts, A.n - k * ts);
+    mem::DataHandle* hAkk = tile_handle(rt, Ac, k * ts, k * ts, bk, bk);
+
+    // Diagonal factorization tile kernel.
+    rt::TaskDesc d;
+    d.label = "potrf";
+    d.accesses = {{hAkk, rt::Access::kRW}};
+    d.flops = static_cast<double>(bk) * bk * bk / 3.0 * flop_scale<T>;
+    d.min_dim = bk;
+    d.eff_factor = 0.3;  // panel factorizations run far below GEMM speed
+    d.single_precision = is_single<T>;
+    if (o.attach_functional)
+      d.fn = [uplo](const rt::FunctionalCtx& ctx) {
+        host::potrf(uplo, out_view<T>(ctx, 0));
+      };
+    set_home_and_place<T>(d, hAkk, k, k, o);
+    submit_task(rt, std::move(d), o);
+
+    // Panel solve + trailing update, expressed through the BLAS generators
+    // on sub-views (this is composition, not a monolithic algorithm).
+    const std::size_t rest = A.n - (k + 1) * ts;
+    if (rest == 0 || (k + 1) * ts >= A.n) continue;
+    if (uplo == Uplo::Lower) {
+      MatrixView<const T> Lkk(A.data + k * ts + k * ts * A.ld, bk, bk, A.ld);
+      MatrixView<T> panel(A.data + (k + 1) * ts + k * ts * A.ld, rest, bk,
+                          A.ld);
+      tiled_trsm<T>(rt, Side::Right, Uplo::Lower, Op::Trans, Diag::NonUnit,
+                    T{1}, Lkk, panel, o);
+      MatrixView<const T> panel_c(panel.data, rest, bk, A.ld);
+      MatrixView<T> trailing(A.data + (k + 1) * ts + (k + 1) * ts * A.ld,
+                             rest, rest, A.ld);
+      tiled_syrk<T>(rt, Uplo::Lower, Op::NoTrans, T{-1}, panel_c, T{1},
+                    trailing, o);
+    } else {
+      MatrixView<const T> Ukk(A.data + k * ts + k * ts * A.ld, bk, bk, A.ld);
+      MatrixView<T> panel(A.data + k * ts + (k + 1) * ts * A.ld, bk, rest,
+                          A.ld);
+      tiled_trsm<T>(rt, Side::Left, Uplo::Upper, Op::Trans, Diag::NonUnit,
+                    T{1}, Ukk, panel, o);
+      MatrixView<const T> panel_c(panel.data, bk, rest, A.ld);
+      MatrixView<T> trailing(A.data + (k + 1) * ts + (k + 1) * ts * A.ld,
+                             rest, rest, A.ld);
+      tiled_syrk<T>(rt, Uplo::Upper, Op::Trans, T{-1}, panel_c, T{1},
+                    trailing, o);
+    }
+  }
+}
+
+/// Tiled LU without pivoting of the square matrix A, in place (L unit-lower,
+/// U upper).  Right-looking: GETRF(diag) -> TRSM(row & column panels) ->
+/// GEMM(trailing).
+template <typename T>
+void tiled_getrf_nopiv(rt::Runtime& rt, MatrixView<T> A,
+                       const EmitOptions& o) {
+  using namespace detail;
+  const std::size_t ts = o.tile;
+  const std::size_t Nt = nt(A.n, ts);
+  MatrixView<const T> Ac(A.data, A.m, A.n, A.ld);
+
+  for (std::size_t k = 0; k < Nt; ++k) {
+    const std::size_t bk = std::min(ts, A.n - k * ts);
+    mem::DataHandle* hAkk = tile_handle(rt, Ac, k * ts, k * ts, bk, bk);
+
+    rt::TaskDesc d;
+    d.label = "getrf";
+    d.accesses = {{hAkk, rt::Access::kRW}};
+    d.flops = 2.0 / 3.0 * static_cast<double>(bk) * bk * bk * flop_scale<T>;
+    d.min_dim = bk;
+    d.eff_factor = 0.3;
+    d.single_precision = is_single<T>;
+    if (o.attach_functional)
+      d.fn = [](const rt::FunctionalCtx& ctx) {
+        host::getrf_nopiv(out_view<T>(ctx, 0));
+      };
+    set_home_and_place<T>(d, hAkk, k, k, o);
+    submit_task(rt, std::move(d), o);
+
+    const std::size_t rest = A.n - (k + 1) * ts;
+    if (rest == 0 || (k + 1) * ts >= A.n) continue;
+    MatrixView<const T> Akk(A.data + k * ts + k * ts * A.ld, bk, bk, A.ld);
+
+    // Column panel: A[k+1:, k] := A[k+1:, k] U_kk^-1.
+    MatrixView<T> col(A.data + (k + 1) * ts + k * ts * A.ld, rest, bk, A.ld);
+    tiled_trsm<T>(rt, Side::Right, Uplo::Upper, Op::NoTrans, Diag::NonUnit,
+                  T{1}, Akk, col, o);
+    // Row panel: A[k, k+1:] := L_kk^-1 A[k, k+1:].
+    MatrixView<T> row(A.data + k * ts + (k + 1) * ts * A.ld, bk, rest, A.ld);
+    tiled_trsm<T>(rt, Side::Left, Uplo::Lower, Op::NoTrans, Diag::Unit, T{1},
+                  Akk, row, o);
+    // Trailing update: A[k+1:, k+1:] -= col * row.
+    MatrixView<const T> col_c(col.data, rest, bk, A.ld);
+    MatrixView<const T> row_c(row.data, bk, rest, A.ld);
+    MatrixView<T> trailing(A.data + (k + 1) * ts + (k + 1) * ts * A.ld, rest,
+                           rest, A.ld);
+    tiled_gemm<T>(rt, Op::NoTrans, Op::NoTrans, T{-1}, col_c, row_c, T{1},
+                  trailing, o);
+  }
+}
+
+}  // namespace xkb::blas

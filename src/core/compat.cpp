@@ -1,0 +1,376 @@
+#include "core/compat.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+namespace xkblas {
+
+namespace {
+
+Context* g_context = nullptr;
+std::unique_ptr<Context> g_default;
+
+template <typename T>
+MatrixView<const T> cview(const T* p, std::size_t m, std::size_t n,
+                          std::size_t ld) {
+  return MatrixView<const T>(p, m, n, ld);
+}
+template <typename T>
+MatrixView<T> mview(T* p, std::size_t m, std::size_t n, std::size_t ld) {
+  return MatrixView<T>(p, m, n, ld);
+}
+
+/// Dimensions of a stored operand whose op()-shape is rows x cols.
+std::pair<std::size_t, std::size_t> stored_dims(Op op, std::size_t rows,
+                                                std::size_t cols) {
+  return op == Op::NoTrans ? std::make_pair(rows, cols)
+                           : std::make_pair(cols, rows);
+}
+
+}  // namespace
+
+void xkblas_set_context(Context* ctx) { g_context = ctx; }
+
+Context& xkblas_context() {
+  if (g_context) return *g_context;
+  if (!g_default) {
+    Options opt;
+    opt.platform.functional = true;
+    opt.tile = 256;
+    g_default = std::make_unique<Context>(opt);
+  }
+  return *g_default;
+}
+
+Op op_from_char(char t) {
+  switch (t) {
+    case 'N': case 'n': return Op::NoTrans;
+    case 'T': case 't': return Op::Trans;
+    case 'C': case 'c': return Op::ConjTrans;
+  }
+  throw std::invalid_argument("bad trans option");
+}
+Uplo uplo_from_char(char u) {
+  switch (u) {
+    case 'L': case 'l': return Uplo::Lower;
+    case 'U': case 'u': return Uplo::Upper;
+  }
+  throw std::invalid_argument("bad uplo option");
+}
+Side side_from_char(char s) {
+  switch (s) {
+    case 'L': case 'l': return Side::Left;
+    case 'R': case 'r': return Side::Right;
+  }
+  throw std::invalid_argument("bad side option");
+}
+Diag diag_from_char(char d) {
+  switch (d) {
+    case 'N': case 'n': return Diag::NonUnit;
+    case 'U': case 'u': return Diag::Unit;
+  }
+  throw std::invalid_argument("bad diag option");
+}
+
+namespace {
+
+template <typename T>
+void gemm_impl(char transa, char transb, std::size_t m, std::size_t n,
+               std::size_t k, T alpha, const T* a, std::size_t lda,
+               const T* b, std::size_t ldb, T beta, T* c, std::size_t ldc) {
+  const Op opa = op_from_char(transa), opb = op_from_char(transb);
+  const auto [am, an] = stored_dims(opa, m, k);
+  const auto [bm, bn] = stored_dims(opb, k, n);
+  xkblas_context().gemm_async<T>(opa, opb, alpha, cview(a, am, an, lda),
+                                 cview(b, bm, bn, ldb), beta,
+                                 mview(c, m, n, ldc));
+}
+
+template <typename T>
+void trxm_impl(bool solve, char side, char uplo, char transa, char diag,
+               std::size_t m, std::size_t n, T alpha, const T* a,
+               std::size_t lda, T* b, std::size_t ldb) {
+  const Side s = side_from_char(side);
+  const std::size_t na = s == Side::Left ? m : n;
+  Context& ctx = xkblas_context();
+  if (solve)
+    ctx.trsm_async<T>(s, uplo_from_char(uplo), op_from_char(transa),
+                      diag_from_char(diag), alpha, cview(a, na, na, lda),
+                      mview(b, m, n, ldb));
+  else
+    ctx.trmm_async<T>(s, uplo_from_char(uplo), op_from_char(transa),
+                      diag_from_char(diag), alpha, cview(a, na, na, lda),
+                      mview(b, m, n, ldb));
+}
+
+template <typename T>
+void symm_impl(char side, char uplo, std::size_t m, std::size_t n, T alpha,
+               const T* a, std::size_t lda, const T* b, std::size_t ldb,
+               T beta, T* c, std::size_t ldc, bool hermitian) {
+  const Side s = side_from_char(side);
+  const std::size_t na = s == Side::Left ? m : n;
+  Context& ctx = xkblas_context();
+  if constexpr (!std::is_floating_point_v<T>) {
+    if (hermitian) {
+      ctx.hemm_async<T>(s, uplo_from_char(uplo), alpha, cview(a, na, na, lda),
+                        cview(b, m, n, ldb), beta, mview(c, m, n, ldc));
+      return;
+    }
+  }
+  (void)hermitian;
+  ctx.symm_async<T>(s, uplo_from_char(uplo), alpha, cview(a, na, na, lda),
+                    cview(b, m, n, ldb), beta, mview(c, m, n, ldc));
+}
+
+template <typename T>
+void syrk_impl(char uplo, char trans, std::size_t n, std::size_t k, T alpha,
+               const T* a, std::size_t lda, T beta, T* c, std::size_t ldc) {
+  const Op op = op_from_char(trans);
+  const auto [am, an] = stored_dims(op, n, k);
+  xkblas_context().syrk_async<T>(uplo_from_char(uplo), op, alpha,
+                                 cview(a, am, an, lda), beta,
+                                 mview(c, n, n, ldc));
+}
+
+template <typename T>
+void syr2k_impl(char uplo, char trans, std::size_t n, std::size_t k, T alpha,
+                const T* a, std::size_t lda, const T* b, std::size_t ldb,
+                T beta, T* c, std::size_t ldc) {
+  const Op op = op_from_char(trans);
+  const auto [am, an] = stored_dims(op, n, k);
+  xkblas_context().syr2k_async<T>(uplo_from_char(uplo), op, alpha,
+                                  cview(a, am, an, lda),
+                                  cview(b, am, an, ldb), beta,
+                                  mview(c, n, n, ldc));
+}
+
+template <typename T>
+void herk_impl(char uplo, char trans, std::size_t n, std::size_t k,
+               xkb::real_t<T> alpha, const T* a, std::size_t lda,
+               xkb::real_t<T> beta, T* c, std::size_t ldc) {
+  const Op op = op_from_char(trans);
+  const auto [am, an] = stored_dims(op, n, k);
+  xkblas_context().herk_async<T>(uplo_from_char(uplo), op, alpha,
+                                 cview(a, am, an, lda), beta,
+                                 mview(c, n, n, ldc));
+}
+
+template <typename T>
+void her2k_impl(char uplo, char trans, std::size_t n, std::size_t k, T alpha,
+                const T* a, std::size_t lda, const T* b, std::size_t ldb,
+                xkb::real_t<T> beta, T* c, std::size_t ldc) {
+  const Op op = op_from_char(trans);
+  const auto [am, an] = stored_dims(op, n, k);
+  xkblas_context().her2k_async<T>(uplo_from_char(uplo), op, alpha,
+                                  cview(a, am, an, lda),
+                                  cview(b, am, an, ldb), beta,
+                                  mview(c, n, n, ldc));
+}
+
+}  // namespace
+
+void xkblas_dgemm_async(char transa, char transb, std::size_t m,
+                        std::size_t n, std::size_t k, double alpha,
+                        const double* a, std::size_t lda, const double* b,
+                        std::size_t ldb, double beta, double* c,
+                        std::size_t ldc) {
+  gemm_impl(transa, transb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+}
+
+void xkblas_dsymm_async(char side, char uplo, std::size_t m, std::size_t n,
+                        double alpha, const double* a, std::size_t lda,
+                        const double* b, std::size_t ldb, double beta,
+                        double* c, std::size_t ldc) {
+  const Side s = side_from_char(side);
+  const std::size_t na = s == Side::Left ? m : n;
+  xkblas_context().symm_async<double>(
+      s, uplo_from_char(uplo), alpha, cview(a, na, na, lda),
+      cview(b, m, n, ldb), beta, mview(c, m, n, ldc));
+}
+
+void xkblas_dsyrk_async(char uplo, char trans, std::size_t n, std::size_t k,
+                        double alpha, const double* a, std::size_t lda,
+                        double beta, double* c, std::size_t ldc) {
+  const Op op = op_from_char(trans);
+  const auto [am, an] = stored_dims(op, n, k);
+  xkblas_context().syrk_async<double>(uplo_from_char(uplo), op, alpha,
+                                      cview(a, am, an, lda), beta,
+                                      mview(c, n, n, ldc));
+}
+
+void xkblas_dsyr2k_async(char uplo, char trans, std::size_t n, std::size_t k,
+                         double alpha, const double* a, std::size_t lda,
+                         const double* b, std::size_t ldb, double beta,
+                         double* c, std::size_t ldc) {
+  const Op op = op_from_char(trans);
+  const auto [am, an] = stored_dims(op, n, k);
+  const auto [bm, bn] = stored_dims(op, n, k);
+  xkblas_context().syr2k_async<double>(
+      uplo_from_char(uplo), op, alpha, cview(a, am, an, lda),
+      cview(b, bm, bn, ldb), beta, mview(c, n, n, ldc));
+}
+
+void xkblas_dtrmm_async(char side, char uplo, char transa, char diag,
+                        std::size_t m, std::size_t n, double alpha,
+                        const double* a, std::size_t lda, double* b,
+                        std::size_t ldb) {
+  trxm_impl(false, side, uplo, transa, diag, m, n, alpha, a, lda, b, ldb);
+}
+
+void xkblas_dtrsm_async(char side, char uplo, char transa, char diag,
+                        std::size_t m, std::size_t n, double alpha,
+                        const double* a, std::size_t lda, double* b,
+                        std::size_t ldb) {
+  trxm_impl(true, side, uplo, transa, diag, m, n, alpha, a, lda, b, ldb);
+}
+
+void xkblas_sgemm_async(char transa, char transb, std::size_t m,
+                        std::size_t n, std::size_t k, float alpha,
+                        const float* a, std::size_t lda, const float* b,
+                        std::size_t ldb, float beta, float* c,
+                        std::size_t ldc) {
+  gemm_impl(transa, transb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+}
+
+void xkblas_ssymm_async(char side, char uplo, std::size_t m, std::size_t n,
+                        float alpha, const float* a, std::size_t lda,
+                        const float* b, std::size_t ldb, float beta, float* c,
+                        std::size_t ldc) {
+  symm_impl(side, uplo, m, n, alpha, a, lda, b, ldb, beta, c, ldc, false);
+}
+
+void xkblas_ssyrk_async(char uplo, char trans, std::size_t n, std::size_t k,
+                        float alpha, const float* a, std::size_t lda,
+                        float beta, float* c, std::size_t ldc) {
+  syrk_impl(uplo, trans, n, k, alpha, a, lda, beta, c, ldc);
+}
+
+void xkblas_ssyr2k_async(char uplo, char trans, std::size_t n, std::size_t k,
+                         float alpha, const float* a, std::size_t lda,
+                         const float* b, std::size_t ldb, float beta,
+                         float* c, std::size_t ldc) {
+  syr2k_impl(uplo, trans, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+}
+
+void xkblas_strmm_async(char side, char uplo, char transa, char diag,
+                        std::size_t m, std::size_t n, float alpha,
+                        const float* a, std::size_t lda, float* b,
+                        std::size_t ldb) {
+  trxm_impl(false, side, uplo, transa, diag, m, n, alpha, a, lda, b, ldb);
+}
+
+void xkblas_strsm_async(char side, char uplo, char transa, char diag,
+                        std::size_t m, std::size_t n, float alpha,
+                        const float* a, std::size_t lda, float* b,
+                        std::size_t ldb) {
+  trxm_impl(true, side, uplo, transa, diag, m, n, alpha, a, lda, b, ldb);
+}
+
+void xkblas_cgemm_async(char transa, char transb, std::size_t m,
+                        std::size_t n, std::size_t k, cfloat alpha,
+                        const cfloat* a, std::size_t lda, const cfloat* b,
+                        std::size_t ldb, cfloat beta, cfloat* c,
+                        std::size_t ldc) {
+  gemm_impl(transa, transb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+}
+
+void xkblas_chemm_async(char side, char uplo, std::size_t m, std::size_t n,
+                        cfloat alpha, const cfloat* a, std::size_t lda,
+                        const cfloat* b, std::size_t ldb, cfloat beta,
+                        cfloat* c, std::size_t ldc) {
+  symm_impl(side, uplo, m, n, alpha, a, lda, b, ldb, beta, c, ldc, true);
+}
+
+void xkblas_cherk_async(char uplo, char trans, std::size_t n, std::size_t k,
+                        float alpha, const cfloat* a, std::size_t lda,
+                        float beta, cfloat* c, std::size_t ldc) {
+  herk_impl(uplo, trans, n, k, alpha, a, lda, beta, c, ldc);
+}
+
+void xkblas_cher2k_async(char uplo, char trans, std::size_t n, std::size_t k,
+                         cfloat alpha, const cfloat* a, std::size_t lda,
+                         const cfloat* b, std::size_t ldb, float beta,
+                         cfloat* c, std::size_t ldc) {
+  her2k_impl(uplo, trans, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+}
+
+void xkblas_ctrsm_async(char side, char uplo, char transa, char diag,
+                        std::size_t m, std::size_t n, cfloat alpha,
+                        const cfloat* a, std::size_t lda, cfloat* b,
+                        std::size_t ldb) {
+  trxm_impl(true, side, uplo, transa, diag, m, n, alpha, a, lda, b, ldb);
+}
+
+void xkblas_zgemm_async(char transa, char transb, std::size_t m,
+                        std::size_t n, std::size_t k, zdouble alpha,
+                        const zdouble* a, std::size_t lda, const zdouble* b,
+                        std::size_t ldb, zdouble beta, zdouble* c,
+                        std::size_t ldc) {
+  gemm_impl(transa, transb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+}
+
+void xkblas_zhemm_async(char side, char uplo, std::size_t m, std::size_t n,
+                        zdouble alpha, const zdouble* a, std::size_t lda,
+                        const zdouble* b, std::size_t ldb, zdouble beta,
+                        zdouble* c, std::size_t ldc) {
+  const Side s = side_from_char(side);
+  const std::size_t na = s == Side::Left ? m : n;
+  xkblas_context().hemm_async<zdouble>(
+      s, uplo_from_char(uplo), alpha, cview(a, na, na, lda),
+      cview(b, m, n, ldb), beta, mview(c, m, n, ldc));
+}
+
+void xkblas_zherk_async(char uplo, char trans, std::size_t n, std::size_t k,
+                        double alpha, const zdouble* a, std::size_t lda,
+                        double beta, zdouble* c, std::size_t ldc) {
+  const Op op = op_from_char(trans);
+  const auto [am, an] = stored_dims(op, n, k);
+  xkblas_context().herk_async<zdouble>(uplo_from_char(uplo), op, alpha,
+                                       cview(a, am, an, lda), beta,
+                                       mview(c, n, n, ldc));
+}
+
+void xkblas_zher2k_async(char uplo, char trans, std::size_t n, std::size_t k,
+                         zdouble alpha, const zdouble* a, std::size_t lda,
+                         const zdouble* b, std::size_t ldb, double beta,
+                         zdouble* c, std::size_t ldc) {
+  const Op op = op_from_char(trans);
+  const auto [am, an] = stored_dims(op, n, k);
+  const auto [bm, bn] = stored_dims(op, n, k);
+  xkblas_context().her2k_async<zdouble>(
+      uplo_from_char(uplo), op, alpha, cview(a, am, an, lda),
+      cview(b, bm, bn, ldb), beta, mview(c, n, n, ldc));
+}
+
+void xkblas_memory_coherent_async(std::size_t m, std::size_t n,
+                                  const double* a, std::size_t lda) {
+  xkblas_context().memory_coherent_async<double>(cview(a, m, n, lda));
+}
+void xkblas_memory_coherent_async(std::size_t m, std::size_t n,
+                                  const float* a, std::size_t lda) {
+  xkblas_context().memory_coherent_async<float>(cview(a, m, n, lda));
+}
+void xkblas_memory_coherent_async(std::size_t m, std::size_t n,
+                                  const zdouble* a, std::size_t lda) {
+  xkblas_context().memory_coherent_async<zdouble>(cview(a, m, n, lda));
+}
+void xkblas_memory_coherent_async(std::size_t m, std::size_t n,
+                                  const cfloat* a, std::size_t lda) {
+  xkblas_context().memory_coherent_async<cfloat>(cview(a, m, n, lda));
+}
+
+void xkblas_distribute_2dblock_cyclic_async(std::size_t m, std::size_t n,
+                                            const double* a,
+                                            std::size_t lda) {
+  xkblas_context().distribute_2d_block_cyclic_async<double>(
+      cview(a, m, n, lda));
+}
+
+void xkblas_host_overwrite_async(std::size_t m, std::size_t n,
+                                 const double* a, std::size_t lda) {
+  xkblas_context().host_overwrite_async<double>(cview(a, m, n, lda));
+}
+
+double xkblas_sync() { return xkblas_context().sync(); }
+
+}  // namespace xkblas

@@ -1,0 +1,151 @@
+// Drop-in, C-style BLAS entry points.
+//
+// The real XKBlas ships a dynamic library that traps Fortran/C BLAS calls
+// (like NVBLAS does for cuBLAS-XT) and offloads them to the GPUs -- the
+// paper's Section IV-D drop-in replacement scenario.  This header mirrors
+// that surface: free functions with raw column-major pointers, leading
+// dimensions and character options ('N'/'T'/'C', 'L'/'U', ...), operating
+// on a process-wide default Context that can be replaced for testing or
+// configuration.
+//
+//   xkblas_dtrsm_async('L', 'L', 'N', 'N', n, n, 1.0, a, n, b, n);
+//   xkblas_dgemm_async('T', 'N', n, n, n, 1.0, b, n, b, n, 1.0, c, n);
+//   xkblas_memory_coherent_async(n, n, c, n);
+//   xkblas_sync();
+#pragma once
+
+#include <complex>
+#include <cstddef>
+
+#include "core/xkblas.hpp"
+
+namespace xkblas {
+
+/// Replace the process-wide context (ownership stays with the caller).
+/// Passing nullptr reverts to a lazily created default (simulated DGX-1,
+/// functional mode, tile 256).
+void xkblas_set_context(Context* ctx);
+
+/// The context the compat calls go to (creates the default on first use).
+Context& xkblas_context();
+
+/// Parse BLAS character options ('N','T','C' / 'L','U' / 'L','R' / 'N','U').
+Op op_from_char(char t);
+Uplo uplo_from_char(char u);
+Side side_from_char(char s);
+Diag diag_from_char(char d);
+
+// ---- double precision ----
+void xkblas_dgemm_async(char transa, char transb, std::size_t m,
+                        std::size_t n, std::size_t k, double alpha,
+                        const double* a, std::size_t lda, const double* b,
+                        std::size_t ldb, double beta, double* c,
+                        std::size_t ldc);
+void xkblas_dsymm_async(char side, char uplo, std::size_t m, std::size_t n,
+                        double alpha, const double* a, std::size_t lda,
+                        const double* b, std::size_t ldb, double beta,
+                        double* c, std::size_t ldc);
+void xkblas_dsyrk_async(char uplo, char trans, std::size_t n, std::size_t k,
+                        double alpha, const double* a, std::size_t lda,
+                        double beta, double* c, std::size_t ldc);
+void xkblas_dsyr2k_async(char uplo, char trans, std::size_t n, std::size_t k,
+                         double alpha, const double* a, std::size_t lda,
+                         const double* b, std::size_t ldb, double beta,
+                         double* c, std::size_t ldc);
+void xkblas_dtrmm_async(char side, char uplo, char transa, char diag,
+                        std::size_t m, std::size_t n, double alpha,
+                        const double* a, std::size_t lda, double* b,
+                        std::size_t ldb);
+void xkblas_dtrsm_async(char side, char uplo, char transa, char diag,
+                        std::size_t m, std::size_t n, double alpha,
+                        const double* a, std::size_t lda, double* b,
+                        std::size_t ldb);
+
+// ---- single precision ----
+void xkblas_sgemm_async(char transa, char transb, std::size_t m,
+                        std::size_t n, std::size_t k, float alpha,
+                        const float* a, std::size_t lda, const float* b,
+                        std::size_t ldb, float beta, float* c,
+                        std::size_t ldc);
+void xkblas_ssymm_async(char side, char uplo, std::size_t m, std::size_t n,
+                        float alpha, const float* a, std::size_t lda,
+                        const float* b, std::size_t ldb, float beta, float* c,
+                        std::size_t ldc);
+void xkblas_ssyrk_async(char uplo, char trans, std::size_t n, std::size_t k,
+                        float alpha, const float* a, std::size_t lda,
+                        float beta, float* c, std::size_t ldc);
+void xkblas_ssyr2k_async(char uplo, char trans, std::size_t n, std::size_t k,
+                         float alpha, const float* a, std::size_t lda,
+                         const float* b, std::size_t ldb, float beta,
+                         float* c, std::size_t ldc);
+void xkblas_strmm_async(char side, char uplo, char transa, char diag,
+                        std::size_t m, std::size_t n, float alpha,
+                        const float* a, std::size_t lda, float* b,
+                        std::size_t ldb);
+void xkblas_strsm_async(char side, char uplo, char transa, char diag,
+                        std::size_t m, std::size_t n, float alpha,
+                        const float* a, std::size_t lda, float* b,
+                        std::size_t ldb);
+
+// ---- complex single ----
+using cfloat = std::complex<float>;
+void xkblas_cgemm_async(char transa, char transb, std::size_t m,
+                        std::size_t n, std::size_t k, cfloat alpha,
+                        const cfloat* a, std::size_t lda, const cfloat* b,
+                        std::size_t ldb, cfloat beta, cfloat* c,
+                        std::size_t ldc);
+void xkblas_chemm_async(char side, char uplo, std::size_t m, std::size_t n,
+                        cfloat alpha, const cfloat* a, std::size_t lda,
+                        const cfloat* b, std::size_t ldb, cfloat beta,
+                        cfloat* c, std::size_t ldc);
+void xkblas_cherk_async(char uplo, char trans, std::size_t n, std::size_t k,
+                        float alpha, const cfloat* a, std::size_t lda,
+                        float beta, cfloat* c, std::size_t ldc);
+void xkblas_cher2k_async(char uplo, char trans, std::size_t n, std::size_t k,
+                         cfloat alpha, const cfloat* a, std::size_t lda,
+                         const cfloat* b, std::size_t ldb, float beta,
+                         cfloat* c, std::size_t ldc);
+void xkblas_ctrsm_async(char side, char uplo, char transa, char diag,
+                        std::size_t m, std::size_t n, cfloat alpha,
+                        const cfloat* a, std::size_t lda, cfloat* b,
+                        std::size_t ldb);
+
+// ---- complex double (the Hermitian trio completing the 9 routines) ----
+using zdouble = std::complex<double>;
+void xkblas_zgemm_async(char transa, char transb, std::size_t m,
+                        std::size_t n, std::size_t k, zdouble alpha,
+                        const zdouble* a, std::size_t lda, const zdouble* b,
+                        std::size_t ldb, zdouble beta, zdouble* c,
+                        std::size_t ldc);
+void xkblas_zhemm_async(char side, char uplo, std::size_t m, std::size_t n,
+                        zdouble alpha, const zdouble* a, std::size_t lda,
+                        const zdouble* b, std::size_t ldb, zdouble beta,
+                        zdouble* c, std::size_t ldc);
+void xkblas_zherk_async(char uplo, char trans, std::size_t n, std::size_t k,
+                        double alpha, const zdouble* a, std::size_t lda,
+                        double beta, zdouble* c, std::size_t ldc);
+void xkblas_zher2k_async(char uplo, char trans, std::size_t n, std::size_t k,
+                         zdouble alpha, const zdouble* a, std::size_t lda,
+                         const zdouble* b, std::size_t ldb, double beta,
+                         zdouble* c, std::size_t ldc);
+
+// ---- data management ----
+void xkblas_memory_coherent_async(std::size_t m, std::size_t n,
+                                  const double* a, std::size_t lda);
+void xkblas_memory_coherent_async(std::size_t m, std::size_t n,
+                                  const float* a, std::size_t lda);
+void xkblas_memory_coherent_async(std::size_t m, std::size_t n,
+                                  const zdouble* a, std::size_t lda);
+void xkblas_memory_coherent_async(std::size_t m, std::size_t n,
+                                  const cfloat* a, std::size_t lda);
+void xkblas_distribute_2dblock_cyclic_async(std::size_t m, std::size_t n,
+                                            const double* a, std::size_t lda);
+
+/// Declare a CPU-side overwrite of host data (see Context::host_overwrite_async).
+void xkblas_host_overwrite_async(std::size_t m, std::size_t n,
+                                 const double* a, std::size_t lda);
+
+/// Wait for all submitted work; returns the virtual time in seconds.
+double xkblas_sync();
+
+}  // namespace xkblas

@@ -1,0 +1,41 @@
+#include "core/xkblas.hpp"
+
+namespace xkblas {
+
+namespace {
+std::unique_ptr<xkb::rt::Scheduler> make_scheduler(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kOwnerComputes:
+      return std::make_unique<xkb::rt::OwnerComputesScheduler>();
+    case SchedulerKind::kDmdas:
+      return std::make_unique<xkb::rt::DmdasScheduler>();
+    case SchedulerKind::kRoundRobin:
+      return std::make_unique<xkb::rt::RoundRobinScheduler>();
+  }
+  return nullptr;
+}
+}  // namespace
+
+Context::Context(Options opt) : opt_(std::move(opt)) {
+  plat_ = std::make_unique<xkb::rt::Platform>(opt_.topology, opt_.perf,
+                                              opt_.platform);
+  rt_ = std::make_unique<xkb::rt::Runtime>(
+      *plat_, make_scheduler(opt_.scheduler), opt_.runtime);
+
+  emit_.tile = opt_.tile;
+  emit_.attach_functional = opt_.functional_tasks;
+  // Owner-computes default mapping: the paper's (P, Q) block-cyclic grid.
+  auto [P, Q] = xkb::blas::default_grid(plat_->num_gpus());
+  emit_.home = [P = P, Q = Q](std::size_t i, std::size_t j) {
+    return static_cast<int>(i % static_cast<std::size_t>(P)) * Q +
+           static_cast<int>(j % static_cast<std::size_t>(Q));
+  };
+}
+
+Context::~Context() = default;
+
+double Context::sync() { return rt_->run(); }
+
+double Context::now() const { return plat_->engine().now(); }
+
+}  // namespace xkblas

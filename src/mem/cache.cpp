@@ -1,0 +1,87 @@
+#include "mem/cache.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace xkb::mem {
+
+DeviceCache::Reservation DeviceCache::reserve(DataHandle* h) {
+  Reservation out;
+  Replica& r = h->dev[device_];
+  if (r.resident) return out;  // already accounted
+
+  const std::size_t need = h->bytes();
+  if (used_ + need > capacity_) {
+    // Victim scan: evictable = resident, unpinned, not in flight.
+    // kReadOnlyFirst (XKaapi): clean replicas first, LRU within a class.
+    // kLru: one list, strictly by recency.
+    std::vector<DataHandle*> clean, dirty;
+    for (DataHandle* c : resident_) {
+      const Replica& cr = c->dev[device_];
+      if (!cr.resident || cr.pins > 0 || cr.state == ReplicaState::kInFlight)
+        continue;
+      if (policy_ == EvictionPolicy::kLru)
+        clean.push_back(c);  // single class; dirtiness checked at eviction
+      else
+        (cr.dirty ? dirty : clean).push_back(c);
+    }
+    auto lru = [&](DataHandle* a, DataHandle* b) {
+      return a->dev[device_].last_use < b->dev[device_].last_use;
+    };
+    std::stable_sort(clean.begin(), clean.end(), lru);
+    std::stable_sort(dirty.begin(), dirty.end(), lru);
+
+    auto evict_one = [&](DataHandle* v, bool is_dirty) {
+      Replica& vr = v->dev[device_];
+      vr.state = ReplicaState::kInvalid;
+      vr.resident = false;
+      used_ -= v->bytes();
+      ++evictions_;
+      resident_set_.erase(v);
+      resident_.erase(std::find(resident_.begin(), resident_.end(), v));
+      if (!v->dev_buf.empty()) {
+        // Dirty functional buffers are kept alive by the caller until the
+        // flush copies them out; clean buffers can be dropped now.
+        if (!is_dirty) {
+          v->dev_buf[device_].clear();
+          v->dev_buf[device_].shrink_to_fit();
+        }
+      }
+      (is_dirty ? out.dirty_evicted : out.clean_evicted).push_back(v);
+    };
+
+    std::size_t ci = 0, di = 0;
+    while (used_ + need > capacity_) {
+      if (ci < clean.size()) {
+        DataHandle* v = clean[ci++];
+        const bool is_dirty = v->dev[device_].dirty;
+        if (is_dirty) v->dev[device_].dirty = false;  // caller flushes
+        evict_one(v, is_dirty);
+      } else if (di < dirty.size()) {
+        DataHandle* v = dirty[di++];
+        v->dev[device_].dirty = false;  // caller flushes it to host
+        evict_one(v, true);
+      } else {
+        throw OutOfDeviceMemory(device_);
+      }
+    }
+  }
+
+  used_ += need;
+  r.resident = true;
+  resident_.push_back(h);
+  resident_set_.insert(h);
+  return out;
+}
+
+void DeviceCache::release(DataHandle* h) {
+  Replica& r = h->dev[device_];
+  if (!r.resident) return;
+  r.resident = false;
+  r.state = ReplicaState::kInvalid;
+  used_ -= h->bytes();
+  resident_set_.erase(h);
+  resident_.erase(std::find(resident_.begin(), resident_.end(), h));
+}
+
+}  // namespace xkb::mem

@@ -1,0 +1,75 @@
+// Per-device software cache: capacity accounting and the XKaapi eviction
+// policy ("when a GPU cache becomes full, the eviction strategy prioritizes
+// read-only data first").
+//
+// The cache does not own replica state -- DataHandle is the single source of
+// truth -- it indexes resident handles per device and picks eviction victims.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <unordered_set>
+#include <vector>
+
+#include "mem/handle.hpp"
+
+namespace xkb::mem {
+
+/// Thrown when a reservation cannot be satisfied even after eviction
+/// (emulates a cudaMalloc failure; the BLASX baseline hits this above
+/// N = 45000, like the real library in the paper).
+class OutOfDeviceMemory : public std::runtime_error {
+ public:
+  explicit OutOfDeviceMemory(int device)
+      : std::runtime_error("out of device memory on GPU " +
+                           std::to_string(device)),
+        device(device) {}
+  int device;
+};
+
+/// Victim-selection policy.  kReadOnlyFirst is XKaapi's strategy (the
+/// paper, Section II-C): clean replicas are dropped before dirty ones,
+/// which avoids flush traffic on the congested PCIe links; kLru ignores
+/// dirtiness and evicts strictly by recency (the ablation baseline).
+enum class EvictionPolicy { kReadOnlyFirst, kLru };
+
+class DeviceCache {
+ public:
+  DeviceCache(int device, std::size_t capacity_bytes,
+              EvictionPolicy policy = EvictionPolicy::kReadOnlyFirst)
+      : device_(device), capacity_(capacity_bytes), policy_(policy) {}
+
+  int device() const { return device_; }
+  std::size_t capacity() const { return capacity_; }
+  std::size_t used() const { return used_; }
+
+  /// Reserve room for `h` on this device, evicting victims if needed.
+  /// Victims are returned so the caller (DataManager) can flush dirty ones;
+  /// clean victims are already invalidated.  Throws OutOfDeviceMemory when
+  /// pinned data alone exceeds capacity.
+  struct Reservation {
+    std::vector<DataHandle*> clean_evicted;  ///< dropped, no flush needed
+    std::vector<DataHandle*> dirty_evicted;  ///< caller must flush to host
+  };
+  Reservation reserve(DataHandle* h);
+
+  /// Release the reservation (replica no longer resident).
+  void release(DataHandle* h);
+
+  /// Number of distinct resident handles.
+  std::size_t resident_count() const { return resident_.size(); }
+
+  std::size_t evictions() const { return evictions_; }
+
+ private:
+  int device_;
+  std::size_t capacity_;
+  EvictionPolicy policy_;
+  std::size_t used_ = 0;
+  std::size_t evictions_ = 0;
+  // Deterministic iteration for victim selection: keep insertion order.
+  std::vector<DataHandle*> resident_;
+  std::unordered_set<DataHandle*> resident_set_;
+};
+
+}  // namespace xkb::mem

@@ -1,0 +1,104 @@
+// Data handles: the unit of the multi-GPU software cache.
+//
+// One handle describes one matrix tile (a LAPACK-layout sub-matrix on the
+// host) and tracks every replica of it across device memories, following the
+// paper's XKaapi software cache:
+//   * per-device replica state {Invalid, Valid, InFlight},
+//   * a dirty bit (device copy newer than host) with lazy host coherency --
+//     the host copy is repaired only by an explicit memory_coherent,
+//   * the InFlight state plus arrival callbacks are the metadata extension
+//     of Section III-C that enables the optimistic device-to-device
+//     heuristic ("wait for the end of the reception of a copy before
+//     forwarding it"),
+//   * LRU stamps and pin counts feed the eviction policy (read-only data
+//     evicted first, as in XKaapi).
+//
+// On device, a tile is stored in "compact tile form": dense column-major
+// with ld == m, mirroring the paper's cudaMemcpy2D compaction.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace xkb::mem {
+
+enum class ReplicaState : std::uint8_t {
+  kInvalid,   ///< no usable copy here
+  kInFlight,  ///< a copy is being received (DMA in progress)
+  kValid,     ///< usable copy present
+};
+
+/// Per-location replica bookkeeping (host uses the same record as devices).
+struct Replica {
+  ReplicaState state = ReplicaState::kInvalid;
+  bool dirty = false;        ///< newer than every other copy
+  bool resident = false;     ///< bytes reserved in this memory
+  int pins = 0;              ///< active users (unpinned replicas are evictable)
+  sim::Time eta = 0.0;       ///< arrival time when kInFlight
+  sim::Time last_use = 0.0;  ///< LRU stamp
+  std::vector<std::function<void()>> waiters;  ///< run when kInFlight -> kValid
+};
+
+struct DataHandle {
+  std::uint64_t id = 0;
+
+  // Host memory view (the paper's (m, n, ld, wordsize) tuple).
+  void* host_ptr = nullptr;
+  std::size_t m = 0, n = 0, ld = 0, wordsize = 0;
+
+  /// Dense tile size on a device (compact tile form).
+  std::size_t bytes() const { return m * n * wordsize; }
+
+  Replica host;                   ///< the host-memory copy
+  std::vector<Replica> dev;       ///< one per GPU
+
+  /// Preferred owner device for owner-computes placement (-1 = none).  Set
+  /// by 2D block-cyclic distribution or by the tiled-algorithm emitters.
+  int home_device = -1;
+
+  /// Monotonic write counter.  Eviction flushes are not dataflow-ordered:
+  /// a newer write can land while a flush is in flight, and the flush must
+  /// then discard its (stale) payload instead of publishing it to the host.
+  std::uint64_t version = 0;
+
+  /// Functional-mode device buffers (dense m*n*wordsize), empty in
+  /// timing-only mode.
+  std::vector<std::vector<std::byte>> dev_buf;
+
+  /// Devices currently holding a valid copy (host excluded).
+  std::vector<int> valid_devices() const {
+    std::vector<int> out;
+    for (std::size_t g = 0; g < dev.size(); ++g)
+      if (dev[g].state == ReplicaState::kValid) out.push_back(static_cast<int>(g));
+    return out;
+  }
+
+  /// Devices with a copy in flight (for the optimistic heuristic).
+  std::vector<int> inflight_devices() const {
+    std::vector<int> out;
+    for (std::size_t g = 0; g < dev.size(); ++g)
+      if (dev[g].state == ReplicaState::kInFlight)
+        out.push_back(static_cast<int>(g));
+    return out;
+  }
+
+  /// The device holding the dirty (authoritative) copy, or -1.
+  int dirty_device() const {
+    for (std::size_t g = 0; g < dev.size(); ++g)
+      if (dev[g].dirty) return static_cast<int>(g);
+    return -1;
+  }
+
+  bool valid_anywhere() const {
+    if (host.state == ReplicaState::kValid) return true;
+    for (const auto& r : dev)
+      if (r.state == ReplicaState::kValid) return true;
+    return false;
+  }
+};
+
+}  // namespace xkb::mem

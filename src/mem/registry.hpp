@@ -1,0 +1,45 @@
+// Handle registry: interns tiles by their host origin address so that
+// successive BLAS calls on the same matrices share handles -- the property
+// behind the paper's composition of BLAS kernels (Section IV-F): a second
+// routine inherits the data distribution left in the cache by the first.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/handle.hpp"
+
+namespace xkb::mem {
+
+class Registry {
+ public:
+  explicit Registry(int num_devices) : num_devices_(num_devices) {}
+
+  /// Find or create the handle for the tile whose (0,0) element lives at
+  /// `origin`.  Dimensions must match on every lookup (XKBlas requires a
+  /// consistent blocking across composed calls).
+  DataHandle* intern(void* origin, std::size_t m, std::size_t n,
+                     std::size_t ld, std::size_t wordsize);
+
+  /// Look up without creating (nullptr if unknown).
+  DataHandle* find(void* origin) const;
+
+  std::size_t size() const { return handles_.size(); }
+  int num_devices() const { return num_devices_; }
+
+  /// All handles, in creation order (deterministic iteration).
+  const std::vector<DataHandle*>& all() const { return order_; }
+
+  /// Drop all handles (between independent experiments).
+  void clear();
+
+ private:
+  int num_devices_;
+  std::unordered_map<void*, std::unique_ptr<DataHandle>> handles_;
+  std::vector<DataHandle*> order_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace xkb::mem

@@ -1,0 +1,345 @@
+#include "runtime/data_manager.hpp"
+
+#include <cassert>
+#include <cstring>
+#include <utility>
+
+namespace xkb::rt {
+
+namespace {
+
+/// Host -> dense: compact a strided LAPACK-layout tile into tile form
+/// (the cudaMemcpy2D compaction of the paper: ld becomes m).
+void pack_tile(const mem::DataHandle& h, std::byte* dst) {
+  const auto* src = static_cast<const std::byte*>(h.host_ptr);
+  const std::size_t col = h.m * h.wordsize;
+  for (std::size_t j = 0; j < h.n; ++j)
+    std::memcpy(dst + j * col, src + j * h.ld * h.wordsize, col);
+}
+
+/// Dense -> host: scatter a compact tile back into the strided host view.
+void unpack_tile(const mem::DataHandle& h, const std::byte* src) {
+  auto* dst = static_cast<std::byte*>(h.host_ptr);
+  const std::size_t col = h.m * h.wordsize;
+  for (std::size_t j = 0; j < h.n; ++j)
+    std::memcpy(dst + j * h.ld * h.wordsize, src + j * col, col);
+}
+
+}  // namespace
+
+void DataManager::acquire(mem::DataHandle* h, int dev, Access mode,
+                          sim::Callback done) {
+  mem::Replica& r = h->dev[dev];
+  r.pins++;  // pinned from request to task completion
+  if (mode == Access::kW) {
+    // Write-only: allocation suffices, no data movement.
+    acquire_write(h, dev, std::move(done));
+    return;
+  }
+  ensure_valid(h, dev, std::move(done));
+}
+
+void DataManager::acquire_write(mem::DataHandle* h, int dev,
+                                sim::Callback done) {
+  auto retry = [this, h, dev, done]() mutable {
+    acquire_write(h, dev, std::move(done));
+  };
+  if (!try_reserve_or_defer(h, dev, std::move(retry))) return;
+  plat_->engine().schedule_after(0.0, std::move(done));
+}
+
+bool DataManager::try_reserve_or_defer(mem::DataHandle* h, int dev,
+                                       std::function<void()> retry) {
+  try {
+    reserve_with_flushes(h, dev);
+    consecutive_oom_ = 0;
+    return true;
+  } catch (const mem::OutOfDeviceMemory&) {
+    // Everything evictable is pinned by in-flight work: wait for some of it
+    // to complete and retry.  A long streak with no successful reservation
+    // anywhere means the working set genuinely exceeds device memory.
+    if (++consecutive_oom_ > 100000) throw;
+    stats_.oom_deferrals++;
+    plat_->engine().schedule_after(50e-6, std::move(retry));
+    return false;
+  }
+}
+
+void DataManager::prefetch(mem::DataHandle* h, int dev, sim::Callback done) {
+  ensure_valid(h, dev, std::move(done));
+}
+
+void DataManager::unpin(mem::DataHandle* h, int dev) {
+  mem::Replica& r = h->dev[dev];
+  assert(r.pins > 0);
+  r.pins--;
+}
+
+void DataManager::ensure_valid(mem::DataHandle* h, int dev,
+                               sim::Callback done) {
+  mem::Replica& r = h->dev[dev];
+  if (r.state == mem::ReplicaState::kValid) {
+    r.last_use = plat_->engine().now();
+    plat_->engine().schedule_after(0.0, std::move(done));
+    return;
+  }
+  if (r.state == mem::ReplicaState::kInFlight) {
+    r.waiters.push_back(std::move(done));
+    return;
+  }
+
+  auto retry = [this, h, dev, done]() mutable {
+    ensure_valid(h, dev, std::move(done));
+  };
+  if (!try_reserve_or_defer(h, dev, std::move(retry))) return;
+
+  const Source s = choose_source(*h, dev);
+  if (plat_->options().functional && h->dev_buf.empty())
+    h->dev_buf.resize(plat_->num_gpus());
+  if (plat_->options().functional && h->dev_buf[dev].size() != h->bytes())
+    h->dev_buf[dev].resize(h->bytes());
+  r.state = mem::ReplicaState::kInFlight;
+  r.waiters.push_back(std::move(done));
+
+  switch (s.kind) {
+    case Source::kHost:
+      issue_h2d(h, dev);
+      break;
+    case Source::kDevice:
+      h->dev[s.dev].pins++;  // keep the source alive during the copy
+      issue_p2p(h, s.dev, dev);
+      break;
+    case Source::kWaitDevice: {
+      // The optimistic heuristic: chain on the in-flight reception.
+      const int g = s.dev;
+      stats_.optimistic_waits++;
+      h->dev[g].pins++;  // survive until the forwarding copy completes
+      r.eta = h->dev[g].eta;  // rough: refined when the copy is issued
+      h->dev[g].waiters.push_back([this, h, g, dev] { issue_p2p(h, g, dev); });
+      break;
+    }
+    case Source::kWaitHost:
+      h->host.waiters.push_back([this, h, dev] { issue_h2d(h, dev); });
+      break;
+  }
+}
+
+DataManager::Source DataManager::choose_source(const mem::DataHandle& h,
+                                               int dst) const {
+  const auto& topo = plat_->topology();
+  const std::vector<int> valid = h.valid_devices();
+
+  if (!valid.empty()) {
+    switch (cfg_.source) {
+      case SourcePolicy::kTopologyAware: {
+        int best = valid.front();
+        for (int g : valid)
+          if (topo.p2p_perf_rank(g, dst) > topo.p2p_perf_rank(best, dst))
+            best = g;
+        if (topo.p2p_perf_rank(best, dst) > 0) return {Source::kDevice, best};
+        break;  // no peer path: fall through to the host
+      }
+      case SourcePolicy::kFirstValid:
+        if (topo.p2p_perf_rank(valid.front(), dst) > 0)
+          return {Source::kDevice, valid.front()};
+        break;
+      case SourcePolicy::kSwitchPeer: {
+        for (int g : valid)
+          if (topo.host_link_of(g) == topo.host_link_of(dst))
+            return {Source::kDevice, g};
+        break;  // no switch peer holds it: use the host
+      }
+      case SourcePolicy::kHostOnly:
+        break;
+    }
+  }
+
+  if (h.host.state == mem::ReplicaState::kValid) {
+    // Optimistic heuristic: a duplicate H2D can be avoided by waiting for an
+    // ongoing reception on a peer GPU and forwarding from there.
+    if (cfg_.optimistic_d2d) {
+      const std::vector<int> flying = h.inflight_devices();
+      if (!flying.empty()) {
+        int best = flying.front();
+        for (int g : flying)
+          if (topo.p2p_perf_rank(g, dst) > topo.p2p_perf_rank(best, dst))
+            best = g;
+        if (topo.p2p_perf_rank(best, dst) > 0)
+          return {Source::kWaitDevice, best};
+      }
+    }
+    return {Source::kHost, -1};
+  }
+
+  // Host copy not valid.  If some device holds the data but has no peer path
+  // (or the policy refused it), we still must produce the bytes: fall back to
+  // the authoritative device copy.
+  if (!valid.empty()) return {Source::kDevice, valid.front()};
+
+  if (h.host.state == mem::ReplicaState::kInFlight)
+    return {Source::kWaitHost, -1};
+
+  const std::vector<int> flying = h.inflight_devices();
+  assert(!flying.empty() && "no copy of the data exists anywhere");
+  // Forced wait (not a heuristic): the only copy is in flight.
+  int best = flying.front();
+  for (int g : flying)
+    if (topo.p2p_perf_rank(g, dst) > topo.p2p_perf_rank(best, dst)) best = g;
+  return {Source::kWaitDevice, best};
+}
+
+void DataManager::reserve_with_flushes(mem::DataHandle* h, int dev) {
+  auto res = plat_->cache(dev).reserve(h);
+  for (mem::DataHandle* v : res.dirty_evicted) {
+    stats_.evict_flushes++;
+    flush_from_device(v, dev, /*drop_buffer=*/true);
+  }
+  if (plat_->options().functional) {
+    if (h->dev_buf.empty()) h->dev_buf.resize(plat_->num_gpus());
+    if (h->dev_buf[dev].size() != h->bytes()) h->dev_buf[dev].resize(h->bytes());
+  }
+}
+
+void DataManager::issue_h2d(mem::DataHandle* h, int dst) {
+  stats_.h2d++;
+  auto iv = plat_->copy_h2d(dst, h->bytes(), [this, h, dst] {
+    if (plat_->options().functional) pack_tile(*h, h->dev_buf[dst].data());
+    complete_arrival(h, dst);
+  });
+  h->dev[dst].eta = iv.end;
+}
+
+void DataManager::issue_p2p(mem::DataHandle* h, int src, int dst) {
+  assert(h->dev[src].state == mem::ReplicaState::kValid);
+  stats_.d2d++;
+  auto iv = plat_->copy_p2p(src, dst, h->bytes(), [this, h, src, dst] {
+    if (plat_->options().functional)
+      std::memcpy(h->dev_buf[dst].data(), h->dev_buf[src].data(), h->bytes());
+    unpin(h, src);
+    complete_arrival(h, dst);
+  });
+  h->dev[dst].eta = iv.end;
+}
+
+void DataManager::complete_arrival(mem::DataHandle* h, int dev) {
+  mem::Replica& r = h->dev[dev];
+  assert(r.state == mem::ReplicaState::kInFlight);
+  r.state = mem::ReplicaState::kValid;
+  r.last_use = plat_->engine().now();
+  auto waiters = std::move(r.waiters);
+  r.waiters.clear();
+  for (auto& w : waiters) w();
+}
+
+void DataManager::mark_written(mem::DataHandle* h, int dev) {
+  // Dependencies guarantee no reader transfer overlaps a writer kernel.
+  for (int g = 0; g < plat_->num_gpus(); ++g) {
+    if (g == dev) continue;
+    mem::Replica& o = h->dev[g];
+    assert(o.state != mem::ReplicaState::kInFlight &&
+           "write raced an in-flight replica: dependency bug");
+    if (o.resident) {
+      plat_->cache(g).release(h);
+      if (!h->dev_buf.empty()) {
+        h->dev_buf[g].clear();
+        h->dev_buf[g].shrink_to_fit();
+      }
+    }
+    o.dirty = false;
+  }
+  h->version++;
+  // If an eviction flush of the previous version is in flight, leave the
+  // host marked kInFlight: its completion detects the version mismatch,
+  // discards the stale payload and re-flushes for any waiters.
+  if (h->host.state == mem::ReplicaState::kValid)
+    h->host.state = mem::ReplicaState::kInvalid;  // lazy host coherency
+
+  mem::Replica& r = h->dev[dev];
+  r.state = mem::ReplicaState::kValid;
+  r.dirty = true;
+  r.last_use = plat_->engine().now();
+}
+
+void DataManager::host_write(mem::DataHandle* h) {
+  // A stale eviction flush may still be in flight; bumping the version
+  // makes its completion discard the payload instead of overwriting the
+  // CPU's new data.
+  h->version++;
+  for (int g = 0; g < plat_->num_gpus(); ++g) {
+    mem::Replica& r = h->dev[g];
+    assert(r.state != mem::ReplicaState::kInFlight &&
+           "host write raced a device transfer: dependency bug");
+    if (r.resident) {
+      plat_->cache(g).release(h);
+      if (!h->dev_buf.empty()) {
+        h->dev_buf[g].clear();
+        h->dev_buf[g].shrink_to_fit();
+      }
+    }
+    r.dirty = false;
+  }
+  h->host.state = mem::ReplicaState::kValid;
+}
+
+void DataManager::flush_to_host(mem::DataHandle* h, sim::Callback done) {
+  if (h->host.state == mem::ReplicaState::kValid) {
+    plat_->engine().schedule_after(0.0, std::move(done));
+    return;
+  }
+  if (h->host.state == mem::ReplicaState::kInFlight) {
+    h->host.waiters.push_back(std::move(done));
+    return;
+  }
+  const int src = h->dirty_device();
+  assert(src >= 0 && "host invalid but no device holds a dirty copy");
+  h->host.waiters.push_back(std::move(done));
+  flush_from_device(h, src, /*drop_buffer=*/false);  // pins src internally
+}
+
+void DataManager::flush_from_device(mem::DataHandle* h, int src,
+                                    bool drop_buffer) {
+  h->host.state = mem::ReplicaState::kInFlight;
+  h->dev[src].pins++;
+  stats_.d2h++;
+  const std::uint64_t v0 = h->version;
+  plat_->copy_d2h(src, h->bytes(), [this, h, src, drop_buffer, v0] {
+    h->dev[src].pins--;
+
+    if (h->version != v0) {
+      // A newer version was produced while this (eviction) flush was in
+      // flight: the copied bytes are stale and must not reach the host.
+      if (plat_->options().functional && drop_buffer &&
+          !h->dev[src].resident) {
+        h->dev_buf[src].clear();
+        h->dev_buf[src].shrink_to_fit();
+      }
+      if (h->host.state == mem::ReplicaState::kInFlight) {
+        // Waiters still expect a valid host copy: restart from the current
+        // authoritative replica (the CPU may instead have overwritten the
+        // host meanwhile, in which case host is already kValid).
+        const int nsrc = h->dirty_device();
+        assert(nsrc >= 0 && "host awaited but no authoritative copy");
+        flush_from_device(h, nsrc, /*drop_buffer=*/false);
+      }
+      return;
+    }
+
+    if (plat_->options().functional) {
+      unpack_tile(*h, h->dev_buf[src].data());
+      // Only drop the buffer if the replica was not re-reserved while this
+      // flush was in flight -- a new acquisition may already own it and
+      // will fill it from the (now valid) host copy.
+      if (drop_buffer && !h->dev[src].resident) {
+        h->dev_buf[src].clear();
+        h->dev_buf[src].shrink_to_fit();
+      }
+    }
+    if (h->dev[src].resident) h->dev[src].dirty = false;
+    h->host.state = mem::ReplicaState::kValid;
+    auto waiters = std::move(h->host.waiters);
+    h->host.waiters.clear();
+    for (auto& w : waiters) w();
+  });
+}
+
+}  // namespace xkb::rt

@@ -1,0 +1,133 @@
+// DataManager: the transfer engine, and the home of the paper's two
+// contributions.
+//
+// The scheduler decides *where* a task runs; the DataManager decides *where
+// its input tiles come from*.  Source selection lives in a single function,
+// `choose_source`, controlled by HeuristicConfig:
+//
+//   * SourcePolicy::kTopologyAware (Section III-B): among devices holding a
+//     valid replica, pick the one with the highest P2P performance rank
+//     w.r.t. the destination (2xNVLink > 1xNVLink > PCIe), as returned by
+//     the cuDeviceGetP2PAttribute analogue.
+//   * SourcePolicy::kFirstValid: the paper's "no topo" ablation -- the first
+//     valid device source in index order, regardless of link quality.
+//   * SourcePolicy::kSwitchPeer: BLASX's two-level cache -- device-to-device
+//     only from a GPU sharing the same PCIe switch, otherwise the host.
+//   * SourcePolicy::kHostOnly: libraries that never exploit peer links
+//     (Slate, cuBLAS-XT): always fetch from host memory.
+//
+//   * optimistic_d2d (Section III-C): when no device holds a valid replica
+//     yet but one is *in flight* to some GPU, wait for that reception to
+//     finish and forward device-to-device, instead of issuing a duplicate
+//     host-to-device transfer over the congested PCIe links.  Disabled: fall
+//     back to the host as source (duplicate transfer).
+//
+// Everything else here is the XKaapi software-cache mechanics: MSI-like
+// validity, lazy host coherency, eviction flushes, pinning.
+#pragma once
+
+#include <cstddef>
+
+#include "mem/registry.hpp"
+#include "runtime/platform.hpp"
+#include "runtime/task.hpp"
+
+namespace xkb::rt {
+
+enum class SourcePolicy {
+  kTopologyAware,
+  kFirstValid,
+  kSwitchPeer,
+  kHostOnly,
+};
+
+struct HeuristicConfig {
+  SourcePolicy source = SourcePolicy::kTopologyAware;
+  bool optimistic_d2d = true;
+
+  /// The paper's full XKBlas configuration.
+  static HeuristicConfig xkblas() { return {SourcePolicy::kTopologyAware, true}; }
+  /// "XKBlas, no heuristic": optimistic transfer forwarding disabled.
+  static HeuristicConfig no_heuristic() {
+    return {SourcePolicy::kTopologyAware, false};
+  }
+  /// "XKBlas, no heuristic, no topo": both contributions disabled.
+  static HeuristicConfig no_heuristic_no_topo() {
+    return {SourcePolicy::kFirstValid, false};
+  }
+};
+
+/// Counters exposed for experiments and tests.
+struct TransferStats {
+  std::size_t h2d = 0;               ///< host-to-device transfers issued
+  std::size_t d2h = 0;
+  std::size_t d2d = 0;               ///< device-to-device transfers issued
+  std::size_t optimistic_waits = 0;  ///< duplicate H2D avoided by waiting
+  std::size_t evict_flushes = 0;
+  std::size_t oom_deferrals = 0;  ///< acquisitions deferred under pressure
+};
+
+class DataManager {
+ public:
+  DataManager(Platform& plat, HeuristicConfig cfg) : plat_(&plat), cfg_(cfg) {}
+
+  const HeuristicConfig& config() const { return cfg_; }
+  const TransferStats& stats() const { return stats_; }
+
+  /// Make `h` usable on `dev` under `mode`; `done` fires (possibly on the
+  /// next engine event) when the replica is ready.  The replica is pinned
+  /// until `unpin` -- callers unpin at task completion.
+  void acquire(mem::DataHandle* h, int dev, Access mode, sim::Callback done);
+
+  void unpin(mem::DataHandle* h, int dev);
+
+  /// Coherence action after a kernel wrote `h` on `dev`: this replica
+  /// becomes the unique valid (dirty) copy; every other replica and the
+  /// host copy are invalidated (lazy host coherency).
+  void mark_written(mem::DataHandle* h, int dev);
+
+  /// Copy the authoritative replica back to the host (memory_coherent).
+  /// `done` fires when the host copy is valid; immediate if already so.
+  void flush_to_host(mem::DataHandle* h, sim::Callback done);
+
+  /// Declare that the CPU overwrote the host copy: device replicas are
+  /// dropped and the host becomes the sole valid copy.  Callers must order
+  /// this after pending accesses (the runtime submits it as a writer task).
+  void host_write(mem::DataHandle* h);
+
+  /// Place a valid replica on `dev` without a consuming task (used by the
+  /// 2D block-cyclic distribution routine).  Does not pin.
+  void prefetch(mem::DataHandle* h, int dev, sim::Callback done);
+
+ private:
+  struct Source {
+    enum Kind { kHost, kDevice, kWaitDevice, kWaitHost } kind = kHost;
+    int dev = -1;
+  };
+
+  Source choose_source(const mem::DataHandle& h, int dst) const;
+
+  void acquire_write(mem::DataHandle* h, int dev, sim::Callback done);
+  void ensure_valid(mem::DataHandle* h, int dev, sim::Callback done);
+  void reserve_with_flushes(mem::DataHandle* h, int dev);
+  void issue_h2d(mem::DataHandle* h, int dst);
+  void issue_p2p(mem::DataHandle* h, int src, int dst);
+  void complete_arrival(mem::DataHandle* h, int dev);
+  void flush_from_device(mem::DataHandle* h, int src, bool drop_buffer);
+
+  /// Defer-and-retry on device-memory pressure: returns false when the
+  /// reservation could not be made and a retry was scheduled.  Progress
+  /// requires the device capacity to cover the prepare window's pinned
+  /// working set (window x task footprint + one eviction-flush slot);
+  /// below that the deferral loop is bounded and ends in
+  /// OutOfDeviceMemory.
+  bool try_reserve_or_defer(mem::DataHandle* h, int dev,
+                            std::function<void()> retry);
+
+  Platform* plat_;
+  HeuristicConfig cfg_;
+  TransferStats stats_;
+  std::size_t consecutive_oom_ = 0;
+};
+
+}  // namespace xkb::rt

@@ -1,0 +1,20 @@
+#include "runtime/perf_model.hpp"
+
+namespace xkb::rt {
+
+double PerfModel::efficiency(std::size_t min_dim) const {
+  const double d = static_cast<double>(min_dim);
+  return d / (d + eff_half_dim);
+}
+
+double PerfModel::kernel_time(double flops, std::size_t min_dim,
+                              double eff_factor,
+                              bool single_precision) const {
+  const double peak =
+      single_precision ? peak_flops_dp * sp_speedup : peak_flops_dp;
+  const double eff = efficiency(min_dim) * eff_factor;
+  if (flops <= 0.0) return kernel_latency;
+  return kernel_latency + flops / (peak * eff);
+}
+
+}  // namespace xkb::rt

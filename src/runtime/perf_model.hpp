@@ -1,0 +1,33 @@
+// Kernel-time cost model of a simulated GPU.
+//
+// Calibrated against the V100-SXM2 of the paper's DGX-1 (7.8 DP TFlop/s
+// peak).  Tile kernels reach a size-dependent fraction of peak: the
+// efficiency curve is the classic saturating  eff(d) = d / (d + d_half)
+// where d is the limiting tile dimension -- cuBLAS DGEMM on a 2048^3 tile
+// runs at ~90 % of peak, ~82 % at 1024, which this curve reproduces.
+// Less regular kernels (TRSM, TRMM) apply an additional efficiency factor
+// supplied by the algorithm emitters.
+#pragma once
+
+#include <cstddef>
+
+namespace xkb::rt {
+
+struct PerfModel {
+  double peak_flops_dp = 7.8e12;   ///< per-GPU FP64 peak (V100-SXM2)
+  double sp_speedup = 2.0;         ///< FP32 peak / FP64 peak
+  double eff_half_dim = 230.0;     ///< tile dim at which eff = 0.5
+  double kernel_latency = 8e-6;    ///< launch + scheduling overhead, seconds
+  double host_conv_bw = 10e9;      ///< host layout-conversion bandwidth, B/s
+  double host_flops = 0.6e12;      ///< host CPU aggregate flops (2x20 cores)
+
+  /// Time of a tile kernel doing `flops` real floating-point operations
+  /// whose limiting tile dimension is `min_dim`.
+  double kernel_time(double flops, std::size_t min_dim, double eff_factor,
+                     bool single_precision) const;
+
+  /// Achieved fraction of peak for a tile of limiting dimension d.
+  double efficiency(std::size_t min_dim) const;
+};
+
+}  // namespace xkb::rt

@@ -1,0 +1,129 @@
+#include "runtime/platform.hpp"
+
+#include <cassert>
+#include <limits>
+
+namespace xkb::rt {
+
+namespace {
+constexpr double kGB = 1e9;
+}
+
+Platform::Platform(topo::Topology topo, PerfModel perf, PlatformOptions opt)
+    : topo_(std::move(topo)), perf_(perf), opt_(opt) {
+  const int n = topo_.num_gpus();
+  trace_.set_enabled(opt_.tracing);
+
+  // Host links: bandwidth taken from the first GPU on each link.
+  h2d_.resize(topo_.num_host_links());
+  d2h_.resize(topo_.num_host_links());
+  for (int g = 0; g < n; ++g) {
+    const int l = topo_.host_link_of(g);
+    if (!h2d_[l]) {
+      const double bw = topo_.host_bandwidth_gbps(g) * kGB;
+      h2d_[l] = std::make_unique<sim::Channel>(
+          engine_, "h2d" + std::to_string(l), bw, topo_.transfer_latency());
+      d2h_[l] = std::make_unique<sim::Channel>(
+          engine_, "d2h" + std::to_string(l), bw, topo_.transfer_latency());
+    }
+  }
+
+  // Directed peer channels.
+  p2p_.resize(static_cast<std::size_t>(n) * n);
+  for (int s = 0; s < n; ++s)
+    for (int d = 0; d < n; ++d) {
+      if (s == d) continue;
+      if (topo_.link_class(s, d) == topo::LinkClass::kNone) continue;
+      p2p_[static_cast<std::size_t>(s) * n + d] = std::make_unique<sim::Channel>(
+          engine_, "p2p" + std::to_string(s) + "-" + std::to_string(d),
+          topo_.gpu_bandwidth_gbps(s, d) * kGB, topo_.transfer_latency());
+    }
+
+  // Kernel streams enable *submission* concurrency on real GPUs but share
+  // the SMs: concurrent kernels time-slice rather than multiply throughput.
+  // A single FIFO per device models the aggregate compute correctly; the
+  // kernel_streams option is kept for trace labelling.
+  kstreams_.resize(n);
+  for (int g = 0; g < n; ++g)
+    kstreams_[g].push_back(
+        std::make_unique<sim::FifoResource>(engine_, "k" + std::to_string(g)));
+
+  host_worker_ = std::make_unique<sim::FifoResource>(engine_, "host");
+
+  caches_.reserve(n);
+  for (int g = 0; g < n; ++g)
+    caches_.push_back(std::make_unique<mem::DeviceCache>(
+        g, opt_.device_capacity, opt_.eviction));
+}
+
+sim::Interval Platform::copy_h2d(int dev, std::size_t bytes,
+                                 sim::Callback done) {
+  auto iv = h2d_[topo_.host_link_of(dev)]->transfer(bytes, std::move(done));
+  trace_.add({dev, trace::OpKind::kHtoD, iv.start, iv.end, bytes, 0.0, 0,
+              "HtoD"});
+  return iv;
+}
+
+sim::Interval Platform::copy_d2h(int dev, std::size_t bytes,
+                                 sim::Callback done) {
+  auto iv = d2h_[topo_.host_link_of(dev)]->transfer(bytes, std::move(done));
+  trace_.add({dev, trace::OpKind::kDtoH, iv.start, iv.end, bytes, 0.0, 0,
+              "DtoH"});
+  return iv;
+}
+
+sim::Interval Platform::copy_p2p(int src, int dst, std::size_t bytes,
+                                 sim::Callback done) {
+  auto* ch = p2p_[static_cast<std::size_t>(src) * topo_.num_gpus() + dst].get();
+  assert(ch && "no peer path between GPUs");
+  auto iv = ch->transfer(bytes, std::move(done));
+  // Peer traffic between GPUs that do not share a PCIe switch crosses the
+  // host PCIe fabric (switch -> CPU -> QPI -> CPU -> switch) and therefore
+  // steals bandwidth from concurrent host transfers on both end links.
+  // NVLink peers bypass PCIe entirely.  This is the physical reason the
+  // topology-aware heuristic matters: a rank-blind source choice that lands
+  // on a PCIe path degrades the already-saturated host links.
+  if (topo_.link_class(src, dst) == topo::LinkClass::kPCIeP2P &&
+      topo_.host_link_of(src) != topo_.host_link_of(dst)) {
+    d2h_[topo_.host_link_of(src)]->submit(iv.duration(), {});
+    h2d_[topo_.host_link_of(dst)]->submit(iv.duration(), {});
+  }
+  trace_.add({dst, trace::OpKind::kPtoP, iv.start, iv.end, bytes, 0.0, 0,
+              "PtoP from " + std::to_string(src)});
+  return iv;
+}
+
+sim::Interval Platform::launch_kernel(int dev, double seconds, double flops,
+                                      const std::string& label,
+                                      sim::Callback done) {
+  // Pick the stream that frees up first (deterministic tie-break by index).
+  sim::FifoResource* best = kstreams_[dev][0].get();
+  int lane = 0;
+  for (std::size_t k = 1; k < kstreams_[dev].size(); ++k)
+    if (kstreams_[dev][k]->available_at() < best->available_at()) {
+      best = kstreams_[dev][k].get();
+      lane = static_cast<int>(k);
+    }
+  auto iv = best->submit(seconds, std::move(done));
+  trace_.add({dev, trace::OpKind::kKernel, iv.start, iv.end, 0, flops, lane,
+              label});
+  return iv;
+}
+
+sim::Interval Platform::host_work(double seconds, sim::Callback done) {
+  return host_worker_->submit(seconds, std::move(done));
+}
+
+sim::Time Platform::kernel_available_at(int dev) const {
+  sim::Time best = std::numeric_limits<sim::Time>::max();
+  for (const auto& s : kstreams_[dev]) best = std::min(best, s->available_at());
+  return best;
+}
+
+double Platform::kernel_busy(int dev) const {
+  double total = 0.0;
+  for (const auto& s : kstreams_[dev]) total += s->busy_time();
+  return total;
+}
+
+}  // namespace xkb::rt

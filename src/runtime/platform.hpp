@@ -1,0 +1,87 @@
+// The simulated multi-GPU machine: topology + channels + streams + caches.
+//
+// A Platform instantiates the resources the discrete-event simulation runs
+// on, mirroring the DGX-1 of the paper:
+//   * per host-link (PCIe switch) one channel per direction -- two GPUs
+//     share each switch, so their H2D traffic contends, a first-order
+//     limiter the paper identifies;
+//   * per directed GPU pair one peer channel at the Fig. 2 bandwidth;
+//   * per GPU one h2d/d2h submission view plus `kernel_streams` concurrent
+//     kernel streams (XKaapi runs each operation type on its own stream
+//     with multiple kernel streams -- Section II-B);
+//   * per GPU a software-cache capacity (32 GB on the V100-SXM2).
+// All operations are recorded in the Trace.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mem/cache.hpp"
+#include "runtime/perf_model.hpp"
+#include "sim/engine.hpp"
+#include "sim/resource.hpp"
+#include "topo/topology.hpp"
+#include "trace/trace.hpp"
+
+namespace xkb::rt {
+
+struct PlatformOptions {
+  /// Execute functional kernel payloads and real byte movement (tests);
+  /// when false only virtual time advances (paper-scale benches).
+  bool functional = false;
+  int kernel_streams = 2;
+  std::size_t device_capacity = 32ull << 30;  ///< bytes per GPU (V100 32GB)
+  bool tracing = true;
+  mem::EvictionPolicy eviction = mem::EvictionPolicy::kReadOnlyFirst;
+};
+
+class Platform {
+ public:
+  Platform(topo::Topology topo, PerfModel perf, PlatformOptions opt);
+
+  sim::Engine& engine() { return engine_; }
+  const topo::Topology& topology() const { return topo_; }
+  const PerfModel& perf() const { return perf_; }
+  const PlatformOptions& options() const { return opt_; }
+  trace::Trace& trace() { return trace_; }
+  mem::DeviceCache& cache(int dev) { return *caches_[dev]; }
+  int num_gpus() const { return topo_.num_gpus(); }
+
+  /// Host -> device copy over the GPU's (possibly shared) host link.
+  sim::Interval copy_h2d(int dev, std::size_t bytes, sim::Callback done);
+  /// Device -> host copy.
+  sim::Interval copy_d2h(int dev, std::size_t bytes, sim::Callback done);
+  /// Direct peer copy (src must have a peer path to dst).
+  sim::Interval copy_p2p(int src, int dst, std::size_t bytes,
+                         sim::Callback done);
+
+  /// Launch a kernel on the least-loaded kernel stream of `dev`.
+  sim::Interval launch_kernel(int dev, double seconds, double flops,
+                              const std::string& label, sim::Callback done);
+
+  /// Host-side work (layout conversions of the Chameleon LAPACK baseline).
+  sim::Interval host_work(double seconds, sim::Callback done);
+
+  /// Earliest time a new kernel could start on `dev`.
+  sim::Time kernel_available_at(int dev) const;
+
+  /// Aggregate busy time of all kernel streams of `dev`.
+  double kernel_busy(int dev) const;
+
+ private:
+  topo::Topology topo_;
+  PerfModel perf_;
+  PlatformOptions opt_;
+  sim::Engine engine_;
+  trace::Trace trace_;
+
+  std::vector<std::unique_ptr<sim::Channel>> h2d_;  // per host link
+  std::vector<std::unique_ptr<sim::Channel>> d2h_;  // per host link
+  std::vector<std::unique_ptr<sim::Channel>> p2p_;  // src*n+dst
+  std::vector<std::vector<std::unique_ptr<sim::FifoResource>>> kstreams_;
+  std::unique_ptr<sim::FifoResource> host_worker_;
+  std::vector<std::unique_ptr<mem::DeviceCache>> caches_;
+};
+
+}  // namespace xkb::rt

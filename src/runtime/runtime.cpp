@@ -1,0 +1,226 @@
+#include "runtime/runtime.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace xkb::rt {
+
+Runtime::Runtime(Platform& plat, std::unique_ptr<Scheduler> sched,
+                 RuntimeOptions opt)
+    : plat_(&plat),
+      sched_(std::move(sched)),
+      opt_(opt),
+      registry_(plat.num_gpus()),
+      dm_(plat, opt.heuristics),
+      devs_(plat.num_gpus()) {}
+
+Runtime::~Runtime() = default;
+
+void Runtime::submit(TaskDesc desc) {
+  tasks_.push_back(std::make_unique<Task>(std::move(desc)));
+  Task* t = tasks_.back().get();
+  t->id = next_id_++;
+  ++submitted_;
+
+  // Derive dependencies from program order of accesses.
+  std::vector<Task*> preds;
+  for (const TaskAccess& a : t->desc.accesses) {
+    HandleSeq& hs = seq_[a.handle];
+    if (a.mode == Access::kR) {
+      if (hs.last_writer && !hs.last_writer->done)
+        preds.push_back(hs.last_writer);
+      hs.readers.push_back(t);
+    } else {
+      if (hs.last_writer && !hs.last_writer->done)
+        preds.push_back(hs.last_writer);
+      for (Task* r : hs.readers)
+        if (!r->done && r != t) preds.push_back(r);
+      hs.readers.clear();
+      hs.last_writer = t;
+    }
+  }
+  std::sort(preds.begin(), preds.end());
+  preds.erase(std::unique(preds.begin(), preds.end()), preds.end());
+  preds.erase(std::remove(preds.begin(), preds.end(), t), preds.end());
+  for (Task* p : preds) {
+    p->successors.push_back(t);
+    ++t->pending_deps;
+  }
+  if (t->pending_deps == 0) on_ready(t);
+}
+
+void Runtime::coherent_async(mem::DataHandle* h) {
+  TaskDesc d;
+  d.label = "coherent";
+  d.accesses.push_back({h, Access::kR});
+  d.host_task = true;
+  submit(std::move(d));
+}
+
+void Runtime::on_ready(Task* t) {
+  if (t->desc.host_task) {
+    run_host_task(t);
+    return;
+  }
+  const int dev = t->desc.forced_device >= 0 ? t->desc.forced_device
+                                             : sched_->place(*t, *this);
+  assert(dev >= 0 && dev < num_gpus());
+  t->device = dev;
+  devs_[dev].assigned.push_back(t);
+  fill_all();
+}
+
+void Runtime::fill_all() {
+  for (int g = 0; g < num_gpus(); ++g) fill(g);
+}
+
+void Runtime::fill(int dev) {
+  DevState& ds = devs_[dev];
+  while (ds.preparing < opt_.prepare_window) {
+    Task* t = nullptr;
+    if (!ds.assigned.empty()) {
+      t = ds.assigned.front();
+      ds.assigned.pop_front();
+    } else if (sched_->allows_stealing()) {
+      t = steal_for(dev);
+    }
+    if (!t) break;
+    start_prepare(t, dev);
+  }
+}
+
+Task* Runtime::steal_for(int thief) {
+  int victim = -1;
+  std::size_t most = static_cast<std::size_t>(opt_.steal_min_victim);
+  for (int g = 0; g < num_gpus(); ++g) {
+    if (g == thief) continue;
+    if (devs_[g].assigned.size() >= most) {
+      most = devs_[g].assigned.size();
+      victim = g;
+    }
+  }
+  if (victim < 0) return nullptr;
+  std::deque<Task*>& q = devs_[victim].assigned;
+  if (opt_.locality_stealing) {
+    // Prefer a task with at least one operand already on the thief.
+    for (auto it = q.rbegin(); it != q.rend(); ++it) {
+      bool local = false;
+      for (const TaskAccess& a : (*it)->desc.accesses)
+        if (a.handle->dev[thief].state == mem::ReplicaState::kValid) {
+          local = true;
+          break;
+        }
+      if (local) {
+        Task* t = *it;
+        q.erase(std::next(it).base());
+        ++steals_;
+        return t;
+      }
+    }
+    return nullptr;  // nothing local: stay idle rather than move data
+  }
+  Task* t = q.back();
+  q.pop_back();
+  ++steals_;
+  return t;
+}
+
+void Runtime::start_prepare(Task* t, int dev) {
+  t->prepared = true;
+  t->device = dev;
+  devs_[dev].preparing++;
+  t->operands_missing = static_cast<int>(t->desc.accesses.size());
+  if (t->operands_missing == 0) {
+    on_operands_ready(t);
+    return;
+  }
+  for (const TaskAccess& a : t->desc.accesses) {
+    dm_.acquire(a.handle, dev, a.mode, [this, t] {
+      if (--t->operands_missing == 0) on_operands_ready(t);
+    });
+  }
+}
+
+void Runtime::on_operands_ready(Task* t) {
+  const int dev = t->device;
+  devs_[dev].preparing--;
+  if (t->desc.flops <= 0.0 && !t->desc.fn) {
+    // Pure data-placement task (2D block-cyclic distribution): no kernel.
+    on_kernel_done(t);
+  } else {
+    const double sec = opt_.task_overhead +
+                       plat_->perf().kernel_time(
+                           t->desc.flops, t->desc.min_dim, t->desc.eff_factor,
+                           t->desc.single_precision);
+    plat_->launch_kernel(dev, sec, t->desc.flops, t->desc.label,
+                         [this, t] { on_kernel_done(t); });
+  }
+  fill_all();
+}
+
+void Runtime::on_kernel_done(Task* t) {
+  const int dev = t->device;
+  if (plat_->options().functional && t->desc.fn)
+    t->desc.fn(FunctionalCtx(&t->desc.accesses, dev));
+  for (const TaskAccess& a : t->desc.accesses)
+    if (a.mode != Access::kR) dm_.mark_written(a.handle, dev);
+  for (const TaskAccess& a : t->desc.accesses) dm_.unpin(a.handle, dev);
+  if (opt_.drop_inputs_after_use) {
+    for (const TaskAccess& a : t->desc.accesses) {
+      mem::Replica& r = a.handle->dev[dev];
+      if (a.mode == Access::kR && r.pins == 0 && !r.dirty && r.resident &&
+          r.state == mem::ReplicaState::kValid) {
+        plat_->cache(dev).release(a.handle);
+        if (!a.handle->dev_buf.empty()) {
+          a.handle->dev_buf[dev].clear();
+          a.handle->dev_buf[dev].shrink_to_fit();
+        }
+      }
+    }
+  }
+  complete(t);
+}
+
+void Runtime::run_host_task(Task* t) {
+  t->operands_missing = static_cast<int>(t->desc.accesses.size());
+  auto finish = [this, t] {
+    if (t->desc.host_seconds > 0.0)
+      plat_->host_work(t->desc.host_seconds, [this, t] { complete(t); });
+    else
+      complete(t);
+  };
+  if (t->operands_missing == 0) {
+    finish();
+    return;
+  }
+  for (const TaskAccess& a : t->desc.accesses) {
+    if (a.mode == Access::kR) {
+      // memory_coherent: pull the authoritative copy back to the host.
+      dm_.flush_to_host(a.handle, [this, t, finish] {
+        if (--t->operands_missing == 0) finish();
+      });
+    } else {
+      // host_overwrite: the CPU produced new data; device replicas die.
+      dm_.host_write(a.handle);
+      if (--t->operands_missing == 0) finish();
+    }
+  }
+}
+
+void Runtime::complete(Task* t) {
+  assert(!t->done);
+  t->done = true;
+  ++completed_;
+  if (t->desc.on_complete) t->desc.on_complete();
+  for (Task* s : t->successors)
+    if (--s->pending_deps == 0) on_ready(s);
+  fill_all();
+}
+
+double Runtime::run() {
+  plat_->engine().run();
+  assert(completed_ == submitted_ && "tasks stuck: dependency or data bug");
+  return plat_->engine().now();
+}
+
+}  // namespace xkb::rt

@@ -1,0 +1,116 @@
+// The XKaapi-like data-flow runtime: dependency tracking, per-device task
+// queues with a bounded prefetch window, work stealing, and completion-driven
+// execution on the simulated platform.
+//
+// Life of a task:
+//   submit() derives dependencies from access modes (readers after the last
+//   writer, writers after all readers) -> when the last dependency completes
+//   the scheduler places the task on a device -> the device pulls it into its
+//   prepare window and the DataManager fetches operands (this is where the
+//   paper's heuristics act) -> when all operands are valid the kernel is
+//   submitted to the least-loaded kernel stream -> completion propagates to
+//   successors.  Devices that run out of assigned work steal from the most
+//   loaded peer (OwnerComputesScheduler only).
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/registry.hpp"
+#include "runtime/data_manager.hpp"
+#include "runtime/platform.hpp"
+#include "runtime/scheduler.hpp"
+#include "runtime/task.hpp"
+
+namespace xkb::rt {
+
+struct RuntimeOptions {
+  HeuristicConfig heuristics;
+  /// Max tasks per device concurrently fetching operands.  Bounds prefetch
+  /// depth (and hence transient memory) like the real runtime's pending
+  /// window.
+  int prepare_window = 6;
+  /// A victim must have at least this many queued tasks to be stolen from.
+  int steal_min_victim = 2;
+  /// Locality-aware stealing (an XKaapi option): only steal a task if some
+  /// of its operands are already valid on the thief, scanning the victim's
+  /// queue from the back.  Reduces transfer traffic at the price of less
+  /// aggressive balancing.
+  bool locality_stealing = false;
+  /// Drop read-only replicas once their consumer finishes (models streaming
+  /// libraries like cuBLAS-XT that do not cache inputs across tile products).
+  bool drop_inputs_after_use = false;
+  /// Per-task CPU-side runtime overhead, added to every kernel occupancy
+  /// (task creation + scheduling cost; the paper credits XKBlas's small
+  /// runtime for its reactivity on small matrices).
+  double task_overhead = 0.0;
+};
+
+class Runtime {
+ public:
+  Runtime(Platform& plat, std::unique_ptr<Scheduler> sched,
+          RuntimeOptions opt = {});
+  ~Runtime();
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  mem::Registry& registry() { return registry_; }
+  DataManager& data_manager() { return dm_; }
+  Platform& platform() { return *plat_; }
+  Scheduler& scheduler() { return *sched_; }
+
+  /// Submit a task; dependencies are derived from its accesses.
+  void submit(TaskDesc desc);
+
+  /// Make the host copy of `h` valid once all producing tasks completed
+  /// (the paper's xkblas_memory_coherent_async).
+  void coherent_async(mem::DataHandle* h);
+
+  /// Drain the simulation; returns the virtual completion time.
+  double run();
+
+  // --- introspection for schedulers, tests and benches ---
+  int num_gpus() const { return plat_->num_gpus(); }
+  std::size_t queue_length(int dev) const { return devs_[dev].assigned.size(); }
+  std::size_t tasks_submitted() const { return submitted_; }
+  std::size_t tasks_completed() const { return completed_; }
+  std::size_t steals() const { return steals_; }
+
+ private:
+  struct DevState {
+    std::deque<Task*> assigned;
+    int preparing = 0;
+  };
+  struct HandleSeq {
+    Task* last_writer = nullptr;
+    std::vector<Task*> readers;
+  };
+
+  void on_ready(Task* t);
+  void fill(int dev);
+  void fill_all();
+  Task* steal_for(int thief);
+  void start_prepare(Task* t, int dev);
+  void on_operands_ready(Task* t);
+  void on_kernel_done(Task* t);
+  void complete(Task* t);
+  void run_host_task(Task* t);
+
+  Platform* plat_;
+  std::unique_ptr<Scheduler> sched_;
+  RuntimeOptions opt_;
+  mem::Registry registry_;
+  DataManager dm_;
+
+  std::vector<std::unique_ptr<Task>> tasks_;
+  std::unordered_map<mem::DataHandle*, HandleSeq> seq_;
+  std::vector<DevState> devs_;
+  std::size_t submitted_ = 0;
+  std::size_t completed_ = 0;
+  std::size_t steals_ = 0;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace xkb::rt

@@ -1,0 +1,67 @@
+#include "runtime/scheduler.hpp"
+
+#include <limits>
+
+#include "runtime/runtime.hpp"
+
+namespace xkb::rt {
+
+int OwnerComputesScheduler::place(const Task& t, Runtime& rt) {
+  // Owner-computes: run where the output tile lives.  The home (set by the
+  // 2D block-cyclic default mapping or an explicit distribution) takes
+  // precedence over the current dirty location so that a stolen task does
+  // not permanently migrate its whole dependency chain.
+  for (const TaskAccess& a : t.desc.accesses) {
+    if (a.mode == Access::kR) continue;
+    const mem::DataHandle* h = a.handle;
+    if (h->home_device >= 0) return h->home_device;
+    const int dirty = h->dirty_device();
+    if (dirty >= 0) return dirty;
+    const auto valid = h->valid_devices();
+    if (!valid.empty()) return valid.front();
+  }
+  // No located output (e.g. first touch without a home): spread round-robin.
+  return static_cast<int>(rr_++ % rt.num_gpus());
+}
+
+int DmdasScheduler::place(const Task& t, Runtime& rt) {
+  Platform& plat = rt.platform();
+  const auto& topo = plat.topology();
+  const int n = rt.num_gpus();
+  if (eta_.size() != static_cast<std::size_t>(n)) eta_.assign(n, 0.0);
+  const double now = plat.engine().now();
+
+  const double ktime =
+      plat.perf().kernel_time(t.desc.flops, t.desc.min_dim, t.desc.eff_factor,
+                              t.desc.single_precision);
+
+  int best = 0;
+  double best_cost = std::numeric_limits<double>::max();
+  for (int g = 0; g < n; ++g) {
+    // Estimated cost of moving the operands this device is missing.
+    double xfer = 0.0;
+    for (const TaskAccess& a : t.desc.accesses) {
+      if (a.mode == Access::kW) continue;
+      const mem::DataHandle* h = a.handle;
+      if (h->dev[g].state == mem::ReplicaState::kValid) continue;
+      double bw = topo.host_bandwidth_gbps(g);
+      for (int s : h->valid_devices())
+        bw = std::max(bw, topo.gpu_bandwidth_gbps(s, g));
+      xfer += static_cast<double>(h->bytes()) / (bw * 1e9);
+    }
+    const double start = std::max(eta_[g], now);
+    const double done = start + xfer + ktime;
+    if (done < best_cost) {
+      best_cost = done;
+      best = g;
+    }
+  }
+  eta_[best] = best_cost;
+  return best;
+}
+
+int RoundRobinScheduler::place(const Task&, Runtime& rt) {
+  return static_cast<int>(next_++ % rt.num_gpus());
+}
+
+}  // namespace xkb::rt

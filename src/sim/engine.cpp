@@ -1,0 +1,44 @@
+#include "sim/engine.hpp"
+
+#include <cassert>
+
+namespace xkb::sim {
+
+void Engine::schedule_at(Time t, Callback cb) {
+  assert(t >= now_ && "cannot schedule into the past");
+  queue_.push(Event{t, seq_++, std::move(cb)});
+}
+
+Time Engine::run() {
+  while (!queue_.empty()) {
+    // The callback may schedule new events, so move it out before popping.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.t;
+    ++processed_;
+    ev.cb();
+  }
+  return now_;
+}
+
+Time Engine::run_until(Time deadline) {
+  while (!queue_.empty() && queue_.top().t <= deadline) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.t;
+    ++processed_;
+    ev.cb();
+  }
+  if (now_ < deadline && queue_.empty()) return now_;
+  now_ = deadline > now_ ? deadline : now_;
+  return now_;
+}
+
+void Engine::reset() {
+  while (!queue_.empty()) queue_.pop();
+  now_ = 0.0;
+  seq_ = 0;
+  processed_ = 0;
+}
+
+}  // namespace xkb::sim

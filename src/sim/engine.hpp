@@ -1,0 +1,67 @@
+// Deterministic discrete-event simulation engine.
+//
+// The whole reproduction executes in virtual time on this engine: transfers
+// occupy link channels, kernels occupy per-device streams, and the runtime
+// reacts to completion events.  Determinism is guaranteed by ordering events
+// by (time, insertion sequence); two runs with the same inputs produce the
+// same schedule, which the test suite relies on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace xkb::sim {
+
+/// Virtual time in seconds.
+using Time = double;
+
+using Callback = std::function<void()>;
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  Time now() const { return now_; }
+
+  /// Schedule `cb` to run at absolute virtual time `t` (>= now).
+  void schedule_at(Time t, Callback cb);
+
+  /// Schedule `cb` to run `dt` seconds from now.
+  void schedule_after(Time dt, Callback cb) { schedule_at(now_ + dt, std::move(cb)); }
+
+  /// Run events until the queue drains.  Returns the final virtual time.
+  Time run();
+
+  /// Run until the queue drains or virtual time would exceed `deadline`.
+  Time run_until(Time deadline);
+
+  std::uint64_t events_processed() const { return processed_; }
+  bool empty() const { return queue_.empty(); }
+
+  /// Reset the clock and drop all pending events (for back-to-back runs).
+  void reset();
+
+ private:
+  struct Event {
+    Time t;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  Time now_ = 0.0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace xkb::sim

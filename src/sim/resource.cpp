@@ -1,0 +1,29 @@
+#include "sim/resource.hpp"
+
+#include <cassert>
+
+namespace xkb::sim {
+
+Interval FifoResource::submit(Time duration, Callback on_done) {
+  assert(duration >= 0.0);
+  const Time start = free_at_ > eng_->now() ? free_at_ : eng_->now();
+  const Time end = start + duration;
+  free_at_ = end;
+  busy_ += duration;
+  ++ops_;
+  if (on_done)
+    eng_->schedule_at(end, std::move(on_done));
+  return Interval{start, end};
+}
+
+Time FifoResource::available_at() const {
+  return free_at_ > eng_->now() ? free_at_ : eng_->now();
+}
+
+Interval Channel::transfer(std::size_t bytes, Callback on_done) {
+  bytes_ += bytes;
+  const Time dur = latency_ + static_cast<double>(bytes) / bw_;
+  return submit(dur, std::move(on_done));
+}
+
+}  // namespace xkb::sim

@@ -1,0 +1,68 @@
+// Serial FIFO resources of the simulated platform.
+//
+// A `FifoResource` models anything that processes one operation at a time in
+// submission order: a directed interconnect link (NVLink lane pair, PCIe
+// switch direction) or a CUDA stream.  Submitting an operation returns its
+// (start, end) interval, and the completion callback fires at `end` in
+// virtual time.  Utilisation counters feed the trace/occupancy reports.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "sim/engine.hpp"
+
+namespace xkb::sim {
+
+struct Interval {
+  Time start = 0.0;
+  Time end = 0.0;
+  Time duration() const { return end - start; }
+};
+
+class FifoResource {
+ public:
+  FifoResource(Engine& eng, std::string name)
+      : eng_(&eng), name_(std::move(name)) {}
+
+  /// Occupy the resource for `duration` seconds, FIFO after earlier work.
+  /// `on_done` (may be empty) fires at the returned interval's end.
+  Interval submit(Time duration, Callback on_done);
+
+  /// Earliest time a new submission would start.
+  Time available_at() const;
+
+  Time busy_time() const { return busy_; }
+  std::size_t ops() const { return ops_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  Engine* eng_;
+  std::string name_;
+  Time free_at_ = 0.0;
+  Time busy_ = 0.0;
+  std::size_t ops_ = 0;
+};
+
+/// A directed link: converts bytes to occupancy time using a bandwidth and a
+/// fixed per-transfer latency.  Bandwidth is in bytes/second.
+class Channel : public FifoResource {
+ public:
+  Channel(Engine& eng, std::string name, double bytes_per_second,
+          Time latency)
+      : FifoResource(eng, std::move(name)),
+        bw_(bytes_per_second),
+        latency_(latency) {}
+
+  Interval transfer(std::size_t bytes, Callback on_done);
+
+  double bandwidth() const { return bw_; }
+  std::size_t bytes_moved() const { return bytes_; }
+
+ private:
+  double bw_;
+  Time latency_;
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace xkb::sim

@@ -1,0 +1,144 @@
+#include "topo/topology.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace xkb::topo {
+
+const char* to_string(LinkClass c) {
+  switch (c) {
+    case LinkClass::kSelf: return "self";
+    case LinkClass::kNVLink2: return "NV2";
+    case LinkClass::kNVLink1: return "NV1";
+    case LinkClass::kPCIeP2P: return "PCIe";
+    case LinkClass::kNone: return "none";
+  }
+  return "?";
+}
+
+Topology::Topology(std::string name, int n)
+    : name_(std::move(name)),
+      num_gpus_(n),
+      link_(static_cast<std::size_t>(n) * n, LinkClass::kNone),
+      bw_gbps_(static_cast<std::size_t>(n) * n, 0.0),
+      host_link_of_(n, 0),
+      host_bw_gbps_(n, 16.0) {
+  for (int i = 0; i < n; ++i) {
+    link_[static_cast<std::size_t>(i) * n + i] = LinkClass::kSelf;
+    bw_gbps_[static_cast<std::size_t>(i) * n + i] = 750.0;  // HBM2 local
+  }
+}
+
+void Topology::set_link(int a, int b, LinkClass c, double gbps) {
+  assert(a != b);
+  link_[static_cast<std::size_t>(a) * num_gpus_ + b] = c;
+  link_[static_cast<std::size_t>(b) * num_gpus_ + a] = c;
+  bw_gbps_[static_cast<std::size_t>(a) * num_gpus_ + b] = gbps;
+  bw_gbps_[static_cast<std::size_t>(b) * num_gpus_ + a] = gbps;
+}
+
+LinkClass Topology::link_class(int src, int dst) const {
+  return link_[static_cast<std::size_t>(src) * num_gpus_ + dst];
+}
+
+double Topology::gpu_bandwidth_gbps(int src, int dst) const {
+  return bw_gbps_[static_cast<std::size_t>(src) * num_gpus_ + dst];
+}
+
+int Topology::p2p_perf_rank(int src, int dst) const {
+  switch (link_class(src, dst)) {
+    case LinkClass::kSelf: return 4;
+    case LinkClass::kNVLink2: return 3;
+    case LinkClass::kNVLink1: return 2;
+    case LinkClass::kPCIeP2P: return 1;
+    case LinkClass::kNone: return 0;
+  }
+  return 0;
+}
+
+std::vector<int> Topology::peers_by_rank(int dst) const {
+  std::vector<int> peers;
+  peers.reserve(num_gpus_ - 1);
+  for (int g = 0; g < num_gpus_; ++g)
+    if (g != dst) peers.push_back(g);
+  std::stable_sort(peers.begin(), peers.end(), [&](int a, int b) {
+    return p2p_perf_rank(a, dst) > p2p_perf_rank(b, dst);
+  });
+  return peers;
+}
+
+Topology Topology::dgx1() {
+  Topology t("DGX-1", 8);
+  // Double-NVLink pairs (~96 GB/s measured, Fig. 2 green cells).
+  const int nv2[][2] = {{0, 3}, {0, 4}, {1, 2}, {1, 5},
+                        {2, 3}, {4, 7}, {5, 6}, {6, 7}};
+  for (auto& p : nv2) t.set_link(p[0], p[1], LinkClass::kNVLink2, 96.4);
+  // Single-NVLink pairs (~48 GB/s, Fig. 2 orange cells).
+  const int nv1[][2] = {{0, 1}, {0, 2}, {1, 3}, {2, 6},
+                        {3, 7}, {4, 5}, {4, 6}, {5, 7}};
+  for (auto& p : nv1) t.set_link(p[0], p[1], LinkClass::kNVLink1, 48.4);
+  // Everything else goes over PCIe/QPI (~17 GB/s).
+  for (int a = 0; a < 8; ++a)
+    for (int b = a + 1; b < 8; ++b)
+      if (t.link_class(a, b) == LinkClass::kNone)
+        t.set_link(a, b, LinkClass::kPCIeP2P, 17.2);
+  // Four PCIe Gen3 x16 switches, each shared by two adjacent GPUs.  The
+  // effective pinned-memory bandwidth of a Gen3 x16 link is ~12 GB/s, well
+  // below the 16 GB/s signalling rate.
+  for (int g = 0; g < 8; ++g) {
+    t.host_link_of_[g] = g / 2;
+    t.host_bw_gbps_[g] = 12.3;
+  }
+  t.num_host_links_ = 4;
+  return t;
+}
+
+Topology Topology::pcie_only(int num_gpus) {
+  Topology t("PCIe-only", num_gpus);
+  for (int a = 0; a < num_gpus; ++a)
+    for (int b = a + 1; b < num_gpus; ++b)
+      t.set_link(a, b, LinkClass::kPCIeP2P, 12.0);
+  for (int g = 0; g < num_gpus; ++g) {
+    t.host_link_of_[g] = g / 2;
+    t.host_bw_gbps_[g] = 16.0;
+  }
+  t.num_host_links_ = (num_gpus + 1) / 2;
+  return t;
+}
+
+Topology Topology::nvswitch(int num_gpus, double gpu_gpu_gbps) {
+  Topology t("NVSwitch", num_gpus);
+  for (int a = 0; a < num_gpus; ++a)
+    for (int b = a + 1; b < num_gpus; ++b)
+      t.set_link(a, b, LinkClass::kNVLink2, gpu_gpu_gbps);
+  for (int g = 0; g < num_gpus; ++g) {
+    t.host_link_of_[g] = g / 2;
+    t.host_bw_gbps_[g] = 16.0;
+  }
+  t.num_host_links_ = (num_gpus + 1) / 2;
+  return t;
+}
+
+Topology Topology::summit_like() {
+  Topology t("Summit-like", 6);
+  // Within a socket group {0,1,2} / {3,4,5}: one NVLink brick each pair.
+  for (int s = 0; s < 2; ++s) {
+    const int base = 3 * s;
+    t.set_link(base + 0, base + 1, LinkClass::kNVLink1, 48.4);
+    t.set_link(base + 0, base + 2, LinkClass::kNVLink1, 48.4);
+    t.set_link(base + 1, base + 2, LinkClass::kNVLink1, 48.4);
+  }
+  // Across sockets: staged over the X-bus.
+  for (int a = 0; a < 3; ++a)
+    for (int b = 3; b < 6; ++b)
+      t.set_link(a, b, LinkClass::kPCIeP2P, 17.2);
+  // Each GPU has its own 50 GB/s NVLink path to its CPU.
+  for (int g = 0; g < 6; ++g) {
+    t.host_link_of_[g] = g;  // dedicated, not shared
+    t.host_bw_gbps_[g] = 50.0;
+  }
+  t.num_host_links_ = 6;
+  return t;
+}
+
+}  // namespace xkb::topo

@@ -1,0 +1,94 @@
+// Interconnect topology models of multi-GPU nodes.
+//
+// The central model is the NVIDIA DGX-1 hybrid cube-mesh of the paper's
+// Fig. 1: eight V100s, each with six NVLink-2 lanes arranged so that some
+// GPU pairs share two lanes (~96 GB/s measured), some one lane (~48 GB/s),
+// and the remaining pairs fall back to PCIe/QPI paths (~17 GB/s).  Hosts
+// reach GPUs through four PCIe Gen3 x16 switches (~16 GB/s each), each
+// shared by two GPUs.  The bandwidth numbers below are the measured values
+// of the paper's Fig. 2.
+//
+// `p2p_perf_rank` mirrors CUDA's cuDeviceGetP2PAttribute(
+// CU_DEVICE_P2P_ATTRIBUTE_PERFORMANCE_RANK): a relative ordering of link
+// quality that the topology-aware heuristic consumes -- the heuristic never
+// sees raw bandwidths, exactly as in the paper.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace xkb::topo {
+
+enum class LinkClass {
+  kSelf,      ///< same device (local memory)
+  kNVLink2,   ///< two bonded NVLink-2 lanes
+  kNVLink1,   ///< one NVLink-2 lane
+  kPCIeP2P,   ///< peer access over PCIe/QPI fabric
+  kNone,      ///< no peer path (must stage through host)
+};
+
+const char* to_string(LinkClass c);
+
+class Topology {
+ public:
+  /// The DGX-1 machine of the paper (Table I / Figs. 1-2).
+  static Topology dgx1();
+
+  /// A node whose GPUs only share PCIe (no NVLink): the "worst case" for the
+  /// topology heuristic, used by ablation benches.
+  static Topology pcie_only(int num_gpus);
+
+  /// An NVSwitch-style all-to-all node (DGX-2/A100-like): every pair enjoys
+  /// the same high-bandwidth link, so source selection is rank-insensitive.
+  static Topology nvswitch(int num_gpus, double gpu_gpu_gbps = 240.0);
+
+  /// A Summit/Sierra-like node: NVLink between CPU and GPU (50 GB/s per
+  /// GPU), GPUs grouped per socket.  The paper predicts the optimistic
+  /// heuristic gains little here because host links are no longer the
+  /// bottleneck -- bench/ext_topologies tests that prediction.
+  static Topology summit_like();
+
+  int num_gpus() const { return num_gpus_; }
+  const std::string& name() const { return name_; }
+
+  LinkClass link_class(int src, int dst) const;
+
+  /// Measured unidirectional bandwidth in GB/s between device memories
+  /// (src==dst gives local memory bandwidth).
+  double gpu_bandwidth_gbps(int src, int dst) const;
+
+  /// Relative link performance rank for P2P copies: higher is better,
+  /// 0 means no peer access.  Analogous to cuDeviceGetP2PAttribute.
+  int p2p_perf_rank(int src, int dst) const;
+
+  /// Index of the host link (PCIe switch or NVLink brick) a GPU hangs off.
+  /// GPUs may share a host link (DGX-1: two GPUs per PCIe switch).
+  int host_link_of(int gpu) const { return host_link_of_[gpu]; }
+  int num_host_links() const { return num_host_links_; }
+  /// Unidirectional host<->GPU bandwidth of that link, GB/s.
+  double host_bandwidth_gbps(int gpu) const { return host_bw_gbps_[gpu]; }
+
+  /// Per-transfer latency (seconds) for any DMA on this machine.
+  double transfer_latency() const { return latency_s_; }
+
+  /// GPUs sorted by decreasing link quality from `dst`'s perspective,
+  /// excluding `dst` itself (helper for the topology-aware heuristic).
+  std::vector<int> peers_by_rank(int dst) const;
+
+ private:
+  Topology(std::string name, int n);
+
+  void set_link(int a, int b, LinkClass c, double gbps);  // symmetric
+
+  std::string name_;
+  int num_gpus_ = 0;
+  std::vector<LinkClass> link_;   // n*n
+  std::vector<double> bw_gbps_;   // n*n
+  std::vector<int> host_link_of_;
+  std::vector<double> host_bw_gbps_;
+  int num_host_links_ = 0;
+  double latency_s_ = 10e-6;
+};
+
+}  // namespace xkb::topo

@@ -1,0 +1,54 @@
+#include "trace/export.hpp"
+
+#include <sstream>
+
+namespace xkb::trace {
+
+namespace {
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+}  // namespace
+
+std::string to_csv(const Trace& t) {
+  std::ostringstream out;
+  out << "device,kind,start,end,bytes,flops,lane,label\n";
+  for (const Record& r : t.records()) {
+    out << r.device << ',' << to_string(r.kind) << ',' << r.start << ','
+        << r.end << ',' << r.bytes << ',' << r.flops << ',' << r.lane << ','
+        << r.label << '\n';
+  }
+  return out.str();
+}
+
+std::string to_chrome_json(const Trace& t) {
+  std::ostringstream out;
+  out << "[\n";
+  bool first = true;
+  for (const Record& r : t.records()) {
+    if (!first) out << ",\n";
+    first = false;
+    // tid separates kernels (0) from transfer classes (1..3) per GPU.
+    int tid = 0;
+    switch (r.kind) {
+      case OpKind::kKernel: tid = 0; break;
+      case OpKind::kHtoD: tid = 1; break;
+      case OpKind::kDtoH: tid = 2; break;
+      case OpKind::kPtoP: tid = 3; break;
+    }
+    out << "  {\"name\": \"" << json_escape(r.label) << "\", \"cat\": \""
+        << to_string(r.kind) << "\", \"ph\": \"X\", \"pid\": " << r.device
+        << ", \"tid\": " << tid << ", \"ts\": " << r.start * 1e6
+        << ", \"dur\": " << (r.end - r.start) * 1e6 << "}";
+  }
+  out << "\n]\n";
+  return out.str();
+}
+
+}  // namespace xkb::trace

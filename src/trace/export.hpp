@@ -1,0 +1,19 @@
+// Trace export: CSV (one row per GPU operation) and Chrome trace-event JSON
+// (loadable in chrome://tracing or Perfetto), so simulated executions can be
+// inspected with the same tooling one would point at real nvprof output.
+#pragma once
+
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace xkb::trace {
+
+/// CSV with header: device,kind,start,end,bytes,flops,lane,label.
+std::string to_csv(const Trace& t);
+
+/// Chrome trace-event JSON ("X" complete events, one track per GPU, one
+/// sub-track per lane/op-class).  Timestamps in microseconds of virtual time.
+std::string to_chrome_json(const Trace& t);
+
+}  // namespace xkb::trace

@@ -1,0 +1,19 @@
+// ASCII rendering of execution traces: per-GPU Gantt charts (paper Fig. 9)
+// and per-GPU stacked time tables (paper Fig. 7).
+#pragma once
+
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace xkb::trace {
+
+/// Render one row per GPU over [0, span]; each column is a time bucket.
+/// Glyphs: 'K' kernel, 'H' HtoD, 'D' DtoH, 'P' PtoP, '.' idle; when several
+/// op classes overlap in a bucket, kernels win (they indicate useful work).
+std::string gantt_ascii(const Trace& t, int num_devices, int width = 100);
+
+/// Per-GPU table of time per op class (Fig. 7 style).
+std::string per_gpu_table(const Trace& t, int num_devices);
+
+}  // namespace xkb::trace

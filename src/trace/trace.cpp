@@ -1,0 +1,56 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+
+namespace xkb::trace {
+
+const char* to_string(OpKind k) {
+  switch (k) {
+    case OpKind::kHtoD: return "memcpy HtoD";
+    case OpKind::kDtoH: return "memcpy DtoH";
+    case OpKind::kPtoP: return "memcpy PtoP";
+    case OpKind::kKernel: return "GPU Kernel";
+  }
+  return "?";
+}
+
+void Trace::add(Record r) {
+  if (!enabled_) return;
+  max_device_ = std::max(max_device_, r.device);
+  records_.push_back(std::move(r));
+}
+
+void Trace::clear() {
+  records_.clear();
+  max_device_ = -1;
+}
+
+Breakdown Trace::breakdown(int device) const {
+  Breakdown b;
+  for (const Record& r : records_) {
+    if (device >= 0 && r.device != device) continue;
+    const double d = r.end - r.start;
+    switch (r.kind) {
+      case OpKind::kHtoD: b.htod += d; break;
+      case OpKind::kDtoH: b.dtoh += d; break;
+      case OpKind::kPtoP: b.ptop += d; break;
+      case OpKind::kKernel: b.kernel += d; break;
+    }
+  }
+  return b;
+}
+
+sim::Time Trace::span() const {
+  sim::Time t = 0.0;
+  for (const Record& r : records_) t = std::max(t, r.end);
+  return t;
+}
+
+std::size_t Trace::bytes(OpKind kind) const {
+  std::size_t total = 0;
+  for (const Record& r : records_)
+    if (r.kind == kind) total += r.bytes;
+  return total;
+}
+
+}  // namespace xkb::trace

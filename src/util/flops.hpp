@@ -1,0 +1,56 @@
+// Floating-point operation counts for BLAS level-3 routines, used both by the
+// benchmark harness (GFlop/s = flops / time) and by the simulator's kernel
+// cost model.  Counts follow the standard LAPACK working-note conventions.
+#pragma once
+
+#include <cstdint>
+
+namespace xkb {
+
+enum class Blas3 {
+  kGemm,
+  kSymm,
+  kSyrk,
+  kSyr2k,
+  kTrmm,
+  kTrsm,
+  kHemm,
+  kHerk,
+  kHer2k,
+};
+
+inline const char* blas3_name(Blas3 r) {
+  switch (r) {
+    case Blas3::kGemm: return "GEMM";
+    case Blas3::kSymm: return "SYMM";
+    case Blas3::kSyrk: return "SYRK";
+    case Blas3::kSyr2k: return "SYR2K";
+    case Blas3::kTrmm: return "TRMM";
+    case Blas3::kTrsm: return "TRSM";
+    case Blas3::kHemm: return "HEMM";
+    case Blas3::kHerk: return "HERK";
+    case Blas3::kHer2k: return "HER2K";
+  }
+  return "?";
+}
+
+/// Real-arithmetic flop count of C(m,n) += A(m,k) * B(k,n).
+inline double gemm_flops(double m, double n, double k) { return 2.0 * m * n * k; }
+
+/// Flops of the square (n x n), k-inner variants the paper benchmarks.
+inline double routine_flops(Blas3 r, double n) {
+  switch (r) {
+    case Blas3::kGemm: return 2.0 * n * n * n;
+    case Blas3::kSymm:
+    case Blas3::kHemm: return 2.0 * n * n * n;
+    case Blas3::kSyrk:
+    case Blas3::kHerk: return n * n * (n + 1.0);
+    case Blas3::kSyr2k:
+    case Blas3::kHer2k: return 2.0 * n * n * (n + 1.0);
+    case Blas3::kTrmm:
+    case Blas3::kTrsm: return n * n * n;
+  }
+  return 0.0;
+}
+
+}  // namespace xkb

@@ -1,0 +1,132 @@
+// Column-major (LAPACK layout) dense matrix storage and non-owning views.
+//
+// The paper's XKBlas supports only the LAPACK matrix layout: a matrix is a
+// memory region described by (m, n, ld, wordsize) where consecutive elements
+// of a column are contiguous and columns are `ld` elements apart.  Sub-matrix
+// decomposition keeps the same representation (same ld, shifted origin),
+// which is the property that lets XKBlas partition legacy matrices without
+// copies.  `MatrixView` is exactly the paper's "memory view" tuple.
+#pragma once
+
+#include <cassert>
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+namespace xkb {
+
+/// Non-owning view of a column-major matrix block: element (i,j) lives at
+/// data[i + j*ld].  This is the paper's memory view (m, n, ld, wordsize).
+template <typename T>
+struct MatrixView {
+  T* data = nullptr;
+  std::size_t m = 0;   ///< rows
+  std::size_t n = 0;   ///< columns
+  std::size_t ld = 0;  ///< leading dimension (>= m)
+
+  MatrixView() = default;
+  MatrixView(T* d, std::size_t m_, std::size_t n_, std::size_t ld_)
+      : data(d), m(m_), n(n_), ld(ld_) {
+    assert(ld >= m || m == 0);
+  }
+
+  /// Mutable views convert to const views implicitly.
+  template <typename U = T>
+    requires(!std::is_const_v<U>)
+  operator MatrixView<const U>() const {
+    return MatrixView<const U>(data, m, n, ld);
+  }
+
+  T& operator()(std::size_t i, std::size_t j) {
+    assert(i < m && j < n);
+    return data[i + j * ld];
+  }
+  const T& operator()(std::size_t i, std::size_t j) const {
+    assert(i < m && j < n);
+    return data[i + j * ld];
+  }
+
+  /// Sub-block of dimensions (bm, bn) whose (0,0) is at (i0, j0).
+  MatrixView block(std::size_t i0, std::size_t j0, std::size_t bm,
+                   std::size_t bn) const {
+    assert(i0 + bm <= m && j0 + bn <= n);
+    return MatrixView(data + i0 + j0 * ld, bm, bn, ld);
+  }
+
+  std::size_t bytes() const { return m * n * sizeof(T); }
+};
+
+/// Owning column-major matrix.  Storage is dense (ld == m).
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t m, std::size_t n, T init = T{})
+      : m_(m), n_(n), data_(m * n, init) {}
+
+  std::size_t rows() const { return m_; }
+  std::size_t cols() const { return n_; }
+  std::size_t ld() const { return m_; }
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+  T& operator()(std::size_t i, std::size_t j) {
+    assert(i < m_ && j < n_);
+    return data_[i + j * m_];
+  }
+  const T& operator()(std::size_t i, std::size_t j) const {
+    assert(i < m_ && j < n_);
+    return data_[i + j * m_];
+  }
+
+  MatrixView<T> view() { return MatrixView<T>(data_.data(), m_, n_, m_); }
+  MatrixView<const T> view() const {
+    return MatrixView<const T>(data_.data(), m_, n_, m_);
+  }
+  MatrixView<T> block(std::size_t i0, std::size_t j0, std::size_t bm,
+                      std::size_t bn) {
+    return view().block(i0, j0, bm, bn);
+  }
+
+ private:
+  std::size_t m_ = 0, n_ = 0;
+  std::vector<T> data_;
+};
+
+namespace detail {
+template <typename T>
+struct RealOf {
+  using type = T;
+};
+template <typename T>
+struct RealOf<std::complex<T>> {
+  using type = T;
+};
+}  // namespace detail
+
+/// Scalar type of the real part of T (T itself for real types).
+template <typename T>
+using real_t = typename detail::RealOf<T>::type;
+
+/// Maximum absolute element-wise difference between two views of equal shape.
+template <typename T>
+real_t<T> max_abs_diff(const MatrixView<const T>& a,
+                       const MatrixView<const T>& b) {
+  assert(a.m == b.m && a.n == b.n);
+  real_t<T> worst = 0;
+  for (std::size_t j = 0; j < a.n; ++j)
+    for (std::size_t i = 0; i < a.m; ++i) {
+      real_t<T> d = std::abs(a(i, j) - b(i, j));
+      if (d > worst) worst = d;
+    }
+  return worst;
+}
+
+template <typename T>
+real_t<T> max_abs_diff(const Matrix<T>& a, const Matrix<T>& b) {
+  return max_abs_diff<T>(a.view(), b.view());
+}
+
+}  // namespace xkb

@@ -1,0 +1,77 @@
+// Deterministic, seedable random number generation for tests and workloads.
+//
+// All randomness in the project flows through SplitMix64 so that every
+// experiment is exactly reproducible from its seed (a requirement for the
+// deterministic discrete-event simulation and for property tests that assert
+// bit-identical numeric results across scheduler configurations).
+#pragma once
+
+#include <complex>
+#include <cstdint>
+
+#include "util/matrix.hpp"
+
+namespace xkb {
+
+/// SplitMix64: tiny, fast, full-period 64-bit generator.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed) {}
+
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t next_below(std::uint64_t n) { return next_u64() % n; }
+
+ private:
+  std::uint64_t state_;
+};
+
+namespace detail {
+template <typename T>
+inline T random_scalar(Rng& rng) {
+  return static_cast<T>(rng.uniform(-1.0, 1.0));
+}
+template <>
+inline std::complex<float> random_scalar<std::complex<float>>(Rng& rng) {
+  return {static_cast<float>(rng.uniform(-1.0, 1.0)),
+          static_cast<float>(rng.uniform(-1.0, 1.0))};
+}
+template <>
+inline std::complex<double> random_scalar<std::complex<double>>(Rng& rng) {
+  return {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+}
+}  // namespace detail
+
+/// Fill a matrix with uniform values in [-1, 1) (both parts for complex).
+template <typename T>
+void fill_random(Matrix<T>& a, Rng& rng) {
+  for (std::size_t j = 0; j < a.cols(); ++j)
+    for (std::size_t i = 0; i < a.rows(); ++i)
+      a(i, j) = detail::random_scalar<T>(rng);
+}
+
+/// Make a matrix diagonally dominant (for well-conditioned TRSM tests).
+template <typename T>
+void make_diag_dominant(Matrix<T>& a) {
+  const std::size_t n = a.rows() < a.cols() ? a.rows() : a.cols();
+  for (std::size_t i = 0; i < n; ++i)
+    a(i, i) += static_cast<T>(static_cast<real_t<T>>(2 * a.rows()));
+}
+
+}  // namespace xkb

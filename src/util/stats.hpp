@@ -1,0 +1,23 @@
+// Small statistics helpers used by the benchmark harness: mean, standard
+// deviation and the 95 % confidence interval the paper reports as error bars.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace xkb {
+
+struct Summary {
+  double mean = 0.0;
+  double stddev = 0.0;     ///< sample standard deviation
+  double ci95_half = 0.0;  ///< half-width of the 95 % confidence interval
+  double min = 0.0;
+  double max = 0.0;
+  std::size_t n = 0;
+};
+
+/// Summarise a sample.  The 95 % CI uses Student-t critical values for small
+/// n (the paper averages 8 runs), falling back to 1.96 for large samples.
+Summary summarize(const std::vector<double>& xs);
+
+}  // namespace xkb

@@ -1,0 +1,30 @@
+// Plain-text table rendering for the benchmark harness: the figure/table
+// binaries print the same rows/series the paper reports, in aligned columns
+// plus optional CSV for plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace xkb {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+
+  /// Aligned fixed-width rendering.
+  std::string to_text() const;
+  /// Comma-separated rendering (for plotting scripts).
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace xkb

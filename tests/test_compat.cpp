@@ -1,0 +1,288 @@
+// Tests of the drop-in C-style API: option parsing, all wrappers against
+// the reference kernels, context swapping, and the drop-in composition
+// pattern (raw pointers + leading dimensions, no Context in sight).
+#include <gtest/gtest.h>
+
+#include "core/compat.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace xkblas;
+using Z = std::complex<double>;
+
+class CompatTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Options opt;
+    opt.platform.functional = true;
+    opt.tile = 32;
+    ctx_ = std::make_unique<Context>(opt);
+    xkblas_set_context(ctx_.get());
+  }
+  void TearDown() override { xkblas_set_context(nullptr); }
+
+  std::unique_ptr<Context> ctx_;
+};
+
+TEST_F(CompatTest, OptionParsing) {
+  EXPECT_EQ(op_from_char('N'), Op::NoTrans);
+  EXPECT_EQ(op_from_char('t'), Op::Trans);
+  EXPECT_EQ(op_from_char('C'), Op::ConjTrans);
+  EXPECT_EQ(uplo_from_char('L'), Uplo::Lower);
+  EXPECT_EQ(uplo_from_char('u'), Uplo::Upper);
+  EXPECT_EQ(side_from_char('R'), Side::Right);
+  EXPECT_EQ(diag_from_char('U'), Diag::Unit);
+  EXPECT_THROW(op_from_char('X'), std::invalid_argument);
+  EXPECT_THROW(uplo_from_char('?'), std::invalid_argument);
+}
+
+TEST_F(CompatTest, DgemmMatchesReference) {
+  const std::size_t n = 96;
+  xkb::Rng rng(1);
+  xkb::Matrix<double> A(n, n), B(n, n), C(n, n);
+  xkb::fill_random(A, rng);
+  xkb::fill_random(B, rng);
+  xkb::fill_random(C, rng);
+  xkb::Matrix<double> ref = C;
+  xkb::host::gemm<double>(Op::Trans, Op::NoTrans, 1.5, A.view(), B.view(),
+                          0.5, ref.view());
+  xkblas_dgemm_async('T', 'N', n, n, n, 1.5, A.data(), n, B.data(), n, 0.5,
+                     C.data(), n);
+  xkblas_memory_coherent_async(n, n, C.data(), n);
+  xkblas_sync();
+  EXPECT_LT(xkb::max_abs_diff(C, ref), 1e-9);
+}
+
+TEST_F(CompatTest, DsymmDsyrkDsyr2k) {
+  const std::size_t n = 96;
+  xkb::Rng rng(2);
+  xkb::Matrix<double> A(n, n), B(n, n), C1(n, n), C2(n, n), C3(n, n);
+  xkb::fill_random(A, rng);
+  xkb::fill_random(B, rng);
+  xkb::fill_random(C1, rng);
+  C2 = C1;
+  C3 = C1;
+  xkb::Matrix<double> r1 = C1, r2 = C1, r3 = C1;
+  xkb::host::symm<double>(Side::Left, Uplo::Lower, 1.0, A.view(), B.view(),
+                          1.0, r1.view());
+  xkb::host::syrk<double>(Uplo::Upper, Op::Trans, 0.5, A.view(), 1.0,
+                          r2.view());
+  xkb::host::syr2k<double>(Uplo::Lower, Op::NoTrans, 1.0, A.view(), B.view(),
+                           0.0, r3.view());
+
+  xkblas_dsymm_async('L', 'L', n, n, 1.0, A.data(), n, B.data(), n, 1.0,
+                     C1.data(), n);
+  xkblas_dsyrk_async('U', 'T', n, n, 0.5, A.data(), n, 1.0, C2.data(), n);
+  xkblas_dsyr2k_async('L', 'N', n, n, 1.0, A.data(), n, B.data(), n, 0.0,
+                      C3.data(), n);
+  xkblas_memory_coherent_async(n, n, C1.data(), n);
+  xkblas_memory_coherent_async(n, n, C2.data(), n);
+  xkblas_memory_coherent_async(n, n, C3.data(), n);
+  xkblas_sync();
+  EXPECT_LT(xkb::max_abs_diff(C1, r1), 1e-9);
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = 0; i <= j; ++i)
+      ASSERT_NEAR(C2(i, j), r2(i, j), 1e-9);
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = j; i < n; ++i)
+      ASSERT_NEAR(C3(i, j), r3(i, j), 1e-9);
+}
+
+TEST_F(CompatTest, DtrmmDtrsm) {
+  const std::size_t n = 96;
+  xkb::Rng rng(3);
+  xkb::Matrix<double> A(n, n), B1(n, n), B2(n, n);
+  xkb::fill_random(A, rng);
+  xkb::make_diag_dominant(A);
+  xkb::fill_random(B1, rng);
+  B2 = B1;
+  xkb::Matrix<double> r1 = B1, r2 = B1;
+  xkb::host::trmm<double>(Side::Right, Uplo::Upper, Op::NoTrans,
+                          Diag::NonUnit, 1.0, A.view(), r1.view());
+  xkb::host::trsm<double>(Side::Left, Uplo::Lower, Op::NoTrans, Diag::NonUnit,
+                          2.0, A.view(), r2.view());
+  xkblas_dtrmm_async('R', 'U', 'N', 'N', n, n, 1.0, A.data(), n, B1.data(),
+                     n);
+  xkblas_dtrsm_async('L', 'L', 'N', 'N', n, n, 2.0, A.data(), n, B2.data(),
+                     n);
+  xkblas_memory_coherent_async(n, n, B1.data(), n);
+  xkblas_memory_coherent_async(n, n, B2.data(), n);
+  xkblas_sync();
+  EXPECT_LT(xkb::max_abs_diff(B1, r1), 1e-9);
+  EXPECT_LT(xkb::max_abs_diff(B2, r2), 1e-8);
+}
+
+TEST_F(CompatTest, SgemmSinglePrecision) {
+  const std::size_t n = 64;
+  xkb::Rng rng(4);
+  xkb::Matrix<float> A(n, n), B(n, n), C(n, n);
+  xkb::fill_random(A, rng);
+  xkb::fill_random(B, rng);
+  xkb::fill_random(C, rng);
+  xkb::Matrix<float> ref = C;
+  xkb::host::gemm<float>(Op::NoTrans, Op::NoTrans, 1.0f, A.view(), B.view(),
+                         1.0f, ref.view());
+  xkblas_sgemm_async('N', 'N', n, n, n, 1.0f, A.data(), n, B.data(), n, 1.0f,
+                     C.data(), n);
+  xkblas_memory_coherent_async(n, n, C.data(), n);
+  xkblas_sync();
+  EXPECT_LT(xkb::max_abs_diff(C, ref), 1e-3f);
+}
+
+TEST_F(CompatTest, ComplexHermitianTrio) {
+  const std::size_t n = 64;
+  xkb::Rng rng(5);
+  xkb::Matrix<Z> A(n, n), B(n, n), C1(n, n), C2(n, n), C3(n, n);
+  xkb::fill_random(A, rng);
+  xkb::fill_random(B, rng);
+  xkb::fill_random(C1, rng);
+  for (std::size_t i = 0; i < n; ++i) C1(i, i) = Z{std::real(C1(i, i))};
+  C2 = C1;
+  C3 = C1;
+  xkb::Matrix<Z> r1 = C1, r2 = C1, r3 = C1;
+  const Z alpha{1.0, 0.5};
+  xkb::host::hemm<Z>(Side::Left, Uplo::Lower, alpha, A.view(), B.view(),
+                     Z{1.0}, r1.view());
+  xkb::host::herk<Z>(Uplo::Lower, Op::NoTrans, 2.0, A.view(), 1.0, r2.view());
+  xkb::host::her2k<Z>(Uplo::Lower, Op::NoTrans, alpha, A.view(), B.view(),
+                      1.0, r3.view());
+  xkblas_zhemm_async('L', 'L', n, n, alpha, A.data(), n, B.data(), n, Z{1.0},
+                     C1.data(), n);
+  xkblas_zherk_async('L', 'N', n, n, 2.0, A.data(), n, 1.0, C2.data(), n);
+  xkblas_zher2k_async('L', 'N', n, n, alpha, A.data(), n, B.data(), n, 1.0,
+                      C3.data(), n);
+  xkblas_memory_coherent_async(n, n, C1.data(), n);
+  xkblas_memory_coherent_async(n, n, C2.data(), n);
+  xkblas_memory_coherent_async(n, n, C3.data(), n);
+  xkblas_sync();
+  EXPECT_LT(xkb::max_abs_diff(C1, r1), 1e-9);
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = j; i < n; ++i) {
+      ASSERT_LT(std::abs(C2(i, j) - r2(i, j)), 1e-9);
+      ASSERT_LT(std::abs(C3(i, j) - r3(i, j)), 1e-9);
+    }
+}
+
+TEST_F(CompatTest, SubMatrixWithLeadingDimension) {
+  // Drop-in calls on a sub-block of a bigger matrix (ld > m), the LAPACK
+  // idiom legacy applications rely on.
+  const std::size_t big = 128, n = 64;
+  xkb::Rng rng(6);
+  xkb::Matrix<double> A(big, big), B(big, big), C(big, big);
+  xkb::fill_random(A, rng);
+  xkb::fill_random(B, rng);
+  xkb::fill_random(C, rng);
+  xkb::Matrix<double> ref = C;
+  xkb::host::gemm<double>(Op::NoTrans, Op::NoTrans, 1.0,
+                          A.view().block(32, 32, n, n),
+                          B.view().block(0, 0, n, n), 1.0,
+                          ref.view().block(16, 48, n, n));
+  xkblas_dgemm_async('N', 'N', n, n, n, 1.0, &A(32, 32), big, &B(0, 0), big,
+                     1.0, &C(16, 48), big);
+  xkblas_memory_coherent_async(n, n, &C(16, 48), big);
+  xkblas_sync();
+  EXPECT_LT(xkb::max_abs_diff(C, ref), 1e-9);
+}
+
+TEST(CompatDefault, LazyDefaultContext) {
+  xkblas_set_context(nullptr);
+  Context& a = xkblas_context();
+  Context& b = xkblas_context();
+  EXPECT_EQ(&a, &b) << "default context is created once";
+  EXPECT_EQ(a.platform().num_gpus(), 8);
+}
+
+}  // namespace
+
+// Appended: the remaining precision variants of the drop-in surface.
+namespace {
+using CF = std::complex<float>;
+
+TEST_F(CompatTest, SingleRealVariants) {
+  const std::size_t n = 64;
+  xkb::Rng rng(31);
+  xkb::Matrix<float> A(n, n), B(n, n), C1(n, n), C2(n, n), C3(n, n),
+      B1(n, n);
+  xkb::fill_random(A, rng);
+  xkb::fill_random(B, rng);
+  xkb::fill_random(C1, rng);
+  C2 = C1;
+  C3 = C1;
+  B1 = B;
+  xkb::Matrix<float> r1 = C1, r2 = C1, r3 = C1, rb = B;
+  xkb::host::symm<float>(Side::Left, Uplo::Lower, 1.0f, A.view(), B.view(),
+                         1.0f, r1.view());
+  xkb::host::syrk<float>(Uplo::Lower, Op::NoTrans, 1.0f, A.view(), 1.0f,
+                         r2.view());
+  xkb::host::syr2k<float>(Uplo::Lower, Op::NoTrans, 1.0f, A.view(), B.view(),
+                          1.0f, r3.view());
+  xkb::host::trmm<float>(Side::Left, Uplo::Lower, Op::NoTrans, Diag::NonUnit,
+                         1.0f, A.view(), rb.view());
+
+  xkblas_ssymm_async('L', 'L', n, n, 1.0f, A.data(), n, B.data(), n, 1.0f,
+                     C1.data(), n);
+  xkblas_ssyrk_async('L', 'N', n, n, 1.0f, A.data(), n, 1.0f, C2.data(), n);
+  xkblas_ssyr2k_async('L', 'N', n, n, 1.0f, A.data(), n, B.data(), n, 1.0f,
+                      C3.data(), n);
+  xkblas_strmm_async('L', 'L', 'N', 'N', n, n, 1.0f, A.data(), n, B1.data(),
+                     n);
+  xkblas_memory_coherent_async(n, n, C1.data(), n);
+  xkblas_memory_coherent_async(n, n, C2.data(), n);
+  xkblas_memory_coherent_async(n, n, C3.data(), n);
+  xkblas_memory_coherent_async(n, n, B1.data(), n);
+  xkblas_sync();
+  EXPECT_LT(xkb::max_abs_diff(C1, r1), 1e-3f);
+  EXPECT_LT(xkb::max_abs_diff(B1, rb), 1e-3f);
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = j; i < n; ++i) {
+      ASSERT_NEAR(C2(i, j), r2(i, j), 1e-3f);
+      ASSERT_NEAR(C3(i, j), r3(i, j), 1e-3f);
+    }
+}
+
+TEST_F(CompatTest, ComplexSingleVariants) {
+  const std::size_t n = 48;
+  xkb::Rng rng(32);
+  xkb::Matrix<CF> A(n, n), B(n, n), C1(n, n), C2(n, n);
+  xkb::fill_random(A, rng);
+  xkb::fill_random(B, rng);
+  xkb::fill_random(C1, rng);
+  for (std::size_t i = 0; i < n; ++i) C1(i, i) = CF{std::real(C1(i, i))};
+  C2 = C1;
+  xkb::Matrix<CF> r1 = C1, r2 = C1;
+  const CF alpha{1.0f, -0.5f};
+  xkb::host::gemm<CF>(Op::NoTrans, Op::ConjTrans, alpha, A.view(), B.view(),
+                      CF{1.0f}, r1.view());
+  xkb::host::herk<CF>(Uplo::Lower, Op::NoTrans, 1.5f, A.view(), 1.0f,
+                      r2.view());
+  xkblas_cgemm_async('N', 'C', n, n, n, alpha, A.data(), n, B.data(), n,
+                     CF{1.0f}, C1.data(), n);
+  xkblas_cherk_async('L', 'N', n, n, 1.5f, A.data(), n, 1.0f, C2.data(), n);
+  xkblas_memory_coherent_async(n, n, C1.data(), n);
+  xkblas_memory_coherent_async(n, n, C2.data(), n);
+  xkblas_sync();
+  EXPECT_LT(xkb::max_abs_diff(C1, r1), 1e-3f);
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = j; i < n; ++i)
+      ASSERT_LT(std::abs(C2(i, j) - r2(i, j)), 1e-3f);
+}
+
+TEST_F(CompatTest, CtrsmSolves) {
+  const std::size_t n = 48;
+  xkb::Rng rng(33);
+  xkb::Matrix<CF> A(n, n), X(n, n);
+  xkb::fill_random(A, rng);
+  xkb::make_diag_dominant(A);
+  xkb::fill_random(X, rng);
+  xkb::Matrix<CF> B = X;
+  xkb::host::trmm<CF>(Side::Left, Uplo::Lower, Op::NoTrans, Diag::NonUnit,
+                      CF{1.0f}, A.view(), B.view());
+  xkblas_ctrsm_async('L', 'L', 'N', 'N', n, n, CF{1.0f}, A.data(), n,
+                     B.data(), n);
+  xkblas_memory_coherent_async(n, n, B.data(), n);
+  xkblas_sync();
+  EXPECT_LT(xkb::max_abs_diff(B, X), 1e-2f);
+}
+
+}  // namespace

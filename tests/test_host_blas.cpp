@@ -1,0 +1,388 @@
+// Tests of the reference host BLAS-3 kernels against brute-force
+// definitions, over real and complex element types and parameter sweeps.
+#include <gtest/gtest.h>
+
+#include <complex>
+
+#include "blas/host_blas.hpp"
+#include "util/rng.hpp"
+
+namespace xkb {
+namespace {
+
+using Z = std::complex<double>;
+
+constexpr double kTol = 1e-11;
+
+// Dense full-storage mirror of a symmetric/Hermitian/triangular operand so
+// that every routine can be checked against one generic GEMM.
+template <typename T>
+Matrix<T> full_symmetric(const Matrix<T>& a, Uplo uplo) {
+  const std::size_t n = a.rows();
+  Matrix<T> f(n, n);
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool stored = uplo == Uplo::Lower ? i >= j : i <= j;
+      f(i, j) = stored ? a(i, j) : a(j, i);
+    }
+  return f;
+}
+
+template <typename T>
+Matrix<T> full_hermitian(const Matrix<T>& a, Uplo uplo) {
+  const std::size_t n = a.rows();
+  Matrix<T> f(n, n);
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i == j) {
+        f(i, i) = T{std::real(a(i, i))};
+      } else {
+        const bool stored = uplo == Uplo::Lower ? i > j : i < j;
+        f(i, j) = stored ? a(i, j) : conj_if(a(j, i));
+      }
+    }
+  return f;
+}
+
+template <typename T>
+Matrix<T> full_triangular(const Matrix<T>& a, Uplo uplo, Diag diag) {
+  const std::size_t n = a.rows();
+  Matrix<T> f(n, n);
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool stored = uplo == Uplo::Lower ? i >= j : i <= j;
+      if (i == j && diag == Diag::Unit)
+        f(i, i) = T{1};
+      else
+        f(i, j) = stored ? a(i, j) : T{};
+    }
+  return f;
+}
+
+template <typename T>
+Matrix<T> random_matrix(std::size_t m, std::size_t n, Rng& rng) {
+  Matrix<T> a(m, n);
+  fill_random(a, rng);
+  return a;
+}
+
+TEST(HostGemm, MatchesManualSmall) {
+  // C = A*B on a hand-computable 2x2 case.
+  Matrix<double> a(2, 2), b(2, 2), c(2, 2);
+  a(0, 0) = 1; a(0, 1) = 2; a(1, 0) = 3; a(1, 1) = 4;
+  b(0, 0) = 5; b(0, 1) = 6; b(1, 0) = 7; b(1, 1) = 8;
+  host::gemm<double>(Op::NoTrans, Op::NoTrans, 1.0, a.view(), b.view(), 0.0,
+                     c.view());
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(HostGemm, BetaZeroIgnoresGarbage) {
+  Matrix<double> a(3, 3), b(3, 3);
+  Rng rng(11);
+  fill_random(a, rng);
+  fill_random(b, rng);
+  Matrix<double> c1(3, 3, std::numeric_limits<double>::quiet_NaN());
+  Matrix<double> c2(3, 3, 0.0);
+  host::gemm<double>(Op::NoTrans, Op::NoTrans, 2.0, a.view(), b.view(), 0.0,
+                     c1.view());
+  host::gemm<double>(Op::NoTrans, Op::NoTrans, 2.0, a.view(), b.view(), 0.0,
+                     c2.view());
+  EXPECT_LT(max_abs_diff(c1, c2), kTol);
+}
+
+struct GemmCase {
+  Op opa, opb;
+  std::size_t m, n, k;
+};
+
+class GemmOps : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(GemmOps, TransposeVariantsMatchExplicit) {
+  const auto p = GetParam();
+  Rng rng(99);
+  // Stored operands sized so that op(A) is m-by-k, op(B) is k-by-n.
+  Matrix<double> a = (p.opa == Op::NoTrans)
+                         ? random_matrix<double>(p.m, p.k, rng)
+                         : random_matrix<double>(p.k, p.m, rng);
+  Matrix<double> b = (p.opb == Op::NoTrans)
+                         ? random_matrix<double>(p.k, p.n, rng)
+                         : random_matrix<double>(p.n, p.k, rng);
+  Matrix<double> c = random_matrix<double>(p.m, p.n, rng);
+  Matrix<double> c2 = c;
+
+  // Explicitly transpose into plain operands.
+  Matrix<double> ea(p.m, p.k), eb(p.k, p.n);
+  for (std::size_t j = 0; j < p.k; ++j)
+    for (std::size_t i = 0; i < p.m; ++i)
+      ea(i, j) = p.opa == Op::NoTrans ? a(i, j) : a(j, i);
+  for (std::size_t j = 0; j < p.n; ++j)
+    for (std::size_t i = 0; i < p.k; ++i)
+      eb(i, j) = p.opb == Op::NoTrans ? b(i, j) : b(j, i);
+
+  host::gemm<double>(p.opa, p.opb, 1.5, a.view(), b.view(), 0.5, c.view());
+  host::gemm<double>(Op::NoTrans, Op::NoTrans, 1.5, ea.view(), eb.view(), 0.5,
+                     c2.view());
+  EXPECT_LT(max_abs_diff(c, c2), kTol);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, GemmOps,
+    ::testing::Values(GemmCase{Op::NoTrans, Op::NoTrans, 7, 5, 6},
+                      GemmCase{Op::Trans, Op::NoTrans, 7, 5, 6},
+                      GemmCase{Op::NoTrans, Op::Trans, 7, 5, 6},
+                      GemmCase{Op::Trans, Op::Trans, 4, 9, 3}));
+
+TEST(HostGemm, ConjTransComplex) {
+  Rng rng(5);
+  Matrix<Z> a = random_matrix<Z>(4, 3, rng);   // op(A) = A^H : 3x4
+  Matrix<Z> b = random_matrix<Z>(4, 5, rng);   // 4x5
+  Matrix<Z> c(3, 5);
+  host::gemm<Z>(Op::ConjTrans, Op::NoTrans, Z{1.0}, a.view(), b.view(), Z{0.0},
+                c.view());
+  for (std::size_t j = 0; j < 5; ++j)
+    for (std::size_t i = 0; i < 3; ++i) {
+      Z want{};
+      for (std::size_t l = 0; l < 4; ++l) want += std::conj(a(l, i)) * b(l, j);
+      EXPECT_LT(std::abs(c(i, j) - want), kTol);
+    }
+}
+
+class UploSide
+    : public ::testing::TestWithParam<std::tuple<Side, Uplo>> {};
+
+TEST_P(UploSide, SymmMatchesFullGemm) {
+  auto [side, uplo] = GetParam();
+  Rng rng(21);
+  const std::size_t m = 6, n = 5;
+  const std::size_t na = side == Side::Left ? m : n;
+  Matrix<double> a = random_matrix<double>(na, na, rng);
+  Matrix<double> b = random_matrix<double>(m, n, rng);
+  Matrix<double> c = random_matrix<double>(m, n, rng);
+  Matrix<double> c2 = c;
+
+  host::symm<double>(side, uplo, 2.0, a.view(), b.view(), 0.7, c.view());
+  Matrix<double> fa = full_symmetric(a, uplo);
+  if (side == Side::Left)
+    host::gemm<double>(Op::NoTrans, Op::NoTrans, 2.0, fa.view(), b.view(),
+                       0.7, c2.view());
+  else
+    host::gemm<double>(Op::NoTrans, Op::NoTrans, 2.0, b.view(), fa.view(),
+                       0.7, c2.view());
+  EXPECT_LT(max_abs_diff(c, c2), kTol);
+}
+
+TEST_P(UploSide, HemmMatchesFullGemm) {
+  auto [side, uplo] = GetParam();
+  Rng rng(22);
+  const std::size_t m = 5, n = 4;
+  const std::size_t na = side == Side::Left ? m : n;
+  Matrix<Z> a = random_matrix<Z>(na, na, rng);
+  Matrix<Z> b = random_matrix<Z>(m, n, rng);
+  Matrix<Z> c = random_matrix<Z>(m, n, rng);
+  Matrix<Z> c2 = c;
+
+  host::hemm<Z>(side, uplo, Z{1.0, 0.5}, a.view(), b.view(), Z{0.3}, c.view());
+  Matrix<Z> fa = full_hermitian(a, uplo);
+  if (side == Side::Left)
+    host::gemm<Z>(Op::NoTrans, Op::NoTrans, Z{1.0, 0.5}, fa.view(), b.view(),
+                  Z{0.3}, c2.view());
+  else
+    host::gemm<Z>(Op::NoTrans, Op::NoTrans, Z{1.0, 0.5}, b.view(), fa.view(),
+                  Z{0.3}, c2.view());
+  EXPECT_LT(max_abs_diff(c, c2), kTol);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, UploSide,
+    ::testing::Combine(::testing::Values(Side::Left, Side::Right),
+                       ::testing::Values(Uplo::Lower, Uplo::Upper)));
+
+class UploOp : public ::testing::TestWithParam<std::tuple<Uplo, Op>> {};
+
+TEST_P(UploOp, SyrkMatchesFullGemm) {
+  auto [uplo, op] = GetParam();
+  if (op == Op::ConjTrans) GTEST_SKIP() << "syrk takes N/T only";
+  Rng rng(31);
+  const std::size_t n = 6, k = 4;
+  Matrix<double> a = op == Op::NoTrans ? random_matrix<double>(n, k, rng)
+                                       : random_matrix<double>(k, n, rng);
+  Matrix<double> c = random_matrix<double>(n, n, rng);
+  Matrix<double> ref = c;
+
+  host::syrk<double>(uplo, op, 1.3, a.view(), 0.4, c.view());
+  host::gemm<double>(op, op == Op::NoTrans ? Op::Trans : Op::NoTrans, 1.3,
+                     a.view(), a.view(), 0.4, ref.view());
+  // Only the uplo triangle of c is updated.
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool in_tri = uplo == Uplo::Lower ? i >= j : i <= j;
+      if (in_tri) {
+        EXPECT_NEAR(c(i, j), ref(i, j), kTol) << i << "," << j;
+      }
+    }
+}
+
+TEST_P(UploOp, Syr2kMatchesTwoGemms) {
+  auto [uplo, op] = GetParam();
+  if (op == Op::ConjTrans) GTEST_SKIP() << "syr2k takes N/T only";
+  Rng rng(32);
+  const std::size_t n = 5, k = 7;
+  Matrix<double> a = op == Op::NoTrans ? random_matrix<double>(n, k, rng)
+                                       : random_matrix<double>(k, n, rng);
+  Matrix<double> b = op == Op::NoTrans ? random_matrix<double>(n, k, rng)
+                                       : random_matrix<double>(k, n, rng);
+  Matrix<double> c = random_matrix<double>(n, n, rng);
+  Matrix<double> ref = c;
+
+  host::syr2k<double>(uplo, op, 0.9, a.view(), b.view(), 1.1, c.view());
+  const Op flip = op == Op::NoTrans ? Op::Trans : Op::NoTrans;
+  host::gemm<double>(op, flip, 0.9, a.view(), b.view(), 1.1, ref.view());
+  host::gemm<double>(op, flip, 0.9, b.view(), a.view(), 1.0, ref.view());
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool in_tri = uplo == Uplo::Lower ? i >= j : i <= j;
+      if (in_tri) {
+        EXPECT_NEAR(c(i, j), ref(i, j), kTol);
+      }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, UploOp,
+    ::testing::Combine(::testing::Values(Uplo::Lower, Uplo::Upper),
+                       ::testing::Values(Op::NoTrans, Op::Trans)));
+
+TEST(HostHerk, MatchesFullGemmConj) {
+  Rng rng(41);
+  const std::size_t n = 5, k = 4;
+  Matrix<Z> a = random_matrix<Z>(n, k, rng);
+  Matrix<Z> c = random_matrix<Z>(n, n, rng);
+  // Hermitian C input: make diagonal real.
+  for (std::size_t i = 0; i < n; ++i) c(i, i) = Z{std::real(c(i, i))};
+  Matrix<Z> ref = c;
+
+  host::herk<Z>(Uplo::Lower, Op::NoTrans, 2.0, a.view(), 0.5, c.view());
+  host::gemm<Z>(Op::NoTrans, Op::ConjTrans, Z{2.0}, a.view(), a.view(), Z{0.5},
+                ref.view());
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = j; i < n; ++i)
+      EXPECT_LT(std::abs(c(i, j) - ref(i, j)), kTol);
+}
+
+TEST(HostHer2k, MatchesTwoGemms) {
+  Rng rng(42);
+  const std::size_t n = 4, k = 6;
+  Matrix<Z> a = random_matrix<Z>(n, k, rng);
+  Matrix<Z> b = random_matrix<Z>(n, k, rng);
+  Matrix<Z> c = random_matrix<Z>(n, n, rng);
+  for (std::size_t i = 0; i < n; ++i) c(i, i) = Z{std::real(c(i, i))};
+  Matrix<Z> ref = c;
+
+  const Z alpha{1.2, -0.3};
+  host::her2k<Z>(Uplo::Lower, Op::NoTrans, alpha, a.view(), b.view(), 0.7,
+                 c.view());
+  host::gemm<Z>(Op::NoTrans, Op::ConjTrans, alpha, a.view(), b.view(), Z{0.7},
+                ref.view());
+  host::gemm<Z>(Op::NoTrans, Op::ConjTrans, std::conj(alpha), b.view(),
+                a.view(), Z{1.0}, ref.view());
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = j; i < n; ++i)
+      EXPECT_LT(std::abs(c(i, j) - ref(i, j)), kTol);
+}
+
+struct TriCase {
+  Side side;
+  Uplo uplo;
+  Op op;
+  Diag diag;
+};
+
+class TriParams : public ::testing::TestWithParam<TriCase> {};
+
+TEST_P(TriParams, TrmmMatchesFullGemm) {
+  const auto p = GetParam();
+  Rng rng(51);
+  const std::size_t m = 6, n = 4;
+  const std::size_t na = p.side == Side::Left ? m : n;
+  Matrix<double> a = random_matrix<double>(na, na, rng);
+  Matrix<double> b = random_matrix<double>(m, n, rng);
+  Matrix<double> ref(m, n);
+
+  Matrix<double> fa = full_triangular(a, p.uplo, p.diag);
+  if (p.side == Side::Left)
+    host::gemm<double>(p.op, Op::NoTrans, 1.4, fa.view(), b.view(), 0.0,
+                       ref.view());
+  else
+    host::gemm<double>(Op::NoTrans, p.op, 1.4, b.view(), fa.view(), 0.0,
+                       ref.view());
+
+  host::trmm<double>(p.side, p.uplo, p.op, p.diag, 1.4, a.view(), b.view());
+  EXPECT_LT(max_abs_diff(b, ref), kTol);
+}
+
+TEST_P(TriParams, TrsmInvertsTrmm) {
+  const auto p = GetParam();
+  Rng rng(52);
+  const std::size_t m = 6, n = 4;
+  const std::size_t na = p.side == Side::Left ? m : n;
+  Matrix<double> a = random_matrix<double>(na, na, rng);
+  make_diag_dominant(a);
+  Matrix<double> x = random_matrix<double>(m, n, rng);
+  Matrix<double> b = x;
+
+  // b := op(A) * x (or x * op(A)); then solving must recover x.
+  host::trmm<double>(p.side, p.uplo, p.op, p.diag, 1.0, a.view(), b.view());
+  host::trsm<double>(p.side, p.uplo, p.op, p.diag, 1.0, a.view(), b.view());
+  EXPECT_LT(max_abs_diff(b, x), 1e-9);
+}
+
+TEST_P(TriParams, TrsmAlphaScales) {
+  const auto p = GetParam();
+  Rng rng(53);
+  const std::size_t m = 5, n = 3;
+  const std::size_t na = p.side == Side::Left ? m : n;
+  Matrix<double> a = random_matrix<double>(na, na, rng);
+  make_diag_dominant(a);
+  Matrix<double> b = random_matrix<double>(m, n, rng);
+  Matrix<double> b2 = b;
+
+  host::trsm<double>(p.side, p.uplo, p.op, p.diag, 3.0, a.view(), b.view());
+  host::trsm<double>(p.side, p.uplo, p.op, p.diag, 1.0, a.view(), b2.view());
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = 0; i < m; ++i)
+      EXPECT_NEAR(b(i, j), 3.0 * b2(i, j), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, TriParams,
+    ::testing::Values(
+        TriCase{Side::Left, Uplo::Lower, Op::NoTrans, Diag::NonUnit},
+        TriCase{Side::Left, Uplo::Lower, Op::Trans, Diag::NonUnit},
+        TriCase{Side::Left, Uplo::Upper, Op::NoTrans, Diag::NonUnit},
+        TriCase{Side::Left, Uplo::Upper, Op::Trans, Diag::NonUnit},
+        TriCase{Side::Right, Uplo::Lower, Op::NoTrans, Diag::NonUnit},
+        TriCase{Side::Right, Uplo::Lower, Op::Trans, Diag::NonUnit},
+        TriCase{Side::Right, Uplo::Upper, Op::NoTrans, Diag::NonUnit},
+        TriCase{Side::Right, Uplo::Upper, Op::Trans, Diag::NonUnit},
+        TriCase{Side::Left, Uplo::Lower, Op::NoTrans, Diag::Unit},
+        TriCase{Side::Right, Uplo::Upper, Op::Trans, Diag::Unit}));
+
+TEST(HostTrsmComplex, ConjTransSolve) {
+  Rng rng(61);
+  const std::size_t m = 5, n = 3;
+  Matrix<Z> a = random_matrix<Z>(m, m, rng);
+  make_diag_dominant(a);
+  Matrix<Z> x = random_matrix<Z>(m, n, rng);
+  Matrix<Z> b = x;
+  host::trmm<Z>(Side::Left, Uplo::Lower, Op::ConjTrans, Diag::NonUnit, Z{1.0},
+                a.view(), b.view());
+  host::trsm<Z>(Side::Left, Uplo::Lower, Op::ConjTrans, Diag::NonUnit, Z{1.0},
+                a.view(), b.view());
+  EXPECT_LT(max_abs_diff(b, x), 1e-9);
+}
+
+}  // namespace
+}  // namespace xkb

@@ -1,0 +1,202 @@
+// Tests of the software-cache substrate: handle registry, replica states,
+// capacity accounting and the read-only-first LRU eviction policy.
+#include <gtest/gtest.h>
+
+#include "mem/cache.hpp"
+#include "mem/registry.hpp"
+
+namespace xkb::mem {
+namespace {
+
+double buf[4096];
+
+TEST(Registry, InternCreatesOnce) {
+  Registry reg(4);
+  DataHandle* a = reg.intern(buf, 8, 8, 16, sizeof(double));
+  DataHandle* b = reg.intern(buf, 8, 8, 16, sizeof(double));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(reg.size(), 1u);
+  EXPECT_EQ(a->dev.size(), 4u);
+  EXPECT_EQ(a->bytes(), 8 * 8 * sizeof(double));
+}
+
+TEST(Registry, HostValidAtCreation) {
+  Registry reg(2);
+  DataHandle* h = reg.intern(buf, 4, 4, 8, sizeof(double));
+  EXPECT_EQ(h->host.state, ReplicaState::kValid);
+  EXPECT_TRUE(h->valid_anywhere());
+  EXPECT_EQ(h->dirty_device(), -1);
+}
+
+TEST(Registry, GeometryMismatchThrows) {
+  Registry reg(2);
+  reg.intern(buf, 8, 8, 16, sizeof(double));
+  EXPECT_THROW(reg.intern(buf, 4, 4, 16, sizeof(double)),
+               std::invalid_argument);
+}
+
+TEST(Registry, DistinctOriginsDistinctHandles) {
+  Registry reg(2);
+  DataHandle* a = reg.intern(buf, 4, 4, 64, sizeof(double));
+  DataHandle* b = reg.intern(buf + 4, 4, 4, 64, sizeof(double));
+  EXPECT_NE(a, b);
+  EXPECT_EQ(reg.find(buf), a);
+  EXPECT_EQ(reg.find(buf + 4), b);
+  EXPECT_EQ(reg.find(buf + 8), nullptr);
+}
+
+TEST(Registry, ClearResets) {
+  Registry reg(2);
+  reg.intern(buf, 4, 4, 8, sizeof(double));
+  reg.clear();
+  EXPECT_EQ(reg.size(), 0u);
+  EXPECT_EQ(reg.find(buf), nullptr);
+}
+
+TEST(Registry, ValidAndInflightQueries) {
+  Registry reg(4);
+  DataHandle* h = reg.intern(buf, 4, 4, 8, sizeof(double));
+  h->dev[1].state = ReplicaState::kValid;
+  h->dev[3].state = ReplicaState::kInFlight;
+  EXPECT_EQ(h->valid_devices(), (std::vector<int>{1}));
+  EXPECT_EQ(h->inflight_devices(), (std::vector<int>{3}));
+  h->dev[1].dirty = true;
+  EXPECT_EQ(h->dirty_device(), 1);
+}
+
+class CacheTest : public ::testing::Test {
+ protected:
+  CacheTest() : reg_(2) {}
+
+  DataHandle* tile(int idx) {
+    // 8x8 doubles = 512 bytes per tile.
+    DataHandle* h = reg_.intern(buf + 64 * idx, 8, 8, 512, sizeof(double));
+    return h;
+  }
+
+  Registry reg_;
+};
+
+TEST_F(CacheTest, ReserveAccountsBytes) {
+  DeviceCache c(0, 2048);
+  DataHandle* h = tile(0);
+  c.reserve(h);
+  EXPECT_EQ(c.used(), 512u);
+  EXPECT_TRUE(h->dev[0].resident);
+  // Idempotent while resident.
+  c.reserve(h);
+  EXPECT_EQ(c.used(), 512u);
+  EXPECT_EQ(c.resident_count(), 1u);
+}
+
+TEST_F(CacheTest, ReleaseFrees) {
+  DeviceCache c(0, 2048);
+  DataHandle* h = tile(0);
+  c.reserve(h);
+  c.release(h);
+  EXPECT_EQ(c.used(), 0u);
+  EXPECT_FALSE(h->dev[0].resident);
+  EXPECT_EQ(h->dev[0].state, ReplicaState::kInvalid);
+}
+
+TEST_F(CacheTest, EvictsCleanLruFirst) {
+  DeviceCache c(0, 1536);  // room for 3 tiles
+  DataHandle *a = tile(0), *b = tile(1), *d = tile(2), *e = tile(3);
+  for (DataHandle* h : {a, b, d}) {
+    c.reserve(h);
+    h->dev[0].state = ReplicaState::kValid;
+  }
+  a->dev[0].last_use = 1.0;
+  b->dev[0].last_use = 5.0;  // most recent
+  d->dev[0].last_use = 3.0;
+  auto res = c.reserve(e);
+  ASSERT_EQ(res.clean_evicted.size(), 1u);
+  EXPECT_EQ(res.clean_evicted[0], a);  // LRU clean victim
+  EXPECT_TRUE(res.dirty_evicted.empty());
+  EXPECT_FALSE(a->dev[0].resident);
+  EXPECT_EQ(c.evictions(), 1u);
+}
+
+TEST_F(CacheTest, CleanPreferredOverDirtyEvenIfNewer) {
+  DeviceCache c(0, 1024);  // 2 tiles
+  DataHandle *dirty = tile(0), *clean = tile(1), *incoming = tile(2);
+  c.reserve(dirty);
+  dirty->dev[0].state = ReplicaState::kValid;
+  dirty->dev[0].dirty = true;
+  dirty->dev[0].last_use = 1.0;  // older than the clean tile
+  c.reserve(clean);
+  clean->dev[0].state = ReplicaState::kValid;
+  clean->dev[0].last_use = 9.0;
+  auto res = c.reserve(incoming);
+  ASSERT_EQ(res.clean_evicted.size(), 1u);
+  EXPECT_EQ(res.clean_evicted[0], clean);  // read-only-first policy
+}
+
+TEST_F(CacheTest, DirtyEvictedWhenNoCleanLeft) {
+  DeviceCache c(0, 512);  // 1 tile
+  DataHandle *dirty = tile(0), *incoming = tile(1);
+  c.reserve(dirty);
+  dirty->dev[0].state = ReplicaState::kValid;
+  dirty->dev[0].dirty = true;
+  auto res = c.reserve(incoming);
+  ASSERT_EQ(res.dirty_evicted.size(), 1u);
+  EXPECT_EQ(res.dirty_evicted[0], dirty);
+  EXPECT_FALSE(dirty->dev[0].dirty) << "caller takes over the flush";
+}
+
+TEST_F(CacheTest, PinnedReplicasAreNotVictims) {
+  DeviceCache c(0, 512);
+  DataHandle *pinned = tile(0), *incoming = tile(1);
+  c.reserve(pinned);
+  pinned->dev[0].state = ReplicaState::kValid;
+  pinned->dev[0].pins = 1;
+  EXPECT_THROW(c.reserve(incoming), OutOfDeviceMemory);
+}
+
+TEST_F(CacheTest, InFlightReplicasAreNotVictims) {
+  DeviceCache c(0, 512);
+  DataHandle *flying = tile(0), *incoming = tile(1);
+  c.reserve(flying);
+  flying->dev[0].state = ReplicaState::kInFlight;
+  EXPECT_THROW(c.reserve(incoming), OutOfDeviceMemory);
+}
+
+TEST_F(CacheTest, OversizedReservationThrows) {
+  DeviceCache c(0, 256);  // smaller than one tile
+  EXPECT_THROW(c.reserve(tile(0)), OutOfDeviceMemory);
+}
+
+}  // namespace
+}  // namespace xkb::mem
+
+// Appended: eviction-policy ablation behaviour.
+namespace xkb::mem {
+namespace {
+
+double buf2[4096];
+
+TEST(EvictionPolicyTest, LruEvictsDirtyByRecency) {
+  Registry reg(2);
+  auto tile = [&](int idx) {
+    return reg.intern(buf2 + 64 * idx, 8, 8, 512, sizeof(double));
+  };
+  DeviceCache c(0, 1024, EvictionPolicy::kLru);  // 2 tiles
+  DataHandle* dirty_old = tile(0);
+  DataHandle* clean_new = tile(1);
+  c.reserve(dirty_old);
+  dirty_old->dev[0].state = ReplicaState::kValid;
+  dirty_old->dev[0].dirty = true;
+  dirty_old->dev[0].last_use = 1.0;
+  c.reserve(clean_new);
+  clean_new->dev[0].state = ReplicaState::kValid;
+  clean_new->dev[0].last_use = 9.0;
+  auto res = c.reserve(tile(2));
+  // Plain LRU picks the oldest replica even though it is dirty...
+  ASSERT_EQ(res.dirty_evicted.size(), 1u);
+  EXPECT_EQ(res.dirty_evicted[0], dirty_old);
+  // ...where read-only-first would have dropped the clean one (covered by
+  // CacheTest.CleanPreferredOverDirtyEvenIfNewer).
+}
+
+}  // namespace
+}  // namespace xkb::mem

@@ -1,0 +1,177 @@
+// Tests of the discrete-event engine and FIFO resources.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/resource.hpp"
+
+namespace xkb::sim {
+namespace {
+
+TEST(Engine, RunsEventsInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(2.0, [&] { order.push_back(2); });
+  e.schedule_at(1.0, [&] { order.push_back(1); });
+  e.schedule_at(3.0, [&] { order.push_back(3); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(e.now(), 3.0);
+  EXPECT_EQ(e.events_processed(), 3u);
+}
+
+TEST(Engine, SameTimeFifoBySequence) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i)
+    e.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Engine, CallbacksCanScheduleMore) {
+  Engine e;
+  int depth = 0;
+  std::function<void()> recur = [&] {
+    if (++depth < 10) e.schedule_after(1.0, recur);
+  };
+  e.schedule_at(0.0, recur);
+  e.run();
+  EXPECT_EQ(depth, 10);
+  EXPECT_DOUBLE_EQ(e.now(), 9.0);
+}
+
+TEST(Engine, RunUntilStopsAtDeadline) {
+  Engine e;
+  int fired = 0;
+  e.schedule_at(1.0, [&] { ++fired; });
+  e.schedule_at(5.0, [&] { ++fired; });
+  e.run_until(2.0);
+  EXPECT_EQ(fired, 1);
+  e.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, ResetClearsState) {
+  Engine e;
+  e.schedule_at(1.0, [] {});
+  e.reset();
+  EXPECT_TRUE(e.empty());
+  EXPECT_DOUBLE_EQ(e.now(), 0.0);
+}
+
+TEST(Resource, SerializesSubmissions) {
+  Engine e;
+  FifoResource r(e, "s");
+  auto a = r.submit(2.0, {});
+  auto b = r.submit(3.0, {});
+  EXPECT_DOUBLE_EQ(a.start, 0.0);
+  EXPECT_DOUBLE_EQ(a.end, 2.0);
+  EXPECT_DOUBLE_EQ(b.start, 2.0);  // FIFO after the first
+  EXPECT_DOUBLE_EQ(b.end, 5.0);
+  EXPECT_DOUBLE_EQ(r.busy_time(), 5.0);
+  EXPECT_EQ(r.ops(), 2u);
+}
+
+TEST(Resource, CompletionCallbackAtEnd) {
+  Engine e;
+  FifoResource r(e, "s");
+  double done_at = -1.0;
+  r.submit(4.0, [&] { done_at = e.now(); });
+  e.run();
+  EXPECT_DOUBLE_EQ(done_at, 4.0);
+}
+
+TEST(Resource, IdleGapThenSubmit) {
+  Engine e;
+  FifoResource r(e, "s");
+  r.submit(1.0, [] {});  // completion event advances the clock to 1.0
+  e.run();
+  EXPECT_DOUBLE_EQ(e.now(), 1.0);
+  e.schedule_after(5.0, [&] {
+    auto iv = r.submit(1.0, {});
+    EXPECT_DOUBLE_EQ(iv.start, 6.0);  // starts immediately, not at 1.0
+  });
+  e.run();
+}
+
+TEST(Channel, BandwidthAndLatency) {
+  Engine e;
+  Channel c(e, "link", 100.0, 0.5);  // 100 B/s, 0.5 s latency
+  auto iv = c.transfer(200, {});
+  EXPECT_DOUBLE_EQ(iv.duration(), 0.5 + 2.0);
+  EXPECT_EQ(c.bytes_moved(), 200u);
+}
+
+TEST(Channel, ContentionDelaysSecondTransfer) {
+  Engine e;
+  Channel c(e, "link", 1e9, 0.0);  // 1 GB/s
+  auto a = c.transfer(1'000'000'000, {});
+  auto b = c.transfer(500'000'000, {});
+  EXPECT_DOUBLE_EQ(a.end, 1.0);
+  EXPECT_DOUBLE_EQ(b.start, 1.0);
+  EXPECT_DOUBLE_EQ(b.end, 1.5);
+}
+
+TEST(Channel, AvailableAtTracksBacklog) {
+  Engine e;
+  Channel c(e, "link", 1e6, 0.0);
+  EXPECT_DOUBLE_EQ(c.available_at(), 0.0);
+  c.transfer(2'000'000, {});
+  EXPECT_DOUBLE_EQ(c.available_at(), 2.0);
+}
+
+}  // namespace
+}  // namespace xkb::sim
+
+// Appended: engine stress and ordering properties.
+namespace xkb::sim {
+namespace {
+
+TEST(EngineStress, ManyInterleavedEventsKeepOrder) {
+  Engine e;
+  std::vector<double> times;
+  // Schedule 10k events at pseudo-random times; execution must be sorted.
+  std::uint64_t x = 12345;
+  for (int i = 0; i < 10000; ++i) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    const double t = static_cast<double>(x % 100000) * 1e-6;
+    e.schedule_at(t, [&times, t] { times.push_back(t); });
+  }
+  e.run();
+  ASSERT_EQ(times.size(), 10000u);
+  EXPECT_TRUE(std::is_sorted(times.begin(), times.end()));
+}
+
+TEST(EngineStress, CascadingEventsFromCallbacks) {
+  // Each event schedules two more until a depth limit: a 2^12-event tree.
+  Engine e;
+  int count = 0;
+  std::function<void(int)> spawn = [&](int depth) {
+    ++count;
+    if (depth == 0) return;
+    e.schedule_after(1e-6, [&spawn, depth] { spawn(depth - 1); });
+    e.schedule_after(2e-6, [&spawn, depth] { spawn(depth - 1); });
+  };
+  e.schedule_at(0.0, [&spawn] { spawn(11); });
+  e.run();
+  EXPECT_EQ(count, (1 << 12) - 1);
+}
+
+TEST(ChannelStress, ThousandsOfTransfersConserveBytes) {
+  Engine e;
+  Channel c(e, "link", 12.3e9, 10e-6);
+  std::size_t delivered = 0;
+  const std::size_t each = 1 << 16;
+  for (int i = 0; i < 5000; ++i)
+    c.transfer(each, [&delivered, each] { delivered += each; });
+  e.run();
+  EXPECT_EQ(delivered, 5000 * each);
+  EXPECT_EQ(c.bytes_moved(), 5000 * each);
+  // Busy time equals the sum of per-transfer durations (serial link).
+  EXPECT_NEAR(c.busy_time(), 5000 * (10e-6 + each / 12.3e9), 1e-6);
+}
+
+}  // namespace
+}  // namespace xkb::sim

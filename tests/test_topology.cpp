@@ -1,0 +1,129 @@
+// Tests of the interconnect topology models, checked against the paper's
+// Fig. 1 (link classes) and Fig. 2 (bandwidth matrix) for the DGX-1.
+#include <gtest/gtest.h>
+
+#include "topo/topology.hpp"
+
+namespace xkb::topo {
+namespace {
+
+TEST(Dgx1, EightGpus) {
+  const Topology t = Topology::dgx1();
+  EXPECT_EQ(t.num_gpus(), 8);
+  EXPECT_EQ(t.name(), "DGX-1");
+}
+
+TEST(Dgx1, DoubleNvlinkPairsOfFig1) {
+  const Topology t = Topology::dgx1();
+  const int nv2[][2] = {{0, 3}, {0, 4}, {1, 2}, {1, 5},
+                        {2, 3}, {4, 7}, {5, 6}, {6, 7}};
+  for (auto& p : nv2) {
+    EXPECT_EQ(t.link_class(p[0], p[1]), LinkClass::kNVLink2)
+        << p[0] << "-" << p[1];
+    EXPECT_EQ(t.link_class(p[1], p[0]), LinkClass::kNVLink2);
+    EXPECT_NEAR(t.gpu_bandwidth_gbps(p[0], p[1]), 96.4, 1e-9);
+  }
+}
+
+TEST(Dgx1, SingleNvlinkPairsOfFig1) {
+  const Topology t = Topology::dgx1();
+  const int nv1[][2] = {{0, 1}, {0, 2}, {1, 3}, {2, 6},
+                        {3, 7}, {4, 5}, {4, 6}, {5, 7}};
+  for (auto& p : nv1) {
+    EXPECT_EQ(t.link_class(p[0], p[1]), LinkClass::kNVLink1);
+    EXPECT_NEAR(t.gpu_bandwidth_gbps(p[0], p[1]), 48.4, 1e-9);
+  }
+}
+
+TEST(Dgx1, EveryGpuHasSixNvlinkLanes) {
+  // Hybrid cube-mesh invariant: each V100 exposes 6 NVLink lanes
+  // (2 lanes per NVLink2 pair + 1 per NVLink1 pair).
+  const Topology t = Topology::dgx1();
+  for (int g = 0; g < 8; ++g) {
+    int lanes = 0;
+    for (int o = 0; o < 8; ++o) {
+      if (o == g) continue;
+      if (t.link_class(g, o) == LinkClass::kNVLink2) lanes += 2;
+      if (t.link_class(g, o) == LinkClass::kNVLink1) lanes += 1;
+    }
+    EXPECT_EQ(lanes, 6) << "GPU " << g;
+  }
+}
+
+TEST(Dgx1, RemainingPairsUsePcie) {
+  const Topology t = Topology::dgx1();
+  // Cross-socket non-linked pairs, e.g. 0-5, 0-6, 0-7 (Fig. 2 ~17 GB/s).
+  EXPECT_EQ(t.link_class(0, 5), LinkClass::kPCIeP2P);
+  EXPECT_EQ(t.link_class(0, 6), LinkClass::kPCIeP2P);
+  EXPECT_EQ(t.link_class(0, 7), LinkClass::kPCIeP2P);
+  EXPECT_NEAR(t.gpu_bandwidth_gbps(0, 7), 17.2, 1e-9);
+}
+
+TEST(Dgx1, BandwidthMatrixSymmetric) {
+  const Topology t = Topology::dgx1();
+  for (int a = 0; a < 8; ++a)
+    for (int b = 0; b < 8; ++b)
+      EXPECT_DOUBLE_EQ(t.gpu_bandwidth_gbps(a, b), t.gpu_bandwidth_gbps(b, a));
+}
+
+TEST(Dgx1, PerfRankOrdersLinkClasses) {
+  const Topology t = Topology::dgx1();
+  EXPECT_GT(t.p2p_perf_rank(0, 3), t.p2p_perf_rank(0, 1));  // NV2 > NV1
+  EXPECT_GT(t.p2p_perf_rank(0, 1), t.p2p_perf_rank(0, 7));  // NV1 > PCIe
+  EXPECT_GT(t.p2p_perf_rank(0, 7), 0);                      // PCIe > none
+}
+
+TEST(Dgx1, PeersByRankSorted) {
+  const Topology t = Topology::dgx1();
+  const auto peers = t.peers_by_rank(0);
+  ASSERT_EQ(peers.size(), 7u);
+  for (std::size_t i = 1; i < peers.size(); ++i)
+    EXPECT_GE(t.p2p_perf_rank(peers[i - 1], 0), t.p2p_perf_rank(peers[i], 0));
+  // The two double-NVLink peers of GPU 0 come first.
+  EXPECT_TRUE((peers[0] == 3 && peers[1] == 4) ||
+              (peers[0] == 4 && peers[1] == 3));
+}
+
+TEST(Dgx1, FourSharedHostLinks) {
+  const Topology t = Topology::dgx1();
+  EXPECT_EQ(t.num_host_links(), 4);
+  // Pairs (0,1), (2,3), (4,5), (6,7) share a PCIe switch.
+  EXPECT_EQ(t.host_link_of(0), t.host_link_of(1));
+  EXPECT_EQ(t.host_link_of(2), t.host_link_of(3));
+  EXPECT_NE(t.host_link_of(1), t.host_link_of(2));
+  EXPECT_NEAR(t.host_bandwidth_gbps(0), 12.3, 1e-9);
+}
+
+TEST(PcieOnly, NoNvlinkAnywhere) {
+  const Topology t = Topology::pcie_only(4);
+  for (int a = 0; a < 4; ++a)
+    for (int b = 0; b < 4; ++b)
+      if (a != b) {
+        EXPECT_EQ(t.link_class(a, b), LinkClass::kPCIeP2P);
+      }
+}
+
+TEST(NvSwitch, UniformAllToAll) {
+  const Topology t = Topology::nvswitch(8, 240.0);
+  for (int a = 0; a < 8; ++a)
+    for (int b = 0; b < 8; ++b)
+      if (a != b) {
+        EXPECT_EQ(t.link_class(a, b), LinkClass::kNVLink2);
+        EXPECT_DOUBLE_EQ(t.gpu_bandwidth_gbps(a, b), 240.0);
+      }
+}
+
+TEST(SummitLike, FastHostLinks) {
+  const Topology t = Topology::summit_like();
+  EXPECT_EQ(t.num_gpus(), 6);
+  for (int g = 0; g < 6; ++g)
+    EXPECT_NEAR(t.host_bandwidth_gbps(g), 50.0, 1e-9);
+  // Dedicated host links: no sharing.
+  EXPECT_NE(t.host_link_of(0), t.host_link_of(1));
+  // In-socket NVLink, cross-socket staged.
+  EXPECT_EQ(t.link_class(0, 1), LinkClass::kNVLink1);
+  EXPECT_EQ(t.link_class(0, 3), LinkClass::kPCIeP2P);
+}
+
+}  // namespace
+}  // namespace xkb::topo

@@ -1,0 +1,139 @@
+// Unit tests for the util substrate: matrices/views, RNG, statistics,
+// tables, flop counts.
+#include <gtest/gtest.h>
+
+#include "util/flops.hpp"
+#include "util/matrix.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace xkb {
+namespace {
+
+TEST(Matrix, ColumnMajorIndexing) {
+  Matrix<double> a(3, 2);
+  a(0, 0) = 1.0;
+  a(2, 1) = 5.0;
+  EXPECT_EQ(a.data()[0], 1.0);
+  EXPECT_EQ(a.data()[2 + 1 * 3], 5.0);
+  EXPECT_EQ(a.ld(), 3u);
+}
+
+TEST(Matrix, ViewBlockSharesStorage) {
+  Matrix<double> a(4, 4);
+  for (std::size_t j = 0; j < 4; ++j)
+    for (std::size_t i = 0; i < 4; ++i) a(i, j) = double(i + 10 * j);
+  MatrixView<double> blk = a.view().block(1, 2, 2, 2);
+  EXPECT_EQ(blk.m, 2u);
+  EXPECT_EQ(blk.ld, 4u);
+  EXPECT_EQ(blk(0, 0), a(1, 2));
+  blk(1, 1) = -7.0;
+  EXPECT_EQ(a(2, 3), -7.0);
+}
+
+TEST(Matrix, NestedBlocksCompose) {
+  Matrix<double> a(8, 8);
+  a(5, 6) = 42.0;
+  auto outer = a.view().block(4, 4, 4, 4);
+  auto inner = outer.block(1, 2, 2, 2);
+  EXPECT_EQ(inner(0, 0), 42.0);
+}
+
+TEST(Matrix, MaxAbsDiff) {
+  Matrix<double> a(2, 2), b(2, 2);
+  a(1, 0) = 3.0;
+  b(1, 0) = 5.5;
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, b), 2.5);
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, a), 0.0);
+}
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42), b(42), c(43);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+  EXPECT_NE(a.next_u64(), c.next_u64());
+}
+
+TEST(Rng, UniformRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.uniform(-2.0, 3.0);
+    EXPECT_GE(x, -2.0);
+    EXPECT_LT(x, 3.0);
+  }
+}
+
+TEST(Rng, FillRandomCoversMatrix) {
+  Matrix<double> a(5, 5);
+  Rng r(1);
+  fill_random(a, r);
+  int nonzero = 0;
+  for (std::size_t j = 0; j < 5; ++j)
+    for (std::size_t i = 0; i < 5; ++i)
+      if (a(i, j) != 0.0) ++nonzero;
+  EXPECT_GT(nonzero, 20);
+}
+
+TEST(Rng, DiagDominantMakesSolvable) {
+  Matrix<double> a(4, 4);
+  Rng r(3);
+  fill_random(a, r);
+  make_diag_dominant(a);
+  for (std::size_t i = 0; i < 4; ++i) {
+    double off = 0;
+    for (std::size_t j = 0; j < 4; ++j)
+      if (i != j) off += std::abs(a(i, j));
+    EXPECT_GT(std::abs(a(i, i)), off);
+  }
+}
+
+TEST(Stats, MeanAndCi) {
+  Summary s = summarize({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_NEAR(s.stddev, 1.2909944, 1e-6);
+  EXPECT_GT(s.ci95_half, 0.0);
+  EXPECT_EQ(s.n, 4u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+}
+
+TEST(Stats, SingleSampleNoCi) {
+  Summary s = summarize({5.0});
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.ci95_half, 0.0);
+}
+
+TEST(Stats, EmptySample) {
+  Summary s = summarize({});
+  EXPECT_EQ(s.n, 0u);
+}
+
+TEST(Table, AlignedText) {
+  Table t({"name", "value"});
+  t.add_row({"gemm", Table::num(3.14159, 2)});
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("gemm"), std::string::npos);
+  EXPECT_NE(text.find("3.14"), std::string::npos);
+}
+
+TEST(Table, Csv) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(Flops, RoutineCounts) {
+  EXPECT_DOUBLE_EQ(routine_flops(Blas3::kGemm, 100), 2e6);
+  EXPECT_DOUBLE_EQ(routine_flops(Blas3::kTrsm, 100), 1e6);
+  EXPECT_DOUBLE_EQ(routine_flops(Blas3::kSyrk, 100), 100.0 * 100 * 101);
+  EXPECT_DOUBLE_EQ(routine_flops(Blas3::kSyr2k, 100),
+                   2.0 * 100 * 100 * 101);
+}
+
+TEST(Flops, Names) {
+  EXPECT_STREQ(blas3_name(Blas3::kGemm), "GEMM");
+  EXPECT_STREQ(blas3_name(Blas3::kHer2k), "HER2K");
+}
+
+}  // namespace
+}  // namespace xkb

