@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_ablations.dir/ext_ablations.cpp.o"
+  "CMakeFiles/ext_ablations.dir/ext_ablations.cpp.o.d"
+  "ext_ablations"
+  "ext_ablations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_ablations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_factorization.dir/ext_factorization.cpp.o"
+  "CMakeFiles/ext_factorization.dir/ext_factorization.cpp.o.d"
+  "ext_factorization"
+  "ext_factorization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_factorization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_precision.dir/ext_precision.cpp.o"
+  "CMakeFiles/ext_precision.dir/ext_precision.cpp.o.d"
+  "ext_precision"
+  "ext_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_topologies.dir/ext_topologies.cpp.o"
+  "CMakeFiles/ext_topologies.dir/ext_topologies.cpp.o.d"
+  "ext_topologies"
+  "ext_topologies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_topologies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

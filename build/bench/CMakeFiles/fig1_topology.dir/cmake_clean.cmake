@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_topology.dir/fig1_topology.cpp.o"
+  "CMakeFiles/fig1_topology.dir/fig1_topology.cpp.o.d"
+  "fig1_topology"
+  "fig1_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_bandwidth.dir/fig2_bandwidth.cpp.o"
+  "CMakeFiles/fig2_bandwidth.dir/fig2_bandwidth.cpp.o.d"
+  "fig2_bandwidth"
+  "fig2_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_heuristics.dir/fig3_heuristics.cpp.o"
+  "CMakeFiles/fig3_heuristics.dir/fig3_heuristics.cpp.o.d"
+  "fig3_heuristics"
+  "fig3_heuristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_heuristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_data_on_device.dir/fig4_data_on_device.cpp.o"
+  "CMakeFiles/fig4_data_on_device.dir/fig4_data_on_device.cpp.o.d"
+  "fig4_data_on_device"
+  "fig4_data_on_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_data_on_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_data_on_device.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_libraries.dir/fig5_libraries.cpp.o"
+  "CMakeFiles/fig5_libraries.dir/fig5_libraries.cpp.o.d"
+  "fig5_libraries"
+  "fig5_libraries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_libraries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_syr2k_trace.dir/fig7_syr2k_trace.cpp.o"
+  "CMakeFiles/fig7_syr2k_trace.dir/fig7_syr2k_trace.cpp.o.d"
+  "fig7_syr2k_trace"
+  "fig7_syr2k_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_syr2k_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

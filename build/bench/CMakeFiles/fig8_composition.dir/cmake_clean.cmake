@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_composition.dir/fig8_composition.cpp.o"
+  "CMakeFiles/fig8_composition.dir/fig8_composition.cpp.o.d"
+  "fig8_composition"
+  "fig8_composition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_composition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_gantt.dir/fig9_gantt.cpp.o"
+  "CMakeFiles/fig9_gantt.dir/fig9_gantt.cpp.o.d"
+  "fig9_gantt"
+  "fig9_gantt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_gantt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probe_calibration.dir/probe_calibration.cpp.o"
+  "CMakeFiles/probe_calibration.dir/probe_calibration.cpp.o.d"
+  "probe_calibration"
+  "probe_calibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probe_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probe_gantt.dir/probe_gantt.cpp.o"
+  "CMakeFiles/probe_gantt.dir/probe_gantt.cpp.o.d"
+  "probe_gantt"
+  "probe_gantt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probe_gantt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for probe_gantt.
+# This may be replaced when dependencies are built.

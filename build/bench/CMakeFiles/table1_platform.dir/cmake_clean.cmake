@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_platform.dir/table1_platform.cpp.o"
+  "CMakeFiles/table1_platform.dir/table1_platform.cpp.o.d"
+  "table1_platform"
+  "table1_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

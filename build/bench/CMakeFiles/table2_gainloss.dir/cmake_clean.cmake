@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_gainloss.dir/table2_gainloss.cpp.o"
+  "CMakeFiles/table2_gainloss.dir/table2_gainloss.cpp.o.d"
+  "table2_gainloss"
+  "table2_gainloss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_gainloss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_cyclic_dod.dir/block_cyclic_dod.cpp.o"
+  "CMakeFiles/block_cyclic_dod.dir/block_cyclic_dod.cpp.o.d"
+  "block_cyclic_dod"
+  "block_cyclic_dod.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_cyclic_dod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/composition_solver.cpp" "examples/CMakeFiles/composition_solver.dir/composition_solver.cpp.o" "gcc" "examples/CMakeFiles/composition_solver.dir/composition_solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/xkb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/xkb_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/xkb_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/xkb_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/xkb_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/xkb_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xkb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/xkb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

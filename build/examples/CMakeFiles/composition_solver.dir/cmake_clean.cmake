@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/composition_solver.dir/composition_solver.cpp.o"
+  "CMakeFiles/composition_solver.dir/composition_solver.cpp.o.d"
+  "composition_solver"
+  "composition_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/composition_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drop_in_cholesky.dir/drop_in_cholesky.cpp.o"
+  "CMakeFiles/drop_in_cholesky.dir/drop_in_cholesky.cpp.o.d"
+  "drop_in_cholesky"
+  "drop_in_cholesky.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drop_in_cholesky.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for drop_in_cholesky.
+# This may be replaced when dependencies are built.

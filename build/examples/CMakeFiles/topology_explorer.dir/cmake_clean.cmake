@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topology_explorer.dir/topology_explorer.cpp.o"
+  "CMakeFiles/topology_explorer.dir/topology_explorer.cpp.o.d"
+  "topology_explorer"
+  "topology_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topology_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

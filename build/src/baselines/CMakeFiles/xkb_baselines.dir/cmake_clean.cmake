@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xkb_baselines.dir/blasx_model.cpp.o"
+  "CMakeFiles/xkb_baselines.dir/blasx_model.cpp.o.d"
+  "CMakeFiles/xkb_baselines.dir/chameleon_model.cpp.o"
+  "CMakeFiles/xkb_baselines.dir/chameleon_model.cpp.o.d"
+  "CMakeFiles/xkb_baselines.dir/composition.cpp.o"
+  "CMakeFiles/xkb_baselines.dir/composition.cpp.o.d"
+  "CMakeFiles/xkb_baselines.dir/cublasmg_model.cpp.o"
+  "CMakeFiles/xkb_baselines.dir/cublasmg_model.cpp.o.d"
+  "CMakeFiles/xkb_baselines.dir/cublasxt_model.cpp.o"
+  "CMakeFiles/xkb_baselines.dir/cublasxt_model.cpp.o.d"
+  "CMakeFiles/xkb_baselines.dir/dplasma_model.cpp.o"
+  "CMakeFiles/xkb_baselines.dir/dplasma_model.cpp.o.d"
+  "CMakeFiles/xkb_baselines.dir/library_model.cpp.o"
+  "CMakeFiles/xkb_baselines.dir/library_model.cpp.o.d"
+  "CMakeFiles/xkb_baselines.dir/slate_model.cpp.o"
+  "CMakeFiles/xkb_baselines.dir/slate_model.cpp.o.d"
+  "CMakeFiles/xkb_baselines.dir/xkblas_model.cpp.o"
+  "CMakeFiles/xkb_baselines.dir/xkblas_model.cpp.o.d"
+  "libxkb_baselines.a"
+  "libxkb_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xkb_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for xkb_baselines.
+# This may be replaced when dependencies are built.

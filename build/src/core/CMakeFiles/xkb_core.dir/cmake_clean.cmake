@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xkb_core.dir/compat.cpp.o"
+  "CMakeFiles/xkb_core.dir/compat.cpp.o.d"
+  "CMakeFiles/xkb_core.dir/xkblas.cpp.o"
+  "CMakeFiles/xkb_core.dir/xkblas.cpp.o.d"
+  "libxkb_core.a"
+  "libxkb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xkb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/cache.cpp" "src/mem/CMakeFiles/xkb_mem.dir/cache.cpp.o" "gcc" "src/mem/CMakeFiles/xkb_mem.dir/cache.cpp.o.d"
+  "/root/repo/src/mem/registry.cpp" "src/mem/CMakeFiles/xkb_mem.dir/registry.cpp.o" "gcc" "src/mem/CMakeFiles/xkb_mem.dir/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/xkb_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xkb_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xkb_mem.dir/cache.cpp.o"
+  "CMakeFiles/xkb_mem.dir/cache.cpp.o.d"
+  "CMakeFiles/xkb_mem.dir/registry.cpp.o"
+  "CMakeFiles/xkb_mem.dir/registry.cpp.o.d"
+  "libxkb_mem.a"
+  "libxkb_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xkb_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

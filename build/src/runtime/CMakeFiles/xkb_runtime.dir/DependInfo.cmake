@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/data_manager.cpp" "src/runtime/CMakeFiles/xkb_runtime.dir/data_manager.cpp.o" "gcc" "src/runtime/CMakeFiles/xkb_runtime.dir/data_manager.cpp.o.d"
+  "/root/repo/src/runtime/perf_model.cpp" "src/runtime/CMakeFiles/xkb_runtime.dir/perf_model.cpp.o" "gcc" "src/runtime/CMakeFiles/xkb_runtime.dir/perf_model.cpp.o.d"
+  "/root/repo/src/runtime/platform.cpp" "src/runtime/CMakeFiles/xkb_runtime.dir/platform.cpp.o" "gcc" "src/runtime/CMakeFiles/xkb_runtime.dir/platform.cpp.o.d"
+  "/root/repo/src/runtime/runtime.cpp" "src/runtime/CMakeFiles/xkb_runtime.dir/runtime.cpp.o" "gcc" "src/runtime/CMakeFiles/xkb_runtime.dir/runtime.cpp.o.d"
+  "/root/repo/src/runtime/scheduler.cpp" "src/runtime/CMakeFiles/xkb_runtime.dir/scheduler.cpp.o" "gcc" "src/runtime/CMakeFiles/xkb_runtime.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/xkb_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xkb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/xkb_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/xkb_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/xkb_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

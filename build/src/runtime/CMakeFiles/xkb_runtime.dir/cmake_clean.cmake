@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xkb_runtime.dir/data_manager.cpp.o"
+  "CMakeFiles/xkb_runtime.dir/data_manager.cpp.o.d"
+  "CMakeFiles/xkb_runtime.dir/perf_model.cpp.o"
+  "CMakeFiles/xkb_runtime.dir/perf_model.cpp.o.d"
+  "CMakeFiles/xkb_runtime.dir/platform.cpp.o"
+  "CMakeFiles/xkb_runtime.dir/platform.cpp.o.d"
+  "CMakeFiles/xkb_runtime.dir/runtime.cpp.o"
+  "CMakeFiles/xkb_runtime.dir/runtime.cpp.o.d"
+  "CMakeFiles/xkb_runtime.dir/scheduler.cpp.o"
+  "CMakeFiles/xkb_runtime.dir/scheduler.cpp.o.d"
+  "libxkb_runtime.a"
+  "libxkb_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xkb_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

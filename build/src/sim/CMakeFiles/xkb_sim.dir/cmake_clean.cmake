@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xkb_sim.dir/engine.cpp.o"
+  "CMakeFiles/xkb_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/xkb_sim.dir/resource.cpp.o"
+  "CMakeFiles/xkb_sim.dir/resource.cpp.o.d"
+  "libxkb_sim.a"
+  "libxkb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xkb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxkb_sim.a"
+)

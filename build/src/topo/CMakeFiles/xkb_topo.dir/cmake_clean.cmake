@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xkb_topo.dir/topology.cpp.o"
+  "CMakeFiles/xkb_topo.dir/topology.cpp.o.d"
+  "libxkb_topo.a"
+  "libxkb_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xkb_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

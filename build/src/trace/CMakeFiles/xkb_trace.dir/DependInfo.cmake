@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/export.cpp" "src/trace/CMakeFiles/xkb_trace.dir/export.cpp.o" "gcc" "src/trace/CMakeFiles/xkb_trace.dir/export.cpp.o.d"
+  "/root/repo/src/trace/gantt.cpp" "src/trace/CMakeFiles/xkb_trace.dir/gantt.cpp.o" "gcc" "src/trace/CMakeFiles/xkb_trace.dir/gantt.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "src/trace/CMakeFiles/xkb_trace.dir/trace.cpp.o" "gcc" "src/trace/CMakeFiles/xkb_trace.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/xkb_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xkb_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

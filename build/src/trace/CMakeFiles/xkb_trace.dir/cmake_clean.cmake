@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xkb_trace.dir/export.cpp.o"
+  "CMakeFiles/xkb_trace.dir/export.cpp.o.d"
+  "CMakeFiles/xkb_trace.dir/gantt.cpp.o"
+  "CMakeFiles/xkb_trace.dir/gantt.cpp.o.d"
+  "CMakeFiles/xkb_trace.dir/trace.cpp.o"
+  "CMakeFiles/xkb_trace.dir/trace.cpp.o.d"
+  "libxkb_trace.a"
+  "libxkb_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xkb_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xkb_util.dir/stats.cpp.o"
+  "CMakeFiles/xkb_util.dir/stats.cpp.o.d"
+  "CMakeFiles/xkb_util.dir/table.cpp.o"
+  "CMakeFiles/xkb_util.dir/table.cpp.o.d"
+  "libxkb_util.a"
+  "libxkb_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xkb_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

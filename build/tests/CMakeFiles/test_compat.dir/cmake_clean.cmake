@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compat.dir/test_compat.cpp.o"
+  "CMakeFiles/test_compat.dir/test_compat.cpp.o.d"
+  "test_compat"
+  "test_compat.pdb"
+  "test_compat[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_factor.dir/test_factor.cpp.o"
+  "CMakeFiles/test_factor.dir/test_factor.cpp.o.d"
+  "test_factor"
+  "test_factor.pdb"
+  "test_factor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_factor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

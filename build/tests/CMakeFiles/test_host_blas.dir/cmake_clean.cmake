@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_host_blas.dir/test_host_blas.cpp.o"
+  "CMakeFiles/test_host_blas.dir/test_host_blas.cpp.o.d"
+  "test_host_blas"
+  "test_host_blas.pdb"
+  "test_host_blas[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_host_blas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tiled.dir/test_tiled.cpp.o"
+  "CMakeFiles/test_tiled.dir/test_tiled.cpp.o.d"
+  "test_tiled"
+  "test_tiled.pdb"
+  "test_tiled[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tiled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

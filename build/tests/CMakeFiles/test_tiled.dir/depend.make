@@ -1,0 +1,2 @@
+# Empty dependencies file for test_tiled.
+# This may be replaced when dependencies are built.

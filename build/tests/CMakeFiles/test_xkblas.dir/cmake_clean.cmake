@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xkblas.dir/test_xkblas.cpp.o"
+  "CMakeFiles/test_xkblas.dir/test_xkblas.cpp.o.d"
+  "test_xkblas"
+  "test_xkblas.pdb"
+  "test_xkblas[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xkblas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xkbsim_cli.dir/xkbsim_cli.cpp.o"
+  "CMakeFiles/xkbsim_cli.dir/xkbsim_cli.cpp.o.d"
+  "xkbsim_cli"
+  "xkbsim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xkbsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

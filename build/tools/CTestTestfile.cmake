@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_smoke "/root/repo/build/tools/xkbsim_cli" "--routine" "gemm" "--n" "8192" "--tile" "1024")
+set_tests_properties(cli_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_csv "/root/repo/build/tools/xkbsim_cli" "--routine" "trsm" "--n" "8192" "--tile" "1024" "--csv")
+set_tests_properties(cli_csv PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_dod "/root/repo/build/tools/xkbsim_cli" "--routine" "syr2k" "--n" "8192" "--tile" "1024" "--data-on-device")
+set_tests_properties(cli_dod PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_unsupported "/root/repo/build/tools/xkbsim_cli" "--routine" "trsm" "--lib" "blasx" "--n" "8192")
+set_tests_properties(cli_unsupported PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
