@@ -57,7 +57,7 @@ void BM_CacheReserveRelease(benchmark::State& state) {
     mem::DataHandle* h = handles[i++ % handles.size()];
     cache.reserve(h);
     h->dev[0].state = mem::ReplicaState::kValid;
-    h->dev[0].last_use = static_cast<double>(i);
+    cache.touch(h, static_cast<double>(i));
     benchmark::DoNotOptimize(cache.used());
   }
   state.SetItemsProcessed(state.iterations());

@@ -23,9 +23,10 @@ int main(int argc, char** argv) {
   cfg.tile = argc > 2 ? atoi(argv[2]) : 2048;
   auto show = [&](const char* name, std::unique_ptr<LibraryModel> m) {
     BenchResult r = m->run(cfg);
-    printf("%-28s %6.2f TF  t=%.3fs  h2d=%zu d2d=%zu d2h=%zu ow=%zu steals=%zu tasks=%zu  kern=%.2fs htod=%.2fs ptop=%.2fs dtoh=%.2fs\n",
+    printf("%-28s %6.2f TF  t=%.3fs  h2d=%zu d2d=%zu d2h=%zu ow=%zu fw=%zu steals=%zu tasks=%zu  kern=%.2fs htod=%.2fs ptop=%.2fs dtoh=%.2fs\n",
            name, r.tflops, r.seconds, r.transfers.h2d, r.transfers.d2d,
-           r.transfers.d2h, r.transfers.optimistic_waits, r.steals, r.tasks,
+           r.transfers.d2h, r.transfers.optimistic_waits,
+           r.transfers.forced_waits, r.steals, r.tasks,
            r.breakdown.kernel, r.breakdown.htod, r.breakdown.ptop, r.breakdown.dtoh);
   };
   show("XKBlas", make_xkblas(rt::HeuristicConfig::xkblas()));

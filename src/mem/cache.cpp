@@ -1,9 +1,90 @@
 #include "mem/cache.hpp"
 
-#include <algorithm>
 #include <cassert>
 
 namespace xkb::mem {
+
+namespace {
+
+/// Victim-order key: ascending LRU stamp, ties broken by residency order
+/// (the order reserve() was called in), exactly like the historical
+/// stable_sort over the insertion-ordered resident vector.
+inline bool key_less(const Replica& a, const Replica& b) {
+  if (a.last_use != b.last_use) return a.last_use < b.last_use;
+  return a.lru_seq < b.lru_seq;
+}
+
+}  // namespace
+
+void DeviceCache::link_sorted(DataHandle* h, From hint) {
+  Replica& r = h->dev[device_];
+  const int cls = class_of(r);
+  LruList& l = lists_[cls];
+  // Find `after`: the rightmost entry with a key below r's.  Both walks land
+  // on the same node; the hint only picks the end the key is expected to be
+  // near, so the common cases (touch to MRU, reserve of a long-cold replica)
+  // stay O(1).
+  DataHandle* after;
+  if (hint == From::kTail) {
+    after = l.tail;
+    while (after && key_less(r, after->dev[device_]))
+      after = after->dev[device_].lru_prev;
+  } else {
+    DataHandle* before = l.head;
+    while (before && !key_less(r, before->dev[device_]))
+      before = before->dev[device_].lru_next;
+    after = before ? before->dev[device_].lru_prev : l.tail;
+  }
+  r.lru_class = static_cast<std::int8_t>(cls);
+  r.lru_prev = after;
+  if (after) {
+    r.lru_next = after->dev[device_].lru_next;
+    after->dev[device_].lru_next = h;
+  } else {
+    r.lru_next = l.head;
+    l.head = h;
+  }
+  if (r.lru_next)
+    r.lru_next->dev[device_].lru_prev = h;
+  else
+    l.tail = h;
+}
+
+void DeviceCache::unlink(DataHandle* h) {
+  Replica& r = h->dev[device_];
+  assert(r.lru_class >= 0 && "unlinking a replica that is not listed");
+  LruList& l = lists_[r.lru_class];
+  if (r.lru_prev)
+    r.lru_prev->dev[device_].lru_next = r.lru_next;
+  else
+    l.head = r.lru_next;
+  if (r.lru_next)
+    r.lru_next->dev[device_].lru_prev = r.lru_prev;
+  else
+    l.tail = r.lru_prev;
+  r.lru_prev = r.lru_next = nullptr;
+  r.lru_class = -1;
+}
+
+void DeviceCache::touch(DataHandle* h, sim::Time now) {
+  Replica& r = h->dev[device_];
+  r.last_use = now;
+  if (r.lru_class < 0) return;  // not resident: stamp only
+  unlink(h);
+  link_sorted(h, From::kTail);
+}
+
+void DeviceCache::set_dirty(DataHandle* h, bool dirty) {
+  Replica& r = h->dev[device_];
+  if (r.dirty == dirty) return;
+  if (r.lru_class < 0) {  // not resident: the bit alone suffices
+    r.dirty = dirty;
+    return;
+  }
+  unlink(h);
+  r.dirty = dirty;
+  link_sorted(h, From::kTail);
+}
 
 DeviceCache::Reservation DeviceCache::reserve(DataHandle* h) {
   Reservation out;
@@ -12,33 +93,14 @@ DeviceCache::Reservation DeviceCache::reserve(DataHandle* h) {
 
   const std::size_t need = h->bytes();
   if (used_ + need > capacity_) {
-    // Victim scan: evictable = resident, unpinned, not in flight.
-    // kReadOnlyFirst (XKaapi): clean replicas first, LRU within a class.
-    // kLru: one list, strictly by recency.
-    std::vector<DataHandle*> clean, dirty;
-    for (DataHandle* c : resident_) {
-      const Replica& cr = c->dev[device_];
-      if (!cr.resident || cr.pins > 0 || cr.state == ReplicaState::kInFlight)
-        continue;
-      if (policy_ == EvictionPolicy::kLru)
-        clean.push_back(c);  // single class; dirtiness checked at eviction
-      else
-        (cr.dirty ? dirty : clean).push_back(c);
-    }
-    auto lru = [&](DataHandle* a, DataHandle* b) {
-      return a->dev[device_].last_use < b->dev[device_].last_use;
-    };
-    std::stable_sort(clean.begin(), clean.end(), lru);
-    std::stable_sort(dirty.begin(), dirty.end(), lru);
-
     auto evict_one = [&](DataHandle* v, bool is_dirty) {
       Replica& vr = v->dev[device_];
       vr.state = ReplicaState::kInvalid;
       vr.resident = false;
       used_ -= v->bytes();
       ++evictions_;
-      resident_set_.erase(v);
-      resident_.erase(std::find(resident_.begin(), resident_.end(), v));
+      --resident_count_;
+      unlink(v);
       if (!v->dev_buf.empty()) {
         // Dirty functional buffers are kept alive by the caller until the
         // flush copies them out; clean buffers can be dropped now.
@@ -50,38 +112,54 @@ DeviceCache::Reservation DeviceCache::reserve(DataHandle* h) {
       (is_dirty ? out.dirty_evicted : out.clean_evicted).push_back(v);
     };
 
-    std::size_t ci = 0, di = 0;
-    while (used_ + need > capacity_) {
-      if (ci < clean.size()) {
-        DataHandle* v = clean[ci++];
-        const bool is_dirty = v->dev[device_].dirty;
-        if (is_dirty) v->dev[device_].dirty = false;  // caller flushes
-        evict_one(v, is_dirty);
-      } else if (di < dirty.size()) {
-        DataHandle* v = dirty[di++];
-        v->dev[device_].dirty = false;  // caller flushes it to host
-        evict_one(v, true);
-      } else {
-        throw OutOfDeviceMemory(device_);
+    // Walk each class list from its LRU end, skipping residents that are
+    // pinned or in flight.  kReadOnlyFirst drains the clean list before the
+    // dirty one; under kLru every resident lives in the "clean" list and
+    // dirtiness is checked per victim (a dirty victim's flush is still the
+    // caller's job).
+    for (int cls : {kClean, kDirty}) {
+      DataHandle* v = lists_[cls].head;
+      while (v && used_ + need > capacity_) {
+        DataHandle* next = v->dev[device_].lru_next;
+        Replica& vr = v->dev[device_];
+        if (vr.pins == 0 && vr.state != ReplicaState::kInFlight) {
+          const bool is_dirty = vr.dirty;
+          assert((cls == kClean || is_dirty) &&
+                 "clean replica linked on the dirty list");
+          assert((policy_ == EvictionPolicy::kLru || cls == kDirty ||
+                  !is_dirty) &&
+                 "dirty replica linked on the clean list: set_dirty bypassed");
+          if (is_dirty) vr.dirty = false;  // caller flushes it to host
+          evict_one(v, is_dirty);
+        }
+        v = next;
       }
     }
+    if (used_ + need > capacity_) throw OutOfDeviceMemory(device_);
   }
 
   used_ += need;
   r.resident = true;
-  resident_.push_back(h);
-  resident_set_.insert(h);
+  ++resident_count_;
+  r.lru_seq = next_seq_++;
+  // A replica re-entering the cache keeps the last_use of its previous life
+  // (exactly like the historical resort-everything scan saw it), which puts
+  // it near the LRU end until its arrival touch().
+  link_sorted(h, From::kHead);
   return out;
 }
 
 void DeviceCache::release(DataHandle* h) {
   Replica& r = h->dev[device_];
   if (!r.resident) return;
+  assert(!r.dirty &&
+         "releasing a dirty replica discards its bytes; flush it to the host "
+         "(or clear the bit when a newer version supersedes it) first");
   r.resident = false;
   r.state = ReplicaState::kInvalid;
   used_ -= h->bytes();
-  resident_set_.erase(h);
-  resident_.erase(std::find(resident_.begin(), resident_.end(), h));
+  --resident_count_;
+  unlink(h);
 }
 
 }  // namespace xkb::mem

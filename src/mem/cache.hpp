@@ -4,11 +4,19 @@
 //
 // The cache does not own replica state -- DataHandle is the single source of
 // truth -- it indexes resident handles per device and picks eviction victims.
+//
+// Victim bookkeeping is intrusive: each resident replica is linked into one
+// of two per-cache LRU lists (clean / dirty; a single list under kLru),
+// ordered by (last_use, residency sequence).  That is the same victim order
+// the historical implementation produced by sorting all residents on every
+// reservation, but touch, removal and class changes are now O(1) amortized
+// and eviction is O(victims + skipped pinned/in-flight residents) instead of
+// O(residents log residents) per reservation under memory pressure.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <stdexcept>
-#include <unordered_set>
 #include <vector>
 
 #include "mem/handle.hpp"
@@ -53,23 +61,64 @@ class DeviceCache {
   };
   Reservation reserve(DataHandle* h);
 
-  /// Release the reservation (replica no longer resident).
+  /// Release the reservation (replica no longer resident).  The replica must
+  /// be clean: releasing a dirty replica would silently discard its bytes --
+  /// callers that intend to supersede a dirty copy (a newer version exists)
+  /// clear the dirty bit first; everything else must go through the flush
+  /// path.
   void release(DataHandle* h);
 
+  /// Record a use of the resident replica: stamps `last_use = now` and moves
+  /// the replica to the MRU end of its victim list.  O(1) amortized (walks
+  /// only same-timestamp entries).  Safe on non-resident replicas (stamps
+  /// last_use only).
+  void touch(DataHandle* h, sim::Time now);
+
+  /// Flip the replica's dirty bit, re-homing it between the clean and dirty
+  /// victim lists under kReadOnlyFirst.  All dirty-bit changes of a resident
+  /// replica must go through here so the class lists stay truthful.
+  void set_dirty(DataHandle* h, bool dirty);
+
   /// Number of distinct resident handles.
-  std::size_t resident_count() const { return resident_.size(); }
+  std::size_t resident_count() const { return resident_count_; }
 
   std::size_t evictions() const { return evictions_; }
 
  private:
+  // Victim-class list indices.  Under kLru everything lives in kClean.
+  static constexpr int kClean = 0;
+  static constexpr int kDirty = 1;
+
+  struct LruList {
+    DataHandle* head = nullptr;  ///< least recently used
+    DataHandle* tail = nullptr;  ///< most recently used
+  };
+
+  int class_of(const Replica& r) const {
+    return (policy_ == EvictionPolicy::kReadOnlyFirst && r.dirty) ? kDirty
+                                                                  : kClean;
+  }
+  /// Which end of the list link_sorted() starts its walk from.  The sorted
+  /// position is unique either way ((last_use, lru_seq) keys are distinct);
+  /// the hint only decides which end is O(1): kTail for freshly-touched
+  /// replicas (key near the MRU end), kHead for newly-reserved replicas,
+  /// whose stale last_use from before their last eviction sorts them near
+  /// the LRU end.
+  enum class From { kHead, kTail };
+
+  /// Insert into its class list at the position sorted by (last_use,
+  /// lru_seq), walking from the hinted end.
+  void link_sorted(DataHandle* h, From hint);
+  void unlink(DataHandle* h);
+
   int device_;
   std::size_t capacity_;
   EvictionPolicy policy_;
   std::size_t used_ = 0;
   std::size_t evictions_ = 0;
-  // Deterministic iteration for victim selection: keep insertion order.
-  std::vector<DataHandle*> resident_;
-  std::unordered_set<DataHandle*> resident_set_;
+  std::size_t resident_count_ = 0;
+  std::uint64_t next_seq_ = 0;
+  LruList lists_[2];
 };
 
 }  // namespace xkb::mem

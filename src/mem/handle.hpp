@@ -32,6 +32,8 @@ enum class ReplicaState : std::uint8_t {
   kValid,     ///< usable copy present
 };
 
+struct DataHandle;
+
 /// Per-location replica bookkeeping (host uses the same record as devices).
 struct Replica {
   ReplicaState state = ReplicaState::kInvalid;
@@ -39,8 +41,18 @@ struct Replica {
   bool resident = false;     ///< bytes reserved in this memory
   int pins = 0;              ///< active users (unpinned replicas are evictable)
   sim::Time eta = 0.0;       ///< arrival time when kInFlight
-  sim::Time last_use = 0.0;  ///< LRU stamp
+  sim::Time last_use = 0.0;  ///< LRU stamp (kept for trace/debug output)
   std::vector<std::function<void()>> waiters;  ///< run when kInFlight -> kValid
+
+  // Intrusive LRU linkage, owned by the DeviceCache the replica is resident
+  // in.  Device replicas only; the host Replica is never cached.  The cache
+  // keeps one doubly-linked list per victim class (clean/dirty) ordered by
+  // (last_use, lru_seq), which is exactly the victim order of the historical
+  // sort-based scan: ascending LRU stamp, ties broken by residency order.
+  DataHandle* lru_prev = nullptr;
+  DataHandle* lru_next = nullptr;
+  std::uint64_t lru_seq = 0;  ///< residency order, assigned at reserve()
+  std::int8_t lru_class = -1; ///< DeviceCache list index, -1 when unlinked
 };
 
 struct DataHandle {

@@ -79,7 +79,7 @@ void DataManager::ensure_valid(mem::DataHandle* h, int dev,
                                sim::Callback done) {
   mem::Replica& r = h->dev[dev];
   if (r.state == mem::ReplicaState::kValid) {
-    r.last_use = plat_->engine().now();
+    plat_->cache(dev).touch(h, plat_->engine().now());
     plat_->engine().schedule_after(0.0, std::move(done));
     return;
   }
@@ -110,9 +110,12 @@ void DataManager::ensure_valid(mem::DataHandle* h, int dev,
       issue_p2p(h, s.dev, dev);
       break;
     case Source::kWaitDevice: {
-      // The optimistic heuristic: chain on the in-flight reception.
+      // Chain on the in-flight reception.  Only waits *chosen* by the
+      // optimistic heuristic count towards its ablation counter; waits forced
+      // by coherence (the in-flight copy is the only one) fire under every
+      // configuration and are tallied separately.
       const int g = s.dev;
-      stats_.optimistic_waits++;
+      (s.forced ? stats_.forced_waits : stats_.optimistic_waits)++;
       h->dev[g].pins++;  // survive until the forwarding copy completes
       r.eta = h->dev[g].eta;  // rough: refined when the copy is issued
       h->dev[g].waiters.push_back([this, h, g, dev] { issue_p2p(h, g, dev); });
@@ -185,7 +188,7 @@ DataManager::Source DataManager::choose_source(const mem::DataHandle& h,
   int best = flying.front();
   for (int g : flying)
     if (topo.p2p_perf_rank(g, dst) > topo.p2p_perf_rank(best, dst)) best = g;
-  return {Source::kWaitDevice, best};
+  return {Source::kWaitDevice, best, /*forced=*/true};
 }
 
 void DataManager::reserve_with_flushes(mem::DataHandle* h, int dev) {
@@ -225,7 +228,7 @@ void DataManager::complete_arrival(mem::DataHandle* h, int dev) {
   mem::Replica& r = h->dev[dev];
   assert(r.state == mem::ReplicaState::kInFlight);
   r.state = mem::ReplicaState::kValid;
-  r.last_use = plat_->engine().now();
+  plat_->cache(dev).touch(h, plat_->engine().now());
   auto waiters = std::move(r.waiters);
   r.waiters.clear();
   for (auto& w : waiters) w();
@@ -238,6 +241,10 @@ void DataManager::mark_written(mem::DataHandle* h, int dev) {
     mem::Replica& o = h->dev[g];
     assert(o.state != mem::ReplicaState::kInFlight &&
            "write raced an in-flight replica: dependency bug");
+    // A dirty peer replica is intentionally superseded by the new version:
+    // clear the bit before release (which refuses dirty replicas, since
+    // anywhere else that would silently discard unsaved bytes).
+    plat_->cache(g).set_dirty(h, false);
     if (o.resident) {
       plat_->cache(g).release(h);
       if (!h->dev_buf.empty()) {
@@ -245,7 +252,6 @@ void DataManager::mark_written(mem::DataHandle* h, int dev) {
         h->dev_buf[g].shrink_to_fit();
       }
     }
-    o.dirty = false;
   }
   h->version++;
   // If an eviction flush of the previous version is in flight, leave the
@@ -256,8 +262,8 @@ void DataManager::mark_written(mem::DataHandle* h, int dev) {
 
   mem::Replica& r = h->dev[dev];
   r.state = mem::ReplicaState::kValid;
-  r.dirty = true;
-  r.last_use = plat_->engine().now();
+  plat_->cache(dev).set_dirty(h, true);
+  plat_->cache(dev).touch(h, plat_->engine().now());
 }
 
 void DataManager::host_write(mem::DataHandle* h) {
@@ -269,6 +275,9 @@ void DataManager::host_write(mem::DataHandle* h) {
     mem::Replica& r = h->dev[g];
     assert(r.state != mem::ReplicaState::kInFlight &&
            "host write raced a device transfer: dependency bug");
+    // The CPU's new bytes supersede any dirty device copy: clear the bit
+    // before release so the intentional discard is explicit.
+    plat_->cache(g).set_dirty(h, false);
     if (r.resident) {
       plat_->cache(g).release(h);
       if (!h->dev_buf.empty()) {
@@ -276,7 +285,6 @@ void DataManager::host_write(mem::DataHandle* h) {
         h->dev_buf[g].shrink_to_fit();
       }
     }
-    r.dirty = false;
   }
   h->host.state = mem::ReplicaState::kValid;
 }
@@ -334,7 +342,7 @@ void DataManager::flush_from_device(mem::DataHandle* h, int src,
         h->dev_buf[src].shrink_to_fit();
       }
     }
-    if (h->dev[src].resident) h->dev[src].dirty = false;
+    if (h->dev[src].resident) plat_->cache(src).set_dirty(h, false);
     h->host.state = mem::ReplicaState::kValid;
     auto waiters = std::move(h->host.waiters);
     h->host.waiters.clear();

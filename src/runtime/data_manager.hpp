@@ -62,7 +62,15 @@ struct TransferStats {
   std::size_t h2d = 0;               ///< host-to-device transfers issued
   std::size_t d2h = 0;
   std::size_t d2d = 0;               ///< device-to-device transfers issued
-  std::size_t optimistic_waits = 0;  ///< duplicate H2D avoided by waiting
+  /// Duplicate H2D avoided by the Section III-C heuristic: a valid host copy
+  /// existed but we chained on an in-flight peer reception instead.  Only
+  /// incremented when HeuristicConfig::optimistic_d2d chose to wait -- the
+  /// ablation configurations must report 0 here.
+  std::size_t optimistic_waits = 0;
+  /// Waits forced by coherence, not chosen by the heuristic: the only copy
+  /// of the data was in flight, so there was nothing else to copy from.
+  /// These fire under every HeuristicConfig.
+  std::size_t forced_waits = 0;
   std::size_t evict_flushes = 0;
   std::size_t oom_deferrals = 0;  ///< acquisitions deferred under pressure
 };
@@ -103,6 +111,9 @@ class DataManager {
   struct Source {
     enum Kind { kHost, kDevice, kWaitDevice, kWaitHost } kind = kHost;
     int dev = -1;
+    /// kWaitDevice only: true when the wait is forced (the in-flight copy is
+    /// the only one anywhere) rather than chosen by the optimistic heuristic.
+    bool forced = false;
   };
 
   Source choose_source(const mem::DataHandle& h, int dst) const;

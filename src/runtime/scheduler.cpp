@@ -44,6 +44,12 @@ int DmdasScheduler::place(const Task& t, Runtime& rt) {
       if (a.mode == Access::kW) continue;
       const mem::DataHandle* h = a.handle;
       if (h->dev[g].state == mem::ReplicaState::kValid) continue;
+      if (h->dev[g].state == mem::ReplicaState::kInFlight) {
+        // Already on its way here: the cost is the remaining wait, not a
+        // fresh transfer (charging a full transfer double-counts the data).
+        xfer += std::max(0.0, h->dev[g].eta - now);
+        continue;
+      }
       double bw = topo.host_bandwidth_gbps(g);
       for (int s : h->valid_devices())
         bw = std::max(bw, topo.gpu_bandwidth_gbps(s, g));

@@ -106,9 +106,9 @@ TEST_F(CacheTest, EvictsCleanLruFirst) {
     c.reserve(h);
     h->dev[0].state = ReplicaState::kValid;
   }
-  a->dev[0].last_use = 1.0;
-  b->dev[0].last_use = 5.0;  // most recent
-  d->dev[0].last_use = 3.0;
+  c.touch(a, 1.0);
+  c.touch(b, 5.0);  // most recent
+  c.touch(d, 3.0);
   auto res = c.reserve(e);
   ASSERT_EQ(res.clean_evicted.size(), 1u);
   EXPECT_EQ(res.clean_evicted[0], a);  // LRU clean victim
@@ -122,11 +122,11 @@ TEST_F(CacheTest, CleanPreferredOverDirtyEvenIfNewer) {
   DataHandle *dirty = tile(0), *clean = tile(1), *incoming = tile(2);
   c.reserve(dirty);
   dirty->dev[0].state = ReplicaState::kValid;
-  dirty->dev[0].dirty = true;
-  dirty->dev[0].last_use = 1.0;  // older than the clean tile
+  c.set_dirty(dirty, true);
+  c.touch(dirty, 1.0);  // older than the clean tile
   c.reserve(clean);
   clean->dev[0].state = ReplicaState::kValid;
-  clean->dev[0].last_use = 9.0;
+  c.touch(clean, 9.0);
   auto res = c.reserve(incoming);
   ASSERT_EQ(res.clean_evicted.size(), 1u);
   EXPECT_EQ(res.clean_evicted[0], clean);  // read-only-first policy
@@ -137,7 +137,7 @@ TEST_F(CacheTest, DirtyEvictedWhenNoCleanLeft) {
   DataHandle *dirty = tile(0), *incoming = tile(1);
   c.reserve(dirty);
   dirty->dev[0].state = ReplicaState::kValid;
-  dirty->dev[0].dirty = true;
+  c.set_dirty(dirty, true);
   auto res = c.reserve(incoming);
   ASSERT_EQ(res.dirty_evicted.size(), 1u);
   EXPECT_EQ(res.dirty_evicted[0], dirty);
@@ -169,6 +169,287 @@ TEST_F(CacheTest, OversizedReservationThrows) {
 }  // namespace
 }  // namespace xkb::mem
 
+// Appended: the intrusive O(1) LRU must reproduce the victim order of the
+// historical sort-based scan exactly (ascending last_use, ties broken by
+// residency order, clean before dirty under kReadOnlyFirst), so simulated
+// timings are bit-identical across the refactor.
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/rng.hpp"
+
+namespace xkb::mem {
+namespace {
+
+/// Reference model: the pre-refactor algorithm -- an insertion-ordered
+/// resident vector, re-sorted per reservation, linear-scan erases.  Operates
+/// on shadow state so it shares nothing with the DeviceCache under test.
+class LegacySortCache {
+ public:
+  LegacySortCache(std::size_t capacity, EvictionPolicy policy, int ntiles)
+      : cap_(capacity), policy_(policy), r_(ntiles) {}
+
+  struct Rep {
+    double last_use = 0.0;
+    bool dirty = false, resident = false, inflight = false;
+    int pins = 0;
+  };
+  struct Out {
+    std::vector<int> clean, dirty;
+    bool oom = false;
+  };
+
+  Rep& rep(int i) { return r_[i]; }
+  std::size_t used() const { return used_; }
+
+  Out reserve(int idx, std::size_t bytes) {
+    Out out;
+    if (r_[idx].resident) return out;
+    if (used_ + bytes > cap_) {
+      std::vector<int> clean, dirty;
+      for (int c : resident_) {
+        const Rep& cr = r_[c];
+        if (!cr.resident || cr.pins > 0 || cr.inflight) continue;
+        if (policy_ == EvictionPolicy::kLru)
+          clean.push_back(c);
+        else
+          (cr.dirty ? dirty : clean).push_back(c);
+      }
+      auto lru = [&](int a, int b) { return r_[a].last_use < r_[b].last_use; };
+      std::stable_sort(clean.begin(), clean.end(), lru);
+      std::stable_sort(dirty.begin(), dirty.end(), lru);
+      std::size_t ci = 0, di = 0;
+      auto evict_one = [&](int v, bool is_dirty) {
+        r_[v].resident = false;
+        used_ -= bytes_[v];
+        resident_.erase(std::find(resident_.begin(), resident_.end(), v));
+        (is_dirty ? out.dirty : out.clean).push_back(v);
+      };
+      while (used_ + bytes > cap_) {
+        if (ci < clean.size()) {
+          const int v = clean[ci++];
+          const bool is_dirty = r_[v].dirty;
+          if (is_dirty) r_[v].dirty = false;
+          evict_one(v, is_dirty);
+        } else if (di < dirty.size()) {
+          const int v = dirty[di++];
+          r_[v].dirty = false;
+          evict_one(v, true);
+        } else {
+          out.oom = true;
+          return out;
+        }
+      }
+    }
+    used_ += bytes;
+    bytes_[idx] = bytes;
+    r_[idx].resident = true;
+    resident_.push_back(idx);
+    return out;
+  }
+
+  void release(int idx) {
+    if (!r_[idx].resident) return;
+    r_[idx].resident = false;
+    used_ -= bytes_[idx];
+    resident_.erase(std::find(resident_.begin(), resident_.end(), idx));
+  }
+
+ private:
+  std::size_t cap_, used_ = 0;
+  EvictionPolicy policy_;
+  std::vector<Rep> r_;
+  std::vector<int> resident_;
+  std::unordered_map<int, std::size_t> bytes_;
+};
+
+class LruEquivalenceTest : public ::testing::TestWithParam<EvictionPolicy> {};
+
+TEST_P(LruEquivalenceTest, RandomOpSequenceMatchesLegacyVictimOrder) {
+  // Drive the same randomized reserve/touch/set_dirty/pin/in-flight/release
+  // sequence through the intrusive cache and the legacy model; every
+  // reservation must evict the same victims in the same order.
+  constexpr int kTiles = 48;
+  constexpr std::size_t kTileBytes = 8 * 8 * sizeof(double);
+  static double backing[kTiles * 64];
+
+  const EvictionPolicy policy = GetParam();
+  Registry reg(1);
+  DeviceCache cache(0, 20 * kTileBytes, policy);
+  LegacySortCache legacy(20 * kTileBytes, policy, kTiles);
+  std::vector<DataHandle*> hs;
+  std::unordered_map<DataHandle*, int> idx;
+  for (int i = 0; i < kTiles; ++i) {
+    hs.push_back(reg.intern(backing + 64 * i, 8, 8, 512, sizeof(double)));
+    idx[hs[i]] = i;
+  }
+
+  Rng rng(20210817);
+  for (int step = 0; step < 4000; ++step) {
+    const int i = static_cast<int>(rng.next_below(kTiles));
+    Replica& r = hs[i]->dev[0];
+    LegacySortCache::Rep& lr = legacy.rep(i);
+    switch (rng.next_below(10)) {
+      case 0:
+      case 1:
+      case 2:
+      case 3: {  // reserve (possibly evicting)
+        LegacySortCache::Out want = legacy.reserve(i, kTileBytes);
+        if (want.oom) {
+          EXPECT_THROW(cache.reserve(hs[i]), OutOfDeviceMemory);
+          break;
+        }
+        DeviceCache::Reservation got = cache.reserve(hs[i]);
+        std::vector<int> got_clean, got_dirty;
+        for (DataHandle* v : got.clean_evicted) got_clean.push_back(idx[v]);
+        for (DataHandle* v : got.dirty_evicted) got_dirty.push_back(idx[v]);
+        ASSERT_EQ(got_clean, want.clean) << "step " << step;
+        ASSERT_EQ(got_dirty, want.dirty) << "step " << step;
+        // Legacy victims had their shadow dirty bit cleared in reserve();
+        // mirror arrival on the new side.
+        r.state = ReplicaState::kValid;
+        lr.inflight = false;
+        break;
+      }
+      case 4:
+      case 5:
+      case 6: {  // touch; coarse timestamps force last_use ties
+        const double t = static_cast<double>(step / 3);
+        cache.touch(hs[i], t);
+        lr.last_use = t;
+        break;
+      }
+      case 7: {  // flip dirtiness
+        const bool d = !lr.dirty;
+        cache.set_dirty(hs[i], d);
+        lr.dirty = d;
+        break;
+      }
+      case 8: {  // pin / unpin / in-flight toggle
+        if (rng.next_below(2) == 0) {
+          const int pins = static_cast<int>(rng.next_below(2));
+          r.pins = pins;
+          lr.pins = pins;
+        } else if (r.resident) {
+          const bool fly = r.state != ReplicaState::kInFlight;
+          r.state = fly ? ReplicaState::kInFlight : ReplicaState::kValid;
+          lr.inflight = fly;
+        }
+        break;
+      }
+      case 9: {  // release (clean replicas only: release refuses dirty ones)
+        if (!lr.dirty) {
+          cache.release(hs[i]);
+          legacy.release(i);
+          lr.inflight = false;
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(cache.used(), legacy.used()) << "step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothPolicies, LruEquivalenceTest,
+                         ::testing::Values(EvictionPolicy::kReadOnlyFirst,
+                                           EvictionPolicy::kLru));
+
+TEST(IntrusiveLru, DirtyVictimDuringCleanPassUnderLru) {
+  // kLru keeps one recency list; a dirty replica in the middle of it must be
+  // evicted in recency position, reported as dirty_evicted (the caller owns
+  // the flush) and have its dirty bit handed over.
+  static double b[8 * 64];
+  Registry reg(1);
+  auto tile = [&](int i) {
+    return reg.intern(b + 64 * i, 8, 8, 512, sizeof(double));
+  };
+  DeviceCache c(0, 4 * 512, EvictionPolicy::kLru);
+  DataHandle *t0 = tile(0), *t1 = tile(1), *t2 = tile(2), *t3 = tile(3);
+  for (DataHandle* h : {t0, t1, t2, t3}) {
+    c.reserve(h);
+    h->dev[0].state = ReplicaState::kValid;
+  }
+  c.touch(t0, 1.0);
+  c.touch(t1, 2.0);
+  c.touch(t2, 3.0);
+  c.touch(t3, 4.0);
+  c.set_dirty(t1, true);
+
+  // Incoming 16x12 tile (1536 bytes) forces three victims: t0, t1, t2.
+  DataHandle* big = reg.intern(b + 64 * 4, 16, 12, 16, sizeof(double));
+  auto res = c.reserve(big);
+  EXPECT_EQ(res.clean_evicted, (std::vector<DataHandle*>{t0, t2}));
+  EXPECT_EQ(res.dirty_evicted, (std::vector<DataHandle*>{t1}));
+  EXPECT_FALSE(t1->dev[0].dirty) << "caller takes over the flush";
+  EXPECT_TRUE(t3->dev[0].resident) << "most recent replica survives";
+}
+
+TEST(IntrusiveLru, ReadOnlyFirstSparesDirtyWhenCleanSuffices) {
+  // Same scenario under kReadOnlyFirst: the three clean replicas go first
+  // and the dirty one survives, avoiding the flush entirely.
+  static double b[8 * 64];
+  Registry reg(1);
+  auto tile = [&](int i) {
+    return reg.intern(b + 64 * i, 8, 8, 512, sizeof(double));
+  };
+  DeviceCache c(0, 4 * 512, EvictionPolicy::kReadOnlyFirst);
+  DataHandle *t0 = tile(0), *t1 = tile(1), *t2 = tile(2), *t3 = tile(3);
+  for (DataHandle* h : {t0, t1, t2, t3}) {
+    c.reserve(h);
+    h->dev[0].state = ReplicaState::kValid;
+  }
+  c.touch(t0, 1.0);
+  c.touch(t1, 2.0);
+  c.touch(t2, 3.0);
+  c.touch(t3, 4.0);
+  c.set_dirty(t1, true);
+
+  DataHandle* big = reg.intern(b + 64 * 4, 16, 12, 16, sizeof(double));
+  auto res = c.reserve(big);
+  EXPECT_EQ(res.clean_evicted, (std::vector<DataHandle*>{t0, t2, t3}));
+  EXPECT_TRUE(res.dirty_evicted.empty());
+  EXPECT_TRUE(t1->dev[0].resident) << "dirty replica spared by the policy";
+}
+
+TEST(IntrusiveLru, TouchReordersVictims) {
+  static double b[4 * 64];
+  Registry reg(1);
+  auto tile = [&](int i) {
+    return reg.intern(b + 64 * i, 8, 8, 512, sizeof(double));
+  };
+  DeviceCache c(0, 2 * 512);
+  DataHandle *a = tile(0), *d = tile(1);
+  for (DataHandle* h : {a, d}) {
+    c.reserve(h);
+    h->dev[0].state = ReplicaState::kValid;
+  }
+  c.touch(a, 1.0);
+  c.touch(d, 2.0);
+  c.touch(a, 3.0);  // re-touch moves `a` to the MRU end
+  auto res = c.reserve(tile(2));
+  ASSERT_EQ(res.clean_evicted.size(), 1u);
+  EXPECT_EQ(res.clean_evicted[0], d);
+}
+
+TEST(IntrusiveLru, ReleaseRefusesDirtyReplica) {
+  static double b[64];
+  Registry reg(1);
+  DataHandle* h = reg.intern(b, 8, 8, 512, sizeof(double));
+  DeviceCache c(0, 2 * 512);
+  c.reserve(h);
+  h->dev[0].state = ReplicaState::kValid;
+  c.set_dirty(h, true);
+#ifndef NDEBUG
+  EXPECT_DEATH_IF_SUPPORTED(c.release(h), "dirty");
+#endif
+  c.set_dirty(h, false);
+  c.release(h);  // clean release is fine
+  EXPECT_EQ(c.used(), 0u);
+}
+
+}  // namespace
+}  // namespace xkb::mem
+
 // Appended: eviction-policy ablation behaviour.
 namespace xkb::mem {
 namespace {
@@ -185,11 +466,11 @@ TEST(EvictionPolicyTest, LruEvictsDirtyByRecency) {
   DataHandle* clean_new = tile(1);
   c.reserve(dirty_old);
   dirty_old->dev[0].state = ReplicaState::kValid;
-  dirty_old->dev[0].dirty = true;
-  dirty_old->dev[0].last_use = 1.0;
+  c.set_dirty(dirty_old, true);
+  c.touch(dirty_old, 1.0);
   c.reserve(clean_new);
   clean_new->dev[0].state = ReplicaState::kValid;
-  clean_new->dev[0].last_use = 9.0;
+  c.touch(clean_new, 9.0);
   auto res = c.reserve(tile(2));
   // Plain LRU picks the oldest replica even though it is dirty...
   ASSERT_EQ(res.dirty_evicted.size(), 1u);

@@ -42,7 +42,8 @@ struct Fixture {
   Runtime runtime;
 };
 
-double bufA[64], bufB[64], bufC[64];
+double bufA[64], bufB[64];
+[[maybe_unused]] double bufC[64];
 
 TaskDesc touch_task(mem::DataHandle* h, Access mode, int dev = -1,
                     std::vector<int>* log = nullptr, int id = 0) {
@@ -357,6 +358,90 @@ TEST(Runtime, DropInputsForcesRefetch) {
     runtime.run();
   }
   EXPECT_EQ(runtime.data_manager().stats().h2d, 3u) << "streamed";
+}
+
+}  // namespace
+}  // namespace xkb::rt
+
+// Appended: ablation-counter semantics -- optimistic_waits must only count
+// waits *chosen* by the Section III-C heuristic, never waits forced by
+// coherence, so the fig3/Table II ablation attribution is truthful.
+namespace xkb::rt {
+namespace {
+
+TEST(Heuristics, AblationConfigsNeverCountOptimisticWaits) {
+  // Fig. 3-style data-on-host reuse: every GPU reads every shared tile.
+  // With the optimistic heuristic disabled, no wait may be attributed to it.
+  for (HeuristicConfig cfg : {HeuristicConfig::no_heuristic(),
+                              HeuristicConfig::no_heuristic_no_topo()}) {
+    Fixture f{cfg, false};
+    static double bufs[4][64];
+    for (int i = 0; i < 4; ++i) {
+      mem::DataHandle* h = f.tile(bufs[i]);
+      for (int g = 0; g < 8; ++g)
+        f.runtime.submit(touch_task(h, Access::kR, g, nullptr, i * 8 + g));
+    }
+    f.runtime.run();
+    EXPECT_EQ(f.runtime.data_manager().stats().optimistic_waits, 0u)
+        << "ablation run must not report optimistic waits";
+  }
+}
+
+TEST(Heuristics, ForcedWaitCountedSeparatelyFromOptimistic) {
+  // "The only copy is in flight": the wait is forced by coherence, not an
+  // optimistic-heuristic decision, and fires even with the heuristic off.
+  Fixture f{HeuristicConfig::no_heuristic(), false};
+  mem::DataHandle* h = f.tile(bufA);
+  f.plat.cache(0).reserve(h);
+  h->host.state = mem::ReplicaState::kInvalid;
+  h->dev[0].state = mem::ReplicaState::kInFlight;
+  h->dev[0].eta = 1e-3;
+
+  bool done = false;
+  f.runtime.data_manager().acquire(h, 1, Access::kR, [&] { done = true; });
+  EXPECT_EQ(f.runtime.data_manager().stats().optimistic_waits, 0u);
+  EXPECT_EQ(f.runtime.data_manager().stats().forced_waits, 1u);
+
+  // Simulate the reception completing on GPU 0: running its waiters issues
+  // the forwarding copy to GPU 1.
+  h->dev[0].state = mem::ReplicaState::kValid;
+  auto waiters = std::move(h->dev[0].waiters);
+  h->dev[0].waiters.clear();
+  for (auto& w : waiters) w();
+  f.plat.engine().run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(f.runtime.data_manager().stats().d2d, 1u);
+}
+
+TEST(Heuristics, OptimisticWaitStillCountedWhenEnabled) {
+  Fixture f{HeuristicConfig::xkblas(), false};
+  mem::DataHandle* h = f.tile(bufA);
+  for (int g = 0; g < 4; ++g)
+    f.runtime.submit(touch_task(h, Access::kR, g));
+  f.runtime.run();
+  EXPECT_GE(f.runtime.data_manager().stats().optimistic_waits, 1u);
+  EXPECT_EQ(f.runtime.data_manager().stats().forced_waits, 0u)
+      << "host copy stays valid here, so no wait is ever forced";
+}
+
+TEST(Dmdas, InFlightReplicaChargedAsWaitNotFreshTransfer) {
+  // A large tile is in flight to GPU 3, almost arrived.  The dmda cost model
+  // must charge the remaining wait for GPU 3 -- not a full transfer as if
+  // the replica were absent -- so GPU 3 wins the placement.
+  Fixture f;
+  mem::DataHandle* h = f.tile(bufA, 2048);  // ~32 MB: a fresh transfer costs ms
+  h->dev[3].state = mem::ReplicaState::kInFlight;
+  h->dev[3].eta = f.plat.engine().now() + 1e-7;
+
+  DmdasScheduler sched;
+  TaskDesc d;
+  d.label = "reader";
+  d.accesses.push_back({h, Access::kR});
+  d.flops = 1e9;
+  d.min_dim = 2048;
+  Task t(std::move(d));
+  EXPECT_EQ(sched.place(t, f.runtime), 3)
+      << "waiting out the in-flight copy beats re-transferring the tile";
 }
 
 }  // namespace

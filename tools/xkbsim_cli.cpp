@@ -166,12 +166,14 @@ int main(int argc, char** argv) {
 
     if (csv) {
       std::printf("lib,routine,n,tile,topo,dod,seconds,tflops,h2d,d2d,d2h,"
-                  "optimistic_waits,steals,tasks\n");
-      std::printf("%s,%s,%zu,%zu,%s,%d,%.6f,%.3f,%zu,%zu,%zu,%zu,%zu,%zu\n",
+                  "optimistic_waits,forced_waits,steals,tasks\n");
+      std::printf("%s,%s,%zu,%zu,%s,%d,%.6f,%.3f,%zu,%zu,%zu,%zu,%zu,%zu,"
+                  "%zu\n",
                   lib.c_str(), routine.c_str(), n, tile, topo_name.c_str(),
                   dod ? 1 : 0, r.seconds, r.tflops, r.transfers.h2d,
                   r.transfers.d2d, r.transfers.d2h,
-                  r.transfers.optimistic_waits, r.steals, r.tasks);
+                  r.transfers.optimistic_waits, r.transfers.forced_waits,
+                  r.steals, r.tasks);
       return 0;
     }
 
@@ -183,9 +185,9 @@ int main(int argc, char** argv) {
     std::printf("  rate     : %.2f TFlop/s\n", r.tflops);
     std::printf("  tasks    : %zu (%zu steals)\n", r.tasks, r.steals);
     std::printf("  transfers: %zu HtoD, %zu DtoD, %zu DtoH "
-                "(%zu duplicate H2D avoided)\n",
+                "(%zu duplicate H2D avoided, %zu forced waits)\n",
                 r.transfers.h2d, r.transfers.d2d, r.transfers.d2h,
-                r.transfers.optimistic_waits);
+                r.transfers.optimistic_waits, r.transfers.forced_waits);
     const auto& b = r.breakdown;
     std::printf("  GPU time : %.2fs kernel, %.2fs HtoD, %.2fs PtoP, "
                 "%.2fs DtoH (%.1f%% transfers)\n",
