@@ -225,6 +225,7 @@ BenchResult run_with_spec(const ModelSpec& spec, const BenchConfig& cfg) {
   ropt.drop_inputs_after_use = spec.drop_inputs;
   ropt.task_overhead = spec.task_overhead;
   ropt.prepare_window = spec.prepare_window;
+  ropt.check = cfg.check;
   std::unique_ptr<rt::Scheduler> sched;
   if (spec.dmdas)
     sched = std::make_unique<rt::DmdasScheduler>();
@@ -277,6 +278,12 @@ BenchResult run_with_spec(const ModelSpec& spec, const BenchConfig& cfg) {
   res.transfers = runtime.data_manager().stats();
   res.steals = runtime.steals();
   res.tasks = runtime.tasks_completed();
+  if (const check::Checker* c = runtime.checker()) {
+    res.check_ok = c->ok();
+    res.check_violations = c->total_violations();
+    res.check_report = c->report();
+    res.event_hash = c->event_hash();
+  }
   return res;
 }
 

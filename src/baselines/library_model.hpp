@@ -15,10 +15,12 @@
 // | DPLASMA          | static 2D block cyclic | first valid    | GEMM only |
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "check/check.hpp"
 #include "runtime/data_manager.hpp"
 #include "runtime/perf_model.hpp"
 #include "topo/topology.hpp"
@@ -36,6 +38,9 @@ struct BenchConfig {
   rt::PerfModel perf;
   std::size_t device_capacity = 32ull << 30;
   int kernel_streams = 2;
+  /// Opt-in validation layer, forwarded to RuntimeOptions::check.  When
+  /// enabled the result carries the checker verdict and event-stream hash.
+  check::CheckConfig check;
 };
 
 struct BenchResult {
@@ -49,6 +54,11 @@ struct BenchResult {
   rt::TransferStats transfers;
   std::size_t steals = 0;
   std::size_t tasks = 0;
+  // Populated only when BenchConfig::check.enabled was set.
+  bool check_ok = true;
+  std::size_t check_violations = 0;
+  std::string check_report;
+  std::uint64_t event_hash = 0;  ///< FNV-1a over the simulated event stream
 };
 
 class LibraryModel {

@@ -1,0 +1,58 @@
+// Sparse-free vector clocks for the happens-before race detector.
+//
+// Components ("lanes") are the serial execution contexts of the simulated
+// platform: one per device kernel stream plus one for the host worker.  A
+// clock V happens-before W iff V <= W componentwise and V != W; two clocks
+// with neither ordering are concurrent, which for two conflicting tile
+// accesses means a race.  Clocks grow on demand (missing components read 0)
+// so the checker does not need the lane count up front.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xkb::check {
+
+class VectorClock {
+ public:
+  VectorClock() = default;
+
+  std::uint64_t at(std::size_t lane) const {
+    return lane < c_.size() ? c_[lane] : 0;
+  }
+
+  /// Advance this clock's own component (a new event on `lane`).
+  void tick(std::size_t lane) {
+    if (lane >= c_.size()) c_.resize(lane + 1, 0);
+    ++c_[lane];
+  }
+
+  /// Componentwise maximum (import every happens-before edge of `o`).
+  void join(const VectorClock& o) {
+    if (o.c_.size() > c_.size()) c_.resize(o.c_.size(), 0);
+    for (std::size_t i = 0; i < o.c_.size(); ++i)
+      if (o.c_[i] > c_[i]) c_[i] = o.c_[i];
+  }
+
+  /// true iff this clock happens-before-or-equals `o` (componentwise <=).
+  bool leq(const VectorClock& o) const {
+    for (std::size_t i = 0; i < c_.size(); ++i)
+      if (c_[i] > o.at(i)) return false;
+    return true;
+  }
+
+  std::string to_string() const {
+    std::string s = "[";
+    for (std::size_t i = 0; i < c_.size(); ++i) {
+      if (i != 0) s += ",";
+      s += std::to_string(c_[i]);
+    }
+    return s + "]";
+  }
+
+ private:
+  std::vector<std::uint64_t> c_;
+};
+
+}  // namespace xkb::check

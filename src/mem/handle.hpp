@@ -32,6 +32,16 @@ enum class ReplicaState : std::uint8_t {
   kValid,     ///< usable copy present
 };
 
+/// Diagnostic name of a replica state (xkb::check violation messages).
+constexpr const char* to_string(ReplicaState s) {
+  switch (s) {
+    case ReplicaState::kInvalid: return "invalid";
+    case ReplicaState::kInFlight: return "in-flight";
+    case ReplicaState::kValid: return "valid";
+  }
+  return "?";
+}
+
 struct DataHandle;
 
 /// Per-location replica bookkeeping (host uses the same record as devices).

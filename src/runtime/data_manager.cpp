@@ -4,6 +4,8 @@
 #include <cstring>
 #include <utility>
 
+#include "check/check.hpp"
+
 namespace xkb::rt {
 
 namespace {
@@ -94,6 +96,16 @@ void DataManager::ensure_valid(mem::DataHandle* h, int dev,
   if (!try_reserve_or_defer(h, dev, std::move(retry))) return;
 
   const Source s = choose_source(*h, dev);
+  if (check::Checker* c = plat_->checker()) {
+    check::SourceKind k = check::SourceKind::kHost;
+    switch (s.kind) {
+      case Source::kHost: k = check::SourceKind::kHost; break;
+      case Source::kDevice: k = check::SourceKind::kDevice; break;
+      case Source::kWaitDevice: k = check::SourceKind::kWaitDevice; break;
+      case Source::kWaitHost: k = check::SourceKind::kWaitHost; break;
+    }
+    c->on_source_choice(h, dev, k, s.dev, s.forced);
+  }
   if (plat_->options().functional && h->dev_buf.empty())
     h->dev_buf.resize(plat_->num_gpus());
   if (plat_->options().functional && h->dev_buf[dev].size() != h->bytes())
@@ -193,8 +205,13 @@ DataManager::Source DataManager::choose_source(const mem::DataHandle& h,
 
 void DataManager::reserve_with_flushes(mem::DataHandle* h, int dev) {
   auto res = plat_->cache(dev).reserve(h);
+  if (check::Checker* c = plat_->checker())
+    for (mem::DataHandle* v : res.clean_evicted)
+      c->on_evict(v, dev, /*was_dirty=*/false);
   for (mem::DataHandle* v : res.dirty_evicted) {
     stats_.evict_flushes++;
+    if (check::Checker* c = plat_->checker())
+      c->on_evict(v, dev, /*was_dirty=*/true);
     flush_from_device(v, dev, /*drop_buffer=*/true);
   }
   if (plat_->options().functional) {
@@ -209,6 +226,9 @@ void DataManager::issue_h2d(mem::DataHandle* h, int dst) {
     if (plat_->options().functional) pack_tile(*h, h->dev_buf[dst].data());
     complete_arrival(h, dst);
   });
+  if (check::Checker* c = plat_->checker())
+    c->on_transfer_issue(check::TransferKind::kH2D, h, -1, dst, iv.start,
+                         iv.end);
   h->dev[dst].eta = iv.end;
 }
 
@@ -221,6 +241,9 @@ void DataManager::issue_p2p(mem::DataHandle* h, int src, int dst) {
     unpin(h, src);
     complete_arrival(h, dst);
   });
+  if (check::Checker* c = plat_->checker())
+    c->on_transfer_issue(check::TransferKind::kD2D, h, src, dst, iv.start,
+                         iv.end);
   h->dev[dst].eta = iv.end;
 }
 
@@ -228,6 +251,8 @@ void DataManager::complete_arrival(mem::DataHandle* h, int dev) {
   mem::Replica& r = h->dev[dev];
   assert(r.state == mem::ReplicaState::kInFlight);
   r.state = mem::ReplicaState::kValid;
+  if (check::Checker* c = plat_->checker())
+    c->on_arrival(h, dev, plat_->engine().now());
   plat_->cache(dev).touch(h, plat_->engine().now());
   auto waiters = std::move(r.waiters);
   r.waiters.clear();
@@ -264,6 +289,8 @@ void DataManager::mark_written(mem::DataHandle* h, int dev) {
   r.state = mem::ReplicaState::kValid;
   plat_->cache(dev).set_dirty(h, true);
   plat_->cache(dev).touch(h, plat_->engine().now());
+  if (check::Checker* c = plat_->checker())
+    c->on_mark_written(h, dev, plat_->engine().now());
 }
 
 void DataManager::host_write(mem::DataHandle* h) {
@@ -287,6 +314,7 @@ void DataManager::host_write(mem::DataHandle* h) {
     }
   }
   h->host.state = mem::ReplicaState::kValid;
+  if (check::Checker* c = plat_->checker()) c->on_host_write(h);
 }
 
 void DataManager::flush_to_host(mem::DataHandle* h, sim::Callback done) {
@@ -310,8 +338,12 @@ void DataManager::flush_from_device(mem::DataHandle* h, int src,
   h->dev[src].pins++;
   stats_.d2h++;
   const std::uint64_t v0 = h->version;
+  if (check::Checker* c = plat_->checker()) c->on_host_flush_issue(h, src, v0);
   plat_->copy_d2h(src, h->bytes(), [this, h, src, drop_buffer, v0] {
     h->dev[src].pins--;
+    if (check::Checker* c = plat_->checker())
+      c->on_host_flush_done(h, src, /*stale=*/h->version != v0, v0,
+                            plat_->engine().now());
 
     if (h->version != v0) {
       // A newer version was produced while this (eviction) flush was in

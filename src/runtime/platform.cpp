@@ -95,7 +95,7 @@ sim::Interval Platform::copy_p2p(int src, int dst, std::size_t bytes,
 
 sim::Interval Platform::launch_kernel(int dev, double seconds, double flops,
                                       const std::string& label,
-                                      sim::Callback done) {
+                                      sim::Callback done, int* lane_out) {
   // Pick the stream that frees up first (deterministic tie-break by index).
   sim::FifoResource* best = kstreams_[dev][0].get();
   int lane = 0;
@@ -107,6 +107,7 @@ sim::Interval Platform::launch_kernel(int dev, double seconds, double flops,
   auto iv = best->submit(seconds, std::move(done));
   trace_.add({dev, trace::OpKind::kKernel, iv.start, iv.end, 0, flops, lane,
               label});
+  if (lane_out) *lane_out = lane;
   return iv;
 }
 

@@ -24,6 +24,10 @@
 #include "topo/topology.hpp"
 #include "trace/trace.hpp"
 
+namespace xkb::check {
+class Checker;
+}
+
 namespace xkb::rt {
 
 struct PlatformOptions {
@@ -48,6 +52,11 @@ class Platform {
   mem::DeviceCache& cache(int dev) { return *caches_[dev]; }
   int num_gpus() const { return topo_.num_gpus(); }
 
+  /// Attach/detach the validation layer (owned by the Runtime).  The
+  /// DataManager reaches the checker through here; null when disabled.
+  void set_checker(check::Checker* c) { checker_ = c; }
+  check::Checker* checker() const { return checker_; }
+
   /// Host -> device copy over the GPU's (possibly shared) host link.
   sim::Interval copy_h2d(int dev, std::size_t bytes, sim::Callback done);
   /// Device -> host copy.
@@ -56,9 +65,12 @@ class Platform {
   sim::Interval copy_p2p(int src, int dst, std::size_t bytes,
                          sim::Callback done);
 
-  /// Launch a kernel on the least-loaded kernel stream of `dev`.
+  /// Launch a kernel on the least-loaded kernel stream of `dev`.  The
+  /// chosen stream index is written to `lane_out` when non-null (the
+  /// checker's lane-FIFO happens-before edges need it).
   sim::Interval launch_kernel(int dev, double seconds, double flops,
-                              const std::string& label, sim::Callback done);
+                              const std::string& label, sim::Callback done,
+                              int* lane_out = nullptr);
 
   /// Host-side work (layout conversions of the Chameleon LAPACK baseline).
   sim::Interval host_work(double seconds, sim::Callback done);
@@ -82,6 +94,7 @@ class Platform {
   std::vector<std::vector<std::unique_ptr<sim::FifoResource>>> kstreams_;
   std::unique_ptr<sim::FifoResource> host_worker_;
   std::vector<std::unique_ptr<mem::DeviceCache>> caches_;
+  check::Checker* checker_ = nullptr;
 };
 
 }  // namespace xkb::rt

@@ -5,6 +5,29 @@
 
 namespace xkb::rt {
 
+namespace {
+
+check::Mode mirror(Access a) {
+  switch (a) {
+    case Access::kR: return check::Mode::kR;
+    case Access::kW: return check::Mode::kW;
+    case Access::kRW: return check::Mode::kRW;
+  }
+  return check::Mode::kR;
+}
+
+check::Policy mirror(SourcePolicy p) {
+  switch (p) {
+    case SourcePolicy::kTopologyAware: return check::Policy::kTopologyAware;
+    case SourcePolicy::kFirstValid: return check::Policy::kFirstValid;
+    case SourcePolicy::kSwitchPeer: return check::Policy::kSwitchPeer;
+    case SourcePolicy::kHostOnly: return check::Policy::kHostOnly;
+  }
+  return check::Policy::kTopologyAware;
+}
+
+}  // namespace
+
 Runtime::Runtime(Platform& plat, std::unique_ptr<Scheduler> sched,
                  RuntimeOptions opt)
     : plat_(&plat),
@@ -12,9 +35,25 @@ Runtime::Runtime(Platform& plat, std::unique_ptr<Scheduler> sched,
       opt_(opt),
       registry_(plat.num_gpus()),
       dm_(plat, opt.heuristics),
-      devs_(plat.num_gpus()) {}
+      devs_(plat.num_gpus()) {
+  if (opt_.check.enabled) {
+    checker_ = std::make_unique<check::Checker>(
+        opt_.check, plat.num_gpus(), plat.options().kernel_streams,
+        mirror(opt_.heuristics.source), opt_.heuristics.optimistic_d2d);
+    plat_->set_checker(checker_.get());
+    plat_->engine().set_observer(
+        [c = checker_.get()](sim::Time t, std::uint64_t seq) {
+          c->on_engine_event(t, seq);
+        });
+  }
+}
 
-Runtime::~Runtime() = default;
+Runtime::~Runtime() {
+  if (checker_) {
+    plat_->set_checker(nullptr);
+    plat_->engine().set_observer({});
+  }
+}
 
 void Runtime::submit(TaskDesc desc) {
   tasks_.push_back(std::make_unique<Task>(std::move(desc)));
@@ -42,9 +81,30 @@ void Runtime::submit(TaskDesc desc) {
   std::sort(preds.begin(), preds.end());
   preds.erase(std::unique(preds.begin(), preds.end()), preds.end());
   preds.erase(std::remove(preds.begin(), preds.end(), t), preds.end());
+  if (checker_) {
+    // Test-only fault: lose one dependence edge (the checker's race
+    // detector must catch the resulting unordered accesses).
+    const check::Faults& f = checker_->faults();
+    if (f.skip_edge_succ == t->id)
+      preds.erase(std::remove_if(preds.begin(), preds.end(),
+                                 [&](Task* p) {
+                                   return p->id == f.skip_edge_pred;
+                                 }),
+                  preds.end());
+  }
   for (Task* p : preds) {
     p->successors.push_back(t);
     ++t->pending_deps;
+  }
+  if (checker_) {
+    std::vector<std::pair<const mem::DataHandle*, check::Mode>> acc;
+    acc.reserve(t->desc.accesses.size());
+    for (const TaskAccess& a : t->desc.accesses)
+      acc.emplace_back(a.handle, mirror(a.mode));
+    std::vector<std::uint64_t> pred_ids;
+    pred_ids.reserve(preds.size());
+    for (Task* p : preds) pred_ids.push_back(p->id);
+    checker_->on_submit(t->id, t->desc.label, acc, std::move(pred_ids));
   }
   if (t->pending_deps == 0) on_ready(t);
 }
@@ -152,8 +212,10 @@ void Runtime::on_operands_ready(Task* t) {
                        plat_->perf().kernel_time(
                            t->desc.flops, t->desc.min_dim, t->desc.eff_factor,
                            t->desc.single_precision);
-    plat_->launch_kernel(dev, sec, t->desc.flops, t->desc.label,
-                         [this, t] { on_kernel_done(t); });
+    int lane = 0;
+    auto iv = plat_->launch_kernel(dev, sec, t->desc.flops, t->desc.label,
+                                   [this, t] { on_kernel_done(t); }, &lane);
+    if (checker_) checker_->on_kernel_issue(t->id, dev, lane, iv.start, iv.end);
   }
   fill_all();
 }
@@ -162,6 +224,9 @@ void Runtime::on_kernel_done(Task* t) {
   const int dev = t->device;
   if (plat_->options().functional && t->desc.fn)
     t->desc.fn(FunctionalCtx(&t->desc.accesses, dev));
+  // Race bookkeeping before the protocol transitions: the write's clock is
+  // recorded first, then mark_written bumps the shadow versions.
+  if (checker_) checker_->on_task_finish(t->id, dev, plat_->engine().now());
   for (const TaskAccess& a : t->desc.accesses)
     if (a.mode != Access::kR) dm_.mark_written(a.handle, dev);
   for (const TaskAccess& a : t->desc.accesses) dm_.unpin(a.handle, dev);
@@ -211,6 +276,15 @@ void Runtime::complete(Task* t) {
   assert(!t->done);
   t->done = true;
   ++completed_;
+  if (checker_) {
+    checker_->on_task_complete(t->id, plat_->engine().now());
+    // Test-only fault: swallow the completion event -- successors never
+    // become ready and the progress auditor must report them as stuck.
+    if (checker_->faults().drop_completion_task == t->id) {
+      --completed_;  // the runtime itself never saw the event
+      return;
+    }
+  }
   if (t->desc.on_complete) t->desc.on_complete();
   for (Task* s : t->successors)
     if (--s->pending_deps == 0) on_ready(s);
@@ -219,7 +293,20 @@ void Runtime::complete(Task* t) {
 
 double Runtime::run() {
   plat_->engine().run();
-  assert(completed_ == submitted_ && "tasks stuck: dependency or data bug");
+  if (checker_) {
+    const TransferStats& ts = dm_.stats();
+    check::StatsView sv;
+    sv.h2d = ts.h2d;
+    sv.d2h = ts.d2h;
+    sv.d2d = ts.d2d;
+    sv.optimistic_waits = ts.optimistic_waits;
+    sv.forced_waits = ts.forced_waits;
+    sv.submitted = submitted_;
+    sv.completed = completed_;
+    checker_->finalize(sv);
+  } else {
+    assert(completed_ == submitted_ && "tasks stuck: dependency or data bug");
+  }
   return plat_->engine().now();
 }
 

@@ -18,6 +18,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "check/check.hpp"
 #include "mem/registry.hpp"
 #include "runtime/data_manager.hpp"
 #include "runtime/platform.hpp"
@@ -46,6 +47,10 @@ struct RuntimeOptions {
   /// (task creation + scheduling cost; the paper credits XKBlas's small
   /// runtime for its reactivity on small matrices).
   double task_overhead = 0.0;
+  /// Opt-in validation layer (race detection, coherence invariants,
+  /// progress audit, event-stream hash).  Off by default: when disabled the
+  /// run pays one null-pointer test per observation point.
+  check::CheckConfig check;
 };
 
 class Runtime {
@@ -68,8 +73,15 @@ class Runtime {
   /// (the paper's xkblas_memory_coherent_async).
   void coherent_async(mem::DataHandle* h);
 
-  /// Drain the simulation; returns the virtual completion time.
+  /// Drain the simulation; returns the virtual completion time.  When a
+  /// checker is attached this also runs its end-of-run audit (counter
+  /// reconciliation, completion check, final protocol scan).
   double run();
+
+  /// The validation layer, or nullptr when RuntimeOptions::check.enabled
+  /// was false.  Inspect checker()->ok() / report() / event_hash() after
+  /// run().
+  const check::Checker* checker() const { return checker_.get(); }
 
   // --- introspection for schedulers, tests and benches ---
   int num_gpus() const { return plat_->num_gpus(); }
@@ -101,6 +113,7 @@ class Runtime {
   Platform* plat_;
   std::unique_ptr<Scheduler> sched_;
   RuntimeOptions opt_;
+  std::unique_ptr<check::Checker> checker_;  // before dm_: observes its events
   mem::Registry registry_;
   DataManager dm_;
 

@@ -6,6 +6,7 @@ namespace xkb::sim {
 
 void Engine::schedule_at(Time t, Callback cb) {
   assert(t >= now_ && "cannot schedule into the past");
+  if (t < now_) t = now_;  // release builds: clamp (see header contract)
   queue_.push(Event{t, seq_++, std::move(cb)});
 }
 
@@ -16,6 +17,7 @@ Time Engine::run() {
     queue_.pop();
     now_ = ev.t;
     ++processed_;
+    if (observer_) observer_(ev.t, ev.seq);
     ev.cb();
   }
   return now_;
@@ -27,6 +29,7 @@ Time Engine::run_until(Time deadline) {
     queue_.pop();
     now_ = ev.t;
     ++processed_;
+    if (observer_) observer_(ev.t, ev.seq);
     ev.cb();
   }
   if (now_ < deadline && queue_.empty()) return now_;

@@ -27,7 +27,12 @@ class Engine {
 
   Time now() const { return now_; }
 
-  /// Schedule `cb` to run at absolute virtual time `t` (>= now).
+  /// Schedule `cb` to run at absolute virtual time `t`.
+  ///
+  /// Contract: `t` must be >= now().  Scheduling into the past is a caller
+  /// bug -- it would break the monotonicity every resource relies on -- and
+  /// is diagnosed by an assert in debug builds; release builds clamp the
+  /// event to now() (it runs next, after already-queued same-time events).
   void schedule_at(Time t, Callback cb);
 
   /// Schedule `cb` to run `dt` seconds from now.
@@ -43,7 +48,14 @@ class Engine {
   bool empty() const { return queue_.empty(); }
 
   /// Reset the clock and drop all pending events (for back-to-back runs).
+  /// Pending callbacks (and whatever they capture) are destroyed.
   void reset();
+
+  /// Observer invoked for every event, just before its callback runs, with
+  /// the event's (time, insertion sequence).  Used by xkb::check to hash
+  /// the event stream; at most one observer, empty to detach.
+  using Observer = std::function<void(Time, std::uint64_t)>;
+  void set_observer(Observer obs) { observer_ = std::move(obs); }
 
  private:
   struct Event {
@@ -62,6 +74,7 @@ class Engine {
   Time now_ = 0.0;
   std::uint64_t seq_ = 0;
   std::uint64_t processed_ = 0;
+  Observer observer_;
 };
 
 }  // namespace xkb::sim

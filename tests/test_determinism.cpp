@@ -1,0 +1,85 @@
+// Determinism regression: the discrete-event engine orders events by
+// (time, insertion sequence), so two runs of the same configuration must
+// produce bit-identical event streams.  The checker's FNV hash over the
+// stream makes "identical" checkable in one comparison; TransferStats are
+// compared field-by-field as a second, coarser witness.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "baselines/library_model.hpp"
+
+namespace xkb::baselines {
+namespace {
+
+struct Preset {
+  const char* name;
+  rt::HeuristicConfig heur;
+};
+
+std::vector<Preset> presets() {
+  return {
+      {"xkblas", rt::HeuristicConfig::xkblas()},
+      {"no_heuristic", rt::HeuristicConfig::no_heuristic()},
+      {"no_heuristic_no_topo", rt::HeuristicConfig::no_heuristic_no_topo()},
+  };
+}
+
+BenchResult run_once(const rt::HeuristicConfig& heur, Blas3 routine) {
+  BenchConfig cfg;
+  cfg.routine = routine;
+  cfg.n = 8192;
+  cfg.tile = 2048;
+  cfg.check.enabled = true;
+  auto model = make_xkblas(heur);
+  BenchResult res = model->run(cfg);
+  EXPECT_TRUE(res.supported);
+  EXPECT_FALSE(res.failed) << res.error;
+  return res;
+}
+
+void expect_identical(const BenchResult& a, const BenchResult& b,
+                      const char* what) {
+  EXPECT_EQ(a.event_hash, b.event_hash) << what;
+  EXPECT_DOUBLE_EQ(a.seconds, b.seconds) << what;
+  EXPECT_EQ(a.tasks, b.tasks) << what;
+  EXPECT_EQ(a.transfers.h2d, b.transfers.h2d) << what;
+  EXPECT_EQ(a.transfers.d2h, b.transfers.d2h) << what;
+  EXPECT_EQ(a.transfers.d2d, b.transfers.d2d) << what;
+  EXPECT_EQ(a.transfers.optimistic_waits, b.transfers.optimistic_waits)
+      << what;
+  EXPECT_EQ(a.transfers.forced_waits, b.transfers.forced_waits) << what;
+  EXPECT_EQ(a.transfers.evict_flushes, b.transfers.evict_flushes) << what;
+  EXPECT_EQ(a.transfers.oom_deferrals, b.transfers.oom_deferrals) << what;
+}
+
+TEST(Determinism, GemmIsBitIdenticalAcrossRerunsForEveryPreset) {
+  for (const Preset& p : presets()) {
+    BenchResult a = run_once(p.heur, Blas3::kGemm);
+    BenchResult b = run_once(p.heur, Blas3::kGemm);
+    EXPECT_TRUE(a.check_ok) << p.name << ": " << a.check_report;
+    expect_identical(a, b, p.name);
+  }
+}
+
+TEST(Determinism, TrsmIsBitIdenticalAcrossRerunsForEveryPreset) {
+  for (const Preset& p : presets()) {
+    BenchResult a = run_once(p.heur, Blas3::kTrsm);
+    BenchResult b = run_once(p.heur, Blas3::kTrsm);
+    EXPECT_TRUE(a.check_ok) << p.name << ": " << a.check_report;
+    expect_identical(a, b, p.name);
+  }
+}
+
+// Different presets drive different transfer schedules, so their event
+// streams should differ -- if every configuration hashed to the same value
+// the hash would be vacuous.
+TEST(Determinism, HashDistinguishesHeuristicConfigurations) {
+  BenchResult on = run_once(rt::HeuristicConfig::xkblas(), Blas3::kGemm);
+  BenchResult off =
+      run_once(rt::HeuristicConfig::no_heuristic_no_topo(), Blas3::kGemm);
+  EXPECT_NE(on.event_hash, off.event_hash);
+}
+
+}  // namespace
+}  // namespace xkb::baselines

@@ -1,6 +1,7 @@
 // Tests of the discrete-event engine and FIFO resources.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 #include "sim/engine.hpp"
@@ -157,6 +158,80 @@ TEST(EngineStress, CascadingEventsFromCallbacks) {
   e.schedule_at(0.0, [&spawn] { spawn(11); });
   e.run();
   EXPECT_EQ(count, (1 << 12) - 1);
+}
+
+TEST(EngineEdge, EventExactlyAtDeadlineRuns) {
+  // run_until is inclusive: an event at t == deadline fires, and the clock
+  // lands exactly on the deadline with nothing left behind.
+  Engine e;
+  int fired = 0;
+  e.schedule_at(2.0, [&] { ++fired; });
+  e.schedule_at(2.0, [&] { ++fired; });  // same-time sibling also fires
+  e.run_until(2.0);
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(e.now(), 2.0);
+  EXPECT_TRUE(e.empty());
+}
+
+TEST(EngineEdge, RunUntilAdvancesClockToDeadlineWhenQueueBusy) {
+  Engine e;
+  e.schedule_at(5.0, [] {});
+  e.run_until(3.0);
+  EXPECT_DOUBLE_EQ(e.now(), 3.0);  // time passed even though nothing ran
+  EXPECT_FALSE(e.empty());
+  e.run();
+  EXPECT_DOUBLE_EQ(e.now(), 5.0);
+}
+
+#ifdef NDEBUG
+TEST(EngineEdge, SchedulePastClampsToNowInRelease) {
+  // The documented contract: t < now() asserts in debug builds; release
+  // builds clamp to now(), running the event after already-queued
+  // same-time events.  (The debug half is compiled out with the assert.)
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(1.0, [&] {
+    e.schedule_at(1.0, [&] { order.push_back(2); });  // same time: queued
+    e.schedule_at(0.5, [&] { order.push_back(3); });  // past: clamps to 1.0
+    order.push_back(1);
+  });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(e.now(), 1.0);  // the clock never went backwards
+}
+#endif
+
+TEST(EngineEdge, ResetDestroysPendingCallbackCaptures) {
+  // Pending callbacks own their captures; reset must release them (no
+  // leak, no deferred execution).
+  Engine e;
+  auto token = std::make_shared<int>(42);
+  bool ran = false;
+  e.schedule_at(1.0, [token, &ran] { ran = true; });
+  EXPECT_EQ(token.use_count(), 2);
+  e.reset();
+  EXPECT_EQ(token.use_count(), 1);  // capture destroyed with the event
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(e.events_processed(), 0u);
+  // The engine is fully reusable afterwards, starting from t = 0.
+  e.schedule_at(0.25, [&ran] { ran = true; });
+  e.run();
+  EXPECT_TRUE(ran);
+  EXPECT_DOUBLE_EQ(e.now(), 0.25);
+}
+
+TEST(EngineEdge, ObserverSeesEveryEventInOrder) {
+  Engine e;
+  std::vector<std::uint64_t> seqs;
+  e.set_observer([&](Time, std::uint64_t seq) { seqs.push_back(seq); });
+  e.schedule_at(2.0, [] {});
+  e.schedule_at(1.0, [] {});
+  e.run();
+  EXPECT_EQ(seqs, (std::vector<std::uint64_t>{1, 0}));  // time order wins
+  e.set_observer({});  // detaching must be safe
+  e.schedule_at(3.0, [] {});
+  e.run();
+  EXPECT_EQ(seqs.size(), 2u);
 }
 
 TEST(ChannelStress, ThousandsOfTransfersConserveBytes) {

@@ -1,0 +1,122 @@
+// check_matrix: run the full library x routine x scenario benchmark matrix
+// under xkb::check and fail on the first violation.  This is the CI gate
+// that keeps the simulated runtime honest: every coherence transition, every
+// source choice and every dependence edge of every model is validated on
+// every push.
+//
+//   check_matrix                 full matrix at the default size
+//   check_matrix --n 16384       bigger tiles-per-matrix sweep
+//   check_matrix --overhead      also measure checked-vs-unchecked wall
+//                                clock on a GEMM workload; exit 4 if the
+//                                checker costs more than 2x
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "baselines/library_model.hpp"
+#include "util/flops.hpp"
+
+using namespace xkb;
+using namespace xkb::baselines;
+
+namespace {
+
+constexpr Blas3 kRoutines[] = {
+    Blas3::kGemm, Blas3::kSymm, Blas3::kSyrk,  Blas3::kSyr2k, Blas3::kTrmm,
+    Blas3::kTrsm, Blas3::kHemm, Blas3::kHerk,  Blas3::kHer2k,
+};
+
+double wall_seconds(const BenchConfig& cfg, bool checked) {
+  BenchConfig c = cfg;
+  c.check.enabled = checked;
+  auto model = make_xkblas(rt::HeuristicConfig::xkblas());
+  // Enough repetitions to keep the ratio stable: one run is ~1 ms of wall
+  // clock and a 2x budget check on single-millisecond samples would be
+  // noise-bound.
+  constexpr int kReps = 20;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int rep = 0; rep < kReps; ++rep) {
+    const BenchResult r = model->run(c);
+    if (r.failed) return -1.0;
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t n = 8192, tile = 2048;
+  bool overhead = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--n" && i + 1 < argc) n = std::stoul(argv[++i]);
+    else if (arg == "--tile" && i + 1 < argc) tile = std::stoul(argv[++i]);
+    else if (arg == "--overhead") overhead = true;
+    else {
+      std::fprintf(stderr, "usage: check_matrix [--n N] [--tile T] "
+                           "[--overhead]\n");
+      return 2;
+    }
+  }
+
+  std::size_t runs = 0, skipped = 0, bad_runs = 0, violations = 0;
+  for (const auto& model : all_models()) {
+    for (Blas3 routine : kRoutines) {
+      for (bool dod : {false, true}) {
+        BenchConfig cfg;
+        cfg.routine = routine;
+        cfg.n = n;
+        cfg.tile = tile;
+        cfg.data_on_device = dod;
+        cfg.check.enabled = true;
+        if (!model->supports(routine)) {
+          ++skipped;
+          continue;
+        }
+        const BenchResult r = model->run(cfg);
+        if (!r.supported || r.failed) {
+          // Capacity failures (e.g. BLASX beyond 45k) are model behaviour,
+          // not checker findings.
+          ++skipped;
+          continue;
+        }
+        ++runs;
+        if (!r.check_ok) {
+          ++bad_runs;
+          violations += r.check_violations;
+          std::fprintf(stderr,
+                       "FAIL %s %s n=%zu %s: %zu violation(s)\n%s\n",
+                       model->name().c_str(), blas3_name(routine), n,
+                       dod ? "data-on-device" : "data-on-host",
+                       r.check_violations, r.check_report.c_str());
+        }
+      }
+    }
+  }
+  std::printf("check_matrix: %zu/%zu checked runs clean, %zu skipped "
+              "(unsupported/capacity)\n",
+              runs - bad_runs, runs, skipped);
+  if (violations) return 3;
+
+  if (overhead) {
+    BenchConfig cfg;
+    cfg.routine = Blas3::kGemm;
+    cfg.n = 16384;
+    cfg.tile = 2048;
+    const double off = wall_seconds(cfg, false);
+    const double on = wall_seconds(cfg, true);
+    if (off <= 0.0 || on <= 0.0) {
+      std::fprintf(stderr, "overhead probe failed to run\n");
+      return 4;
+    }
+    const double ratio = on / off;
+    std::printf("checked-mode overhead: %.2fx (%.3fs -> %.3fs over 20 reps)\n",
+                ratio, off, on);
+    if (ratio > 2.0) {
+      std::fprintf(stderr, "overhead budget exceeded (limit 2.0x)\n");
+      return 4;
+    }
+  }
+  return 0;
+}

@@ -39,7 +39,10 @@ void usage() {
       "  --data-on-device   2D block-cyclic pre-distribution scenario\n"
       "  --gantt        print an ASCII Gantt chart of the run\n"
       "  --trace-json F own XKBlas run, Chrome trace-event JSON to file F\n"
-      "  --csv          print one machine-readable CSV row\n");
+      "  --csv          print one machine-readable CSV row\n"
+      "  --check        run under xkb::check (races, coherence, progress);\n"
+      "                 exit 3 and print the report on any violation\n"
+      "  --hash         print the FNV-1a event-stream hash (implies --check)\n");
 }
 
 Blas3 parse_routine(const std::string& r) {
@@ -82,7 +85,7 @@ int main(int argc, char** argv) {
   std::string routine = "gemm", lib = "xkblas", topo_name = "dgx1";
   std::size_t n = 32768, tile = 2048;
   bool no_heur = false, no_topo = false, dod = false, gantt = false,
-       csv = false;
+       csv = false, check = false, hash = false;
   std::string trace_json;
 
   for (int i = 1; i < argc; ++i) {
@@ -102,6 +105,8 @@ int main(int argc, char** argv) {
     else if (arg == "--gantt") gantt = true;
     else if (arg == "--trace-json") trace_json = next();
     else if (arg == "--csv") csv = true;
+    else if (arg == "--check") check = true;
+    else if (arg == "--hash") { hash = true; check = true; }
     else if (arg == "--help" || arg == "-h") { usage(); return 0; }
     else {
       std::fprintf(stderr, "unknown option %s\n", arg.c_str());
@@ -121,6 +126,7 @@ int main(int argc, char** argv) {
     cfg.tile = tile;
     cfg.topology = parse_topo(topo_name);
     cfg.data_on_device = dod;
+    cfg.check.enabled = check;
 
     if (!trace_json.empty()) {
       // Direct run with the trace retained, exported for chrome://tracing.
@@ -129,6 +135,7 @@ int main(int argc, char** argv) {
       ropt.heuristics = heur;
       ropt.task_overhead = 3e-6;
       ropt.prepare_window = 16;
+      ropt.check.enabled = check;
       rt::Runtime runtime(plat,
                           std::make_unique<rt::OwnerComputesScheduler>(),
                           ropt);
@@ -144,6 +151,15 @@ int main(int argc, char** argv) {
       plan.emit();
       plan.coherent();
       const double t = runtime.run();
+      if (const check::Checker* c = runtime.checker()) {
+        if (hash) std::printf("event_hash: %016llx\n",
+                              static_cast<unsigned long long>(c->event_hash()));
+        if (!c->ok()) {
+          std::fprintf(stderr, "xkb::check: %zu violation(s)\n%s",
+                       c->total_violations(), c->report().c_str());
+          return 3;
+        }
+      }
       std::ofstream out(trace_json);
       out << trace::to_chrome_json(plat.trace());
       std::printf("XKBlas %s N=%zu: %.2f TFlop/s; %zu trace events -> %s\n",
@@ -162,6 +178,14 @@ int main(int argc, char** argv) {
     if (r.failed) {
       std::fprintf(stderr, "run failed: %s\n", r.error.c_str());
       return 1;
+    }
+    if (hash)
+      std::printf("event_hash: %016llx\n",
+                  static_cast<unsigned long long>(r.event_hash));
+    if (check && !r.check_ok) {
+      std::fprintf(stderr, "xkb::check: %zu violation(s)\n%s",
+                   r.check_violations, r.check_report.c_str());
+      return 3;
     }
 
     if (csv) {
