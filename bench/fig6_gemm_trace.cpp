@@ -24,7 +24,12 @@ int main() {
   cfg.routine = Blas3::kGemm;
   cfg.n = 32768;
   cfg.tile = 2048;
+  // The tables below are filled from the xkb::obs metrics registry, and
+  // every value is cross-checked against the trace-derived breakdown: two
+  // independent accounting paths over the same run must agree exactly.
+  cfg.obs.enabled = true;
 
+  bool drift = false;
   Table cum({"Library", "DtoH(s)", "HtoD(s)", "PtoP(s)", "Kernel(s)",
              "Total(s)"});
   Table norm({"Library", "DtoH(%)", "HtoD(%)", "PtoP(%)", "Kernel(%)",
@@ -35,7 +40,10 @@ int main() {
       cum.add_row({m->name(), "-", "-", "-", "-", r.failed ? "FAIL" : "-"});
       continue;
     }
-    const trace::Breakdown& b = r.breakdown;
+    const trace::Breakdown b =
+        r.obs ? bench::registry_breakdown(r) : r.breakdown;
+    if (r.obs && !bench::breakdown_agrees(m->name().c_str(), b, r.breakdown))
+      drift = true;
     cum.add_row({m->name(), Table::num(b.dtoh, 2), Table::num(b.htod, 2),
                  Table::num(b.ptop, 2), Table::num(b.kernel, 2),
                  Table::num(b.total(), 2)});
@@ -53,5 +61,10 @@ int main() {
   std::printf(
       "Paper reference: XKBlas spends ~25.4%% of GPU time in data "
       "transfers, Chameleon Tile ~41.2%%; the others more.\n");
+  if (drift) {
+    std::fprintf(stderr,
+                 "metrics registry disagrees with the trace breakdown\n");
+    return 1;
+  }
   return 0;
 }

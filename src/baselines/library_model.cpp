@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "baselines/common.hpp"
+#include "obs/report.hpp"
 
 namespace xkb::baselines {
 
@@ -220,6 +221,12 @@ BenchResult run_with_spec(const ModelSpec& spec, const BenchConfig& cfg) {
   popt.eviction = spec.eviction;
   rt::Platform plat(cfg.topology, perf, popt);
 
+  std::shared_ptr<obs::Observability> o;
+  if (cfg.obs.enabled) {
+    o = std::make_shared<obs::Observability>(plat.num_gpus());
+    plat.set_obs(o.get());  // before the Runtime: it caches series pointers
+  }
+
   rt::RuntimeOptions ropt;
   ropt.heuristics = spec.heur;
   ropt.drop_inputs_after_use = spec.drop_inputs;
@@ -250,12 +257,15 @@ BenchResult run_with_spec(const ModelSpec& spec, const BenchConfig& cfg) {
   RoutinePlan plan = plan_routine(runtime, cfg.routine, cfg.n, emit, P, Q);
 
   double t0 = 0.0;
+  rt::TransferStats s0{};  // stats issued before the measured region
   try {
     if (cfg.data_on_device) {
       plan.distribute();
       runtime.run();
       t0 = plat.engine().now();
       plat.trace().clear();
+      if (o) o->clear();  // observe only the measured (compute) phase
+      s0 = runtime.data_manager().stats();
     }
     plan.emit();
     if (spec.coherent_at_end && !cfg.data_on_device) plan.coherent();
@@ -283,6 +293,39 @@ BenchResult run_with_spec(const ModelSpec& spec, const BenchConfig& cfg) {
     res.check_violations = c->total_violations();
     res.check_report = c->report();
     res.event_hash = c->event_hash();
+  }
+  if (o) {
+    o->finalize_registry();
+    const obs::RunReport rep =
+        obs::build_report(plat.trace(), plat.topology(), o.get());
+    res.metrics_json = obs::report_json(rep, o.get());
+    res.obs = o;
+    if (runtime.checker()) {
+      // Cross-validate the two independent accounting paths: observed event
+      // stream vs runtime counters and trace aggregation.
+      const rt::TransferStats& ts = runtime.data_manager().stats();
+      obs::Observability::ReconcileView v;
+      v.h2d = ts.h2d - s0.h2d;
+      v.d2h = ts.d2h - s0.d2h;
+      v.d2d = ts.d2d - s0.d2d;
+      v.optimistic_waits = ts.optimistic_waits - s0.optimistic_waits;
+      v.forced_waits = ts.forced_waits - s0.forced_waits;
+      const trace::Breakdown b = plat.trace().breakdown();
+      v.htod = b.htod;
+      v.dtoh = b.dtoh;
+      v.ptop = b.ptop;
+      v.kernel = b.kernel;
+      v.htod_bytes = plat.trace().bytes(trace::OpKind::kHtoD);
+      v.dtoh_bytes = plat.trace().bytes(trace::OpKind::kDtoH);
+      v.ptop_bytes = plat.trace().bytes(trace::OpKind::kPtoP);
+      const std::vector<std::string> mismatches = o->reconcile(v);
+      if (!mismatches.empty()) {
+        res.check_ok = false;
+        res.check_violations += mismatches.size();
+        for (const std::string& m : mismatches)
+          res.check_report += "[obs] " + m + "\n";
+      }
+    }
   }
   return res;
 }

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "check/check.hpp"
+#include "obs/obs.hpp"
 #include "runtime/data_manager.hpp"
 #include "runtime/perf_model.hpp"
 #include "topo/topology.hpp"
@@ -41,6 +42,11 @@ struct BenchConfig {
   /// Opt-in validation layer, forwarded to RuntimeOptions::check.  When
   /// enabled the result carries the checker verdict and event-stream hash.
   check::CheckConfig check;
+  /// Opt-in observability layer (metrics registry, link probes, decision
+  /// trace).  When enabled the result carries the metrics JSON and the live
+  /// Observability instance; combined with `check`, the obs accounting is
+  /// reconciled against TransferStats and the trace breakdown.
+  obs::ObsConfig obs;
 };
 
 struct BenchResult {
@@ -59,6 +65,9 @@ struct BenchResult {
   std::size_t check_violations = 0;
   std::string check_report;
   std::uint64_t event_hash = 0;  ///< FNV-1a over the simulated event stream
+  // Populated only when BenchConfig::obs.enabled was set.
+  std::string metrics_json;  ///< report_json: span/links/critical-path/metrics
+  std::shared_ptr<obs::Observability> obs;  ///< the live measurement layer
 };
 
 class LibraryModel {

@@ -1,0 +1,197 @@
+#include "obs/critical_path.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xkb::obs {
+
+namespace {
+
+constexpr double kTieTol = 1e-9;  // exact-time matching slack
+// How far before an op's start its enabler may have finished and still be
+// matched (the runtime inserts a few microseconds of task overhead between a
+// dependence completing and the dependent op starting; that sliver counts
+// as idle on the path, not as a break in it).
+constexpr double kEnableSlack = 1e-5;
+
+using trace::OpKind;
+using trace::Record;
+
+/// Identity of the serial resource a record occupied, for preferring FIFO
+/// hand-offs when several operations end exactly when one starts.
+struct ResKey {
+  int kind = 0, a = 0, b = 0;
+  bool operator==(const ResKey& o) const {
+    return kind == o.kind && a == o.a && b == o.b;
+  }
+};
+
+ResKey res_key(const Record& r, const topo::Topology& topo) {
+  switch (r.kind) {
+    case OpKind::kKernel: return {0, r.device, r.lane};
+    case OpKind::kHtoD: return {1, topo.host_link_of(r.device), 0};
+    case OpKind::kDtoH: return {2, topo.host_link_of(r.device), 0};
+    case OpKind::kPtoP: return {3, r.peer, r.device};
+  }
+  return {};
+}
+
+/// Could `c` plausibly have enabled `r`?  The trace has no dependence edges,
+/// so the walk scores candidates: a FIFO hand-off on the same resource is
+/// certain (2); an operation that delivers data where `r` consumes it, or
+/// produces data where `r` reads it, is plausible (1); an unrelated
+/// coincidence of end times scores 0.
+int enable_score(const Record& c, const Record& r, const ResKey& c_key,
+                 const ResKey& r_key) {
+  if (c_key == r_key) return 2;
+  switch (r.kind) {
+    case OpKind::kKernel:
+      // A kernel starts when its last missing operand lands on its device.
+      if ((c.kind == OpKind::kPtoP || c.kind == OpKind::kHtoD) &&
+          c.device == r.device)
+        return 1;
+      break;
+    case OpKind::kPtoP:
+      // A peer copy out of r.peer starts when the tile is produced there
+      // (kernel) or arrives there (reception chained forward).
+      if (c.kind == OpKind::kKernel && c.device == r.peer) return 1;
+      if ((c.kind == OpKind::kPtoP || c.kind == OpKind::kHtoD) &&
+          c.device == r.peer)
+        return 1;
+      break;
+    case OpKind::kDtoH:
+      // A write-back starts when the dirty tile's producer finishes.
+      if (c.kind == OpKind::kKernel && c.device == r.device) return 1;
+      break;
+    case OpKind::kHtoD:
+      // A host upload can be gated by the eviction that freed the slot or
+      // by the write-back that made the host copy valid.
+      if (c.kind == OpKind::kDtoH) return 1;
+      break;
+  }
+  return 0;
+}
+
+}  // namespace
+
+const char* link_class_label(topo::LinkClass c) {
+  switch (c) {
+    case topo::LinkClass::kNVLink2: return "2xNVLink";
+    case topo::LinkClass::kNVLink1: return "1xNVLink";
+    case topo::LinkClass::kPCIeP2P: return "PCIe";
+    default: return "none";
+  }
+}
+
+CriticalPath critical_path(const trace::Trace& tr,
+                           const topo::Topology& topo) {
+  CriticalPath cp;
+  const std::vector<Record>& recs = tr.records();
+  if (recs.empty()) return cp;
+
+  // Records sorted by end time, for predecessor lookups.
+  std::vector<std::size_t> by_end(recs.size());
+  for (std::size_t i = 0; i < recs.size(); ++i) by_end[i] = i;
+  std::sort(by_end.begin(), by_end.end(), [&recs](std::size_t a,
+                                                  std::size_t b) {
+    if (recs[a].end != recs[b].end) return recs[a].end < recs[b].end;
+    return a < b;
+  });
+
+  // The traced window: a trace cleared mid-run (data-on-device compute
+  // phase) starts at t0 > 0, and everything before it is out of scope.
+  const double t0 = tr.t0();
+
+  // Start from the operation that finishes last (the makespan event).
+  std::size_t cur = by_end.back();
+  cp.span = recs[cur].end - t0;
+
+  std::vector<CpStep> rev;  // path in reverse (makespan op first)
+  // Step cap: a well-formed walk visits each record at most once.
+  for (std::size_t steps = 0; steps <= recs.size(); ++steps) {
+    const Record& r = recs[cur];
+    switch (r.kind) {
+      case OpKind::kKernel:
+        cp.kernel += r.end - r.start;
+        cp.kernel_by_label[r.label] += r.end - r.start;
+        break;
+      case OpKind::kHtoD:
+      case OpKind::kDtoH:
+        cp.host += r.end - r.start;
+        break;
+      case OpKind::kPtoP: {
+        const double d = r.end - r.start;
+        switch (topo.link_class(r.peer, r.device)) {
+          case topo::LinkClass::kNVLink2: cp.nvlink2 += d; break;
+          case topo::LinkClass::kNVLink1: cp.nvlink1 += d; break;
+          default: cp.pcie += d; break;
+        }
+        break;
+      }
+    }
+    rev.push_back({cur, 0.0});
+
+    if (r.start - t0 <= kTieTol) break;  // reached the window start
+
+    // Predecessor: a record ending at r.start (FIFO hand-off) or within the
+    // enable slack before it (dependence completion plus task overhead).
+    // Prefer by causal score, then the latest end (least idle), then the
+    // longest, then the lowest index -- deterministic on ties.
+    auto lo = std::lower_bound(
+        by_end.begin(), by_end.end(), r.start - kEnableSlack,
+        [&recs](std::size_t i, double t) { return recs[i].end < t; });
+    bool found = false;
+    std::size_t best = 0;
+    int best_score = -1;
+    double best_end = 0.0, best_dur = -1.0;
+    const ResKey want = res_key(r, topo);
+    for (auto it = lo; it != by_end.end() && recs[*it].end <= r.start + kTieTol;
+         ++it) {
+      if (*it == cur) continue;
+      const Record& c = recs[*it];
+      const int score = enable_score(c, r, res_key(c, topo), want);
+      const double dur = c.end - c.start;
+      bool better = !found;
+      if (found && score != best_score) better = score > best_score;
+      else if (found && std::fabs(c.end - best_end) > kTieTol)
+        better = c.end > best_end;
+      else if (found && std::fabs(dur - best_dur) > kTieTol)
+        better = dur > best_dur;
+      else if (found)
+        better = *it < best;
+      if (better) {
+        found = true;
+        best = *it;
+        best_score = score;
+        best_end = c.end;
+        best_dur = dur;
+      }
+    }
+    if (found) {
+      const double gap = r.start - recs[best].end;
+      if (gap > kTieTol) {
+        cp.idle += gap;
+        rev.back().gap_before = gap;
+      }
+      cur = best;
+      continue;
+    }
+
+    // Nothing ended within the slack: the machine sat idle.  Jump to the
+    // latest record ending strictly before this start.
+    if (lo == by_end.begin()) {
+      cp.idle += r.start - t0;  // leading idle before the first path op
+      break;
+    }
+    const std::size_t prev = *(lo - 1);
+    const double gap = r.start - recs[prev].end;
+    cp.idle += gap;
+    rev.back().gap_before = gap;
+    cur = prev;
+  }
+
+  cp.ops.assign(rev.rbegin(), rev.rend());
+  return cp;
+}
+
+}  // namespace xkb::obs

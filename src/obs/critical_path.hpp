@@ -1,0 +1,62 @@
+// Critical-path attribution: which operations actually bound the makespan.
+//
+// The executed schedule recorded in a Trace is a DAG whose edges are implied
+// by the simulator's event times: an operation's predecessor on the critical
+// path is whichever operation ended exactly when it starts (a FIFO hand-off
+// on the same resource -- the sim copies end times into start times
+// bit-exactly) or finished within the small task-overhead slack before it
+// (a dependence completion).  Candidates are ranked by causal plausibility:
+// same-resource hand-off beats an operation that delivered/produced the data
+// the current op consumes, which beats an unrelated coincidence of end
+// times.  Walking backwards from the operation that finishes last and
+// classifying each step by link class yields the paper's core argument in
+// one number: how much of the binding transfer time the heuristics moved
+// from PCIe/host links onto NVLink (Sections III-B/III-C, Figs. 6-7).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "topo/topology.hpp"
+#include "trace/trace.hpp"
+
+namespace xkb::obs {
+
+/// Report label for a peer link class: "2xNVLink" | "1xNVLink" | "PCIe".
+const char* link_class_label(topo::LinkClass c);
+
+/// One step of the critical path, in execution order.
+struct CpStep {
+  std::size_t record = 0;  ///< index into Trace::records()
+  double gap_before = 0.0;  ///< idle time between predecessor end and start
+};
+
+struct CriticalPath {
+  double kernel = 0.0;
+  double nvlink2 = 0.0;  ///< PtoP over 2x-bonded NVLink
+  double nvlink1 = 0.0;  ///< PtoP over a single NVLink lane
+  double pcie = 0.0;     ///< PtoP over the PCIe/QPI fabric
+  double host = 0.0;     ///< HtoD/DtoH over a host link
+  double idle = 0.0;     ///< gaps with no exactly-adjacent predecessor
+  double span = 0.0;     ///< makespan of the trace
+  std::map<std::string, double> kernel_by_label;
+  std::vector<CpStep> ops;  ///< the path, first op to makespan op
+
+  double transfers() const { return nvlink2 + nvlink1 + pcie + host; }
+  double nvlink() const { return nvlink2 + nvlink1; }
+  double total() const { return kernel + transfers(); }
+  /// Fraction of critical-path transfer time carried by NVLink; 0 when the
+  /// path holds no transfers.
+  double nvlink_share() const {
+    const double t = transfers();
+    return t > 0.0 ? nvlink() / t : 0.0;
+  }
+};
+
+/// Walk the executed DAG backwards from the record with the latest end time.
+/// `topo` classifies PtoP records (via Record::peer) into link classes.
+CriticalPath critical_path(const trace::Trace& tr, const topo::Topology& topo);
+
+}  // namespace xkb::obs

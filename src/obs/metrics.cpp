@@ -1,0 +1,61 @@
+#include "obs/metrics.hpp"
+
+#include <sstream>
+
+namespace xkb::obs {
+
+double Series::max() const {
+  double m = 0.0;
+  for (const SeriesPoint& p : pts_)
+    if (p.v > m) m = p.v;
+  return m;
+}
+
+double MetricsRegistry::counter_value(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0.0 : it->second;
+}
+
+double MetricsRegistry::gauge_value(const std::string& name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+void MetricsRegistry::reset_values() {
+  for (auto& [k, v] : counters_) v = 0.0;
+  for (auto& [k, v] : gauges_) v = 0.0;
+  for (auto& [k, s] : series_) s.clear();
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::ostringstream out;
+  out.precision(15);
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [k, v] : counters_) {
+    out << (first ? "\n" : ",\n") << "    \"" << k << "\": " << v;
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [k, v] : gauges_) {
+    out << (first ? "\n" : ",\n") << "    \"" << k << "\": " << v;
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"series\": {";
+  first = true;
+  for (const auto& [k, s] : series_) {
+    out << (first ? "\n" : ",\n") << "    \"" << k << "\": [";
+    bool p0 = true;
+    for (const SeriesPoint& p : s.points()) {
+      out << (p0 ? "" : ", ") << '[' << p.t << ", " << p.v << ']';
+      p0 = false;
+    }
+    out << ']';
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "}\n}";
+  return out.str();
+}
+
+}  // namespace xkb::obs

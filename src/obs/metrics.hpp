@@ -1,0 +1,88 @@
+// Metrics registry: named counters, gauges and virtual-time series, sampled
+// on simulator events and exportable as JSON.
+//
+// This is the machine-readable side of xkb::obs -- the BENCH trajectory's
+// harness: every `xkbsim_cli --metrics-out`, `tools/trace_report` and
+// `bench/fig*` run can dump the same named values (scheduler ready-queue
+// depth per device, cache hits/misses/evictions, bytes per directed link,
+// optimistic vs forced waits, per-class op time) and diff them across
+// configurations.  Keys are ordered (std::map) so two identical runs emit
+// byte-identical JSON, which the determinism tests rely on.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace xkb::obs {
+
+struct SeriesPoint {
+  sim::Time t = 0.0;
+  double v = 0.0;
+};
+
+/// A step series over virtual time.  Consecutive samples with the same value
+/// are deduplicated (the series records *changes*); a second sample at the
+/// same instant overwrites (last write at an instant wins).
+class Series {
+ public:
+  void sample(sim::Time t, double v) {
+    if (!pts_.empty()) {
+      if (pts_.back().v == v) return;
+      if (pts_.back().t == t) {
+        pts_.back().v = v;
+        return;
+      }
+    }
+    pts_.push_back({t, v});
+  }
+
+  const std::vector<SeriesPoint>& points() const { return pts_; }
+  bool empty() const { return pts_.empty(); }
+  double last() const { return pts_.empty() ? 0.0 : pts_.back().v; }
+  double max() const;
+  void clear() { pts_.clear(); }
+
+ private:
+  std::vector<SeriesPoint> pts_;
+};
+
+class MetricsRegistry {
+ public:
+  /// Reference to the named counter, created at 0 on first use.  Stable
+  /// address: hot paths cache the pointer instead of re-hashing the name.
+  double& counter(const std::string& name) { return counters_[name]; }
+  void inc(const std::string& name, double d = 1.0) { counters_[name] += d; }
+  double counter_value(const std::string& name) const;
+  bool has_counter(const std::string& name) const {
+    return counters_.count(name) != 0;
+  }
+
+  void set_gauge(const std::string& name, double v) { gauges_[name] = v; }
+  double gauge_value(const std::string& name) const;
+
+  /// Named series, created empty on first use.  Stable address (node-based
+  /// map): the runtime caches Series* for per-event sampling.
+  Series& series(const std::string& name) { return series_[name]; }
+
+  const std::map<std::string, double>& counters() const { return counters_; }
+  const std::map<std::string, double>& gauges() const { return gauges_; }
+  const std::map<std::string, Series>& series_map() const { return series_; }
+
+  /// Zero counters/gauges and clear series points IN PLACE: registered
+  /// names and their addresses survive (multi-phase runs reset between the
+  /// distribution and compute phases while hot-path pointers stay cached).
+  void reset_values();
+
+  /// {"counters": {...}, "gauges": {...}, "series": {"name": [[t,v],...]}}
+  std::string to_json() const;
+
+ private:
+  std::map<std::string, double> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, Series> series_;
+};
+
+}  // namespace xkb::obs

@@ -1,0 +1,253 @@
+#include "obs/obs.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace xkb::obs {
+
+const char* to_string(Pick p) {
+  switch (p) {
+    case Pick::kHost: return "host";
+    case Pick::kDevice: return "device";
+    case Pick::kWaitDevice: return "wait-device";
+    case Pick::kWaitHost: return "wait-host";
+  }
+  return "?";
+}
+
+Observability::Observability(int num_gpus)
+    : gpus_(num_gpus),
+      per_gpu_(static_cast<std::size_t>(num_gpus)),
+      ready_(static_cast<std::size_t>(num_gpus), nullptr),
+      hits_(static_cast<std::size_t>(num_gpus), 0),
+      misses_(static_cast<std::size_t>(num_gpus), 0),
+      inflight_hits_(static_cast<std::size_t>(num_gpus), 0),
+      evict_clean_(static_cast<std::size_t>(num_gpus), 0),
+      evict_dirty_(static_cast<std::size_t>(num_gpus), 0) {}
+
+sim::UsageProbe* Observability::make_link_probe(std::string name,
+                                                std::string cls, LinkDir dir,
+                                                int src, int dst) {
+  links_.push_back(std::make_unique<LinkProbe>(std::move(name),
+                                               std::move(cls), dir, src, dst));
+  return links_.back().get();
+}
+
+void Observability::on_kernel(int dev, const std::string& label,
+                              sim::Interval iv) {
+  (void)label;
+  all_.kernel += iv.duration();
+  per_gpu_[static_cast<std::size_t>(dev)].kernel += iv.duration();
+  if (iv.end > last_event_) last_event_ = iv.end;
+}
+
+void Observability::on_cache_ref(int dev, CacheRef ref) {
+  auto d = static_cast<std::size_t>(dev);
+  switch (ref) {
+    case CacheRef::kHit: ++hits_[d]; break;
+    case CacheRef::kMiss: ++misses_[d]; break;
+    case CacheRef::kInFlightHit: ++inflight_hits_[d]; break;
+  }
+}
+
+void Observability::on_evict(int dev, bool dirty) {
+  auto d = static_cast<std::size_t>(dev);
+  if (dirty)
+    ++evict_dirty_[d];
+  else
+    ++evict_clean_[d];
+}
+
+void Observability::on_wait(std::uint64_t handle, int src, int dst,
+                            bool forced) {
+  (void)src;
+  if (forced)
+    ++forced_waits_;
+  else
+    ++opt_waits_;
+  pending_wait_[rx_key(handle, dst)] = forced;
+}
+
+void Observability::on_decision(Decision d) {
+  if (d.t > last_event_) last_event_ = d.t;
+  decisions_.push_back(std::move(d));
+}
+
+void Observability::on_transfer(Xfer k, std::uint64_t handle, int src, int dst,
+                                sim::Interval iv, std::size_t bytes,
+                                bool chained) {
+  const double dur = iv.duration();
+  if (iv.end > last_event_) last_event_ = iv.end;
+  switch (k) {
+    case Xfer::kH2D: {
+      auto& g = per_gpu_[static_cast<std::size_t>(dst)];
+      all_.htod += dur;
+      all_.htod_bytes += bytes;
+      ++all_.h2d;
+      g.htod += dur;
+      g.htod_bytes += bytes;
+      ++g.h2d;
+      pending_rx_[rx_key(handle, dst)] = PendingRx{1, iv};
+      break;
+    }
+    case Xfer::kD2D: {
+      auto& g = per_gpu_[static_cast<std::size_t>(dst)];
+      all_.ptop += dur;
+      all_.ptop_bytes += bytes;
+      ++all_.d2d;
+      g.ptop += dur;
+      g.ptop_bytes += bytes;
+      ++g.d2d;
+      if (chained) {
+        // This copy is the forwarding leg of a wait: connect it back to the
+        // reception it chained off (still the most recent rx on `src`).
+        auto rx = pending_rx_.find(rx_key(handle, src));
+        auto w = pending_wait_.find(rx_key(handle, dst));
+        if (rx != pending_rx_.end()) {
+          Flow f;
+          f.handle = handle;
+          f.src_dev = src;
+          f.dst_dev = dst;
+          f.src_tid = rx->second.tid;
+          f.src_iv = rx->second.iv;
+          f.dst_iv = iv;
+          f.forced = w != pending_wait_.end() && w->second;
+          flows_.push_back(f);
+        }
+        if (w != pending_wait_.end()) pending_wait_.erase(w);
+      }
+      pending_rx_[rx_key(handle, dst)] = PendingRx{3, iv};
+      break;
+    }
+    case Xfer::kD2H: {
+      auto& g = per_gpu_[static_cast<std::size_t>(src)];
+      all_.dtoh += dur;
+      all_.dtoh_bytes += bytes;
+      ++all_.d2h;
+      g.dtoh += dur;
+      g.dtoh_bytes += bytes;
+      ++g.d2h;
+      break;
+    }
+  }
+}
+
+Series* Observability::ready_series(int dev) {
+  auto d = static_cast<std::size_t>(dev);
+  if (!ready_[d])
+    ready_[d] = &reg_.series("ready.gpu" + std::to_string(dev));
+  return ready_[d];
+}
+
+sim::Time Observability::span() const {
+  sim::Time s = last_event_;
+  for (const auto& l : links_)
+    if (l->last_end() > s) s = l->last_end();
+  return s;
+}
+
+void Observability::clear() {
+  for (auto& l : links_) l->reset();
+  decisions_.clear();
+  flows_.clear();
+  all_ = OpTotals{};
+  for (auto& g : per_gpu_) g = OpTotals{};
+  std::fill(hits_.begin(), hits_.end(), 0);
+  std::fill(misses_.begin(), misses_.end(), 0);
+  std::fill(inflight_hits_.begin(), inflight_hits_.end(), 0);
+  std::fill(evict_clean_.begin(), evict_clean_.end(), 0);
+  std::fill(evict_dirty_.begin(), evict_dirty_.end(), 0);
+  opt_waits_ = forced_waits_ = 0;
+  last_event_ = 0.0;
+  pending_rx_.clear();
+  pending_wait_.clear();
+  reg_.reset_values();
+}
+
+void Observability::finalize_registry() {
+  auto set = [this](const std::string& k, double v) { reg_.counter(k) = v; };
+  set("transfers.h2d", static_cast<double>(all_.h2d));
+  set("transfers.d2d", static_cast<double>(all_.d2d));
+  set("transfers.d2h", static_cast<double>(all_.d2h));
+  set("waits.optimistic", static_cast<double>(opt_waits_));
+  set("waits.forced", static_cast<double>(forced_waits_));
+  set("time.kernel", all_.kernel);
+  set("time.htod", all_.htod);
+  set("time.dtoh", all_.dtoh);
+  set("time.ptop", all_.ptop);
+  set("bytes.htod", static_cast<double>(all_.htod_bytes));
+  set("bytes.dtoh", static_cast<double>(all_.dtoh_bytes));
+  set("bytes.ptop", static_cast<double>(all_.ptop_bytes));
+  set("decisions", static_cast<double>(decisions_.size()));
+  set("flows", static_cast<double>(flows_.size()));
+  std::uint64_t hits = 0, misses = 0, inflight = 0, ec = 0, ed = 0;
+  for (int g = 0; g < gpus_; ++g) {
+    auto d = static_cast<std::size_t>(g);
+    hits += hits_[d];
+    misses += misses_[d];
+    inflight += inflight_hits_[d];
+    ec += evict_clean_[d];
+    ed += evict_dirty_[d];
+    const std::string p = "gpu" + std::to_string(g) + ".";
+    const OpTotals& t = per_gpu_[d];
+    set(p + "time.kernel", t.kernel);
+    set(p + "time.htod", t.htod);
+    set(p + "time.dtoh", t.dtoh);
+    set(p + "time.ptop", t.ptop);
+    set(p + "cache.hits", static_cast<double>(hits_[d]));
+    set(p + "cache.misses", static_cast<double>(misses_[d]));
+    set(p + "cache.inflight_hits", static_cast<double>(inflight_hits_[d]));
+    set(p + "evict.clean", static_cast<double>(evict_clean_[d]));
+    set(p + "evict.dirty", static_cast<double>(evict_dirty_[d]));
+  }
+  set("cache.hits", static_cast<double>(hits));
+  set("cache.misses", static_cast<double>(misses));
+  set("cache.inflight_hits", static_cast<double>(inflight));
+  set("evict.clean", static_cast<double>(ec));
+  set("evict.dirty", static_cast<double>(ed));
+  for (const auto& l : links_) {
+    set("link." + l->name() + ".bytes", static_cast<double>(l->bytes()));
+    set("link." + l->name() + ".busy", l->busy());
+    set("link." + l->name() + ".ops", static_cast<double>(l->ops()));
+  }
+  reg_.set_gauge("span", span());
+}
+
+std::vector<std::string> Observability::reconcile(
+    const ReconcileView& v) const {
+  std::vector<std::string> out;
+  auto chk_u = [&out](const char* what, std::size_t obs, std::size_t other) {
+    if (obs != other) {
+      std::ostringstream os;
+      os << "obs reconcile: " << what << " observed " << obs
+         << " != runtime " << other;
+      out.push_back(os.str());
+    }
+  };
+  auto chk_t = [&out](const char* what, double obs, double other) {
+    const double tol = 1e-9 * (1.0 + (obs > other ? obs : other));
+    const double diff = obs > other ? obs - other : other - obs;
+    if (diff > tol) {
+      std::ostringstream os;
+      os.precision(17);
+      os << "obs reconcile: " << what << " observed " << obs
+         << " != trace " << other;
+      out.push_back(os.str());
+    }
+  };
+  chk_u("h2d transfer count", all_.h2d, v.h2d);
+  chk_u("d2h transfer count", all_.d2h, v.d2h);
+  chk_u("d2d transfer count", all_.d2d, v.d2d);
+  chk_u("optimistic waits", opt_waits_, v.optimistic_waits);
+  chk_u("forced waits", forced_waits_, v.forced_waits);
+  chk_u("htod bytes", all_.htod_bytes, v.htod_bytes);
+  chk_u("dtoh bytes", all_.dtoh_bytes, v.dtoh_bytes);
+  chk_u("ptop bytes", all_.ptop_bytes, v.ptop_bytes);
+  chk_t("htod time", all_.htod, v.htod);
+  chk_t("dtoh time", all_.dtoh, v.dtoh);
+  chk_t("ptop time", all_.ptop, v.ptop);
+  chk_t("kernel time", all_.kernel, v.kernel);
+  return out;
+}
+
+}  // namespace xkb::obs

@@ -1,0 +1,184 @@
+// xkb::obs -- the runtime-wide observability layer.
+//
+// Where xkb::check answers "is the run *correct*", xkb::obs answers "*why*
+// is the run this fast (or slow)": which link every transfer crossed and how
+// contended it was, which replica candidates the DataManager saw when it
+// picked a source, where optimistic D2D forwarding chains flowed, and which
+// operations actually bound the makespan (critical_path.hpp).  The paper
+// argues its Section III heuristics through exactly this evidence (nvprof
+// class breakdowns, Figs. 6-7 and 9); this layer reproduces it from the
+// simulator with zero overhead when detached (one null-pointer test per
+// observation point, same contract as the checker).
+//
+// Ownership: an Observability instance is created by the driver (bench
+// skeleton, CLI, test) and attached to the Platform *before* the Runtime is
+// constructed (the runtime caches series pointers for per-event queue-depth
+// sampling).  It depends only on sim/topo/trace -- never on runtime -- so
+// every layer above can feed it events.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/probes.hpp"
+#include "sim/engine.hpp"
+#include "sim/resource.hpp"
+
+namespace xkb::obs {
+
+/// Opt-in switch carried by BenchConfig (parallel to check::CheckConfig).
+struct ObsConfig {
+  bool enabled = false;
+};
+
+/// What the DataManager picked (mirror of DataManager::Source::Kind; the
+/// mirror avoids an include cycle with runtime/, as in xkb::check).
+enum class Pick : std::uint8_t { kHost, kDevice, kWaitDevice, kWaitHost };
+const char* to_string(Pick p);
+
+enum class Xfer : std::uint8_t { kH2D, kD2D, kD2H };
+
+/// How an ensure_valid request hit the software cache.
+enum class CacheRef : std::uint8_t { kHit, kMiss, kInFlightHit };
+
+/// One source-selection decision: every replica candidate the policy saw
+/// (with its P2P performance rank) and what it picked.  Rendered as instant
+/// events in the Chrome export so a questionable source choice can be
+/// inspected in context.
+struct Decision {
+  sim::Time t = 0.0;
+  std::uint64_t handle = 0;  ///< tile id
+  int dst = -1;              ///< requesting device
+  Pick pick = Pick::kHost;
+  int picked_dev = -1;  ///< device source/wait target, -1 for host
+  bool forced = false;  ///< kWaitDevice only: coherence-forced, not chosen
+  struct Candidate {
+    int dev = -1;
+    int rank = 0;          ///< topo::p2p_perf_rank(dev, dst)
+    bool in_flight = false;  ///< optimistic candidate (reception ongoing)
+  };
+  std::vector<Candidate> candidates;
+};
+
+/// One transfer-forwarding chain: a reception on `src_dev` whose completion
+/// triggered a device-to-device copy to `dst_dev` (the Section III-C
+/// optimistic heuristic, or a coherence-forced wait).  Rendered as a flow
+/// arrow between the two slices in the Chrome export.
+struct Flow {
+  std::uint64_t handle = 0;
+  int src_dev = -1, dst_dev = -1;
+  int src_tid = 1;  ///< Chrome sub-track of the incoming reception
+  bool forced = false;
+  sim::Interval src_iv;  ///< the reception that was waited on
+  sim::Interval dst_iv;  ///< the forwarded D2D copy
+};
+
+/// Virtual-time op totals by class, mirroring trace::Breakdown / the
+/// TransferStats counters so the two accounting paths can be reconciled.
+struct OpTotals {
+  double htod = 0.0, dtoh = 0.0, ptop = 0.0, kernel = 0.0;
+  std::size_t htod_bytes = 0, dtoh_bytes = 0, ptop_bytes = 0;
+  std::size_t h2d = 0, d2h = 0, d2d = 0;  ///< transfer counts
+};
+
+class Observability {
+ public:
+  explicit Observability(int num_gpus);
+
+  int num_gpus() const { return gpus_; }
+  MetricsRegistry& metrics() { return reg_; }
+  const MetricsRegistry& metrics() const { return reg_; }
+
+  // --- platform hooks ---
+  /// Create (and own) a probe for one directed channel; the platform
+  /// attaches the returned pointer to the sim resource.
+  sim::UsageProbe* make_link_probe(std::string name, std::string cls,
+                                   LinkDir dir, int src, int dst);
+  void on_kernel(int dev, const std::string& label, sim::Interval iv);
+
+  // --- data-manager hooks ---
+  void on_cache_ref(int dev, CacheRef ref);
+  void on_evict(int dev, bool dirty);
+  /// A kWaitDevice decision: the request on `dst` now waits for the
+  /// reception ongoing on `src` (forced = coherence, else optimistic).
+  void on_wait(std::uint64_t handle, int src, int dst, bool forced);
+  void on_decision(Decision d);
+  /// `chained` marks a D2D copy issued by a reception-completion waiter
+  /// (the forwarding leg of a wait) -- it closes the pending Flow.
+  void on_transfer(Xfer k, std::uint64_t handle, int src, int dst,
+                   sim::Interval iv, std::size_t bytes, bool chained);
+
+  // --- runtime hooks ---
+  /// The ready-queue-depth series of `dev` ("ready.gpu<dev>"); the runtime
+  /// caches the pointer and samples it on every scheduling event.
+  Series* ready_series(int dev);
+
+  // --- results ---
+  const std::vector<std::unique_ptr<LinkProbe>>& links() const {
+    return links_;
+  }
+  const std::vector<Decision>& decisions() const { return decisions_; }
+  const std::vector<Flow>& flows() const { return flows_; }
+  const OpTotals& totals() const { return all_; }
+  /// Per-device totals with the trace's attribution: HtoD/PtoP to the
+  /// receiving device, DtoH to the source device, kernels to theirs.
+  const OpTotals& totals(int dev) const { return per_gpu_[dev]; }
+  /// Latest virtual time observed by any hook or probe.
+  sim::Time span() const;
+
+  /// Reset every measurement in place (probes stay attached, cached series
+  /// pointers stay valid).  Called where multi-phase runs clear the trace.
+  void clear();
+
+  /// Fold the measured values into the registry under canonical names
+  /// (transfers.*, waits.*, cache.*, evict.*, time.*, bytes.*, link.*,
+  /// gpu<g>.*).  Idempotent; call before exporting the registry.
+  void finalize_registry();
+
+  /// Independently maintained runtime counters, for cross-validation.
+  struct ReconcileView {
+    std::size_t h2d = 0, d2h = 0, d2d = 0;
+    std::size_t optimistic_waits = 0, forced_waits = 0;
+    double htod = 0.0, dtoh = 0.0, ptop = 0.0, kernel = 0.0;
+    std::size_t htod_bytes = 0, dtoh_bytes = 0, ptop_bytes = 0;
+  };
+  /// Compare the observed event stream against `v` (TransferStats +
+  /// Trace::breakdown/bytes); one message per mismatch, empty when the two
+  /// accounting paths agree.  Run under --check this becomes a violation.
+  std::vector<std::string> reconcile(const ReconcileView& v) const;
+
+ private:
+  int gpus_;
+  MetricsRegistry reg_;
+  std::vector<std::unique_ptr<LinkProbe>> links_;
+  std::vector<Decision> decisions_;
+  std::vector<Flow> flows_;
+  OpTotals all_;
+  std::vector<OpTotals> per_gpu_;
+  std::vector<Series*> ready_;  ///< cached "ready.gpu<g>" series
+
+  std::vector<std::uint64_t> hits_, misses_, inflight_hits_;
+  std::vector<std::uint64_t> evict_clean_, evict_dirty_;
+  std::uint64_t opt_waits_ = 0, forced_waits_ = 0;
+  sim::Time last_event_ = 0.0;
+
+  /// Last reception per (handle, device) + pending wait flags, for flow
+  /// reconstruction.  Key packs the device into the handle id's low bits.
+  struct PendingRx {
+    int tid = 1;
+    sim::Interval iv;
+  };
+  static std::uint64_t rx_key(std::uint64_t handle, int dev) {
+    return (handle << 8) | static_cast<std::uint64_t>(dev);
+  }
+  std::unordered_map<std::uint64_t, PendingRx> pending_rx_;
+  /// (handle, dst) -> forced flag of the wait that will chain to dst.
+  std::unordered_map<std::uint64_t, bool> pending_wait_;
+};
+
+}  // namespace xkb::obs

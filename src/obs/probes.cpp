@@ -1,0 +1,38 @@
+#include "obs/probes.hpp"
+
+#include <algorithm>
+
+namespace xkb::obs {
+
+constexpr std::array<double, DelayHistogram::kBuckets - 1>
+    DelayHistogram::kBounds;
+
+void DelayHistogram::add(double d) {
+  if (d < 0.0) d = 0.0;  // numeric noise from interval arithmetic
+  ++n;
+  sum += d;
+  if (d > max) max = d;
+  for (int i = 0; i < kBuckets - 1; ++i) {
+    if (d <= kBounds[i]) {
+      ++count[i];
+      return;
+    }
+  }
+  ++count[kBuckets - 1];
+}
+
+double DelayHistogram::quantile(double q) const {
+  if (n == 0) return 0.0;
+  const double target = q * static_cast<double>(n);
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += count[i];
+    if (static_cast<double>(seen) >= target)
+      // Bucket upper bound, capped by the observed maximum (the histogram
+      // keeps no raw samples, so this is as tight as it gets).
+      return std::min(i < kBuckets - 1 ? kBounds[i] : max, max);
+  }
+  return max;
+}
+
+}  // namespace xkb::obs

@@ -1,0 +1,99 @@
+// Link-utilization probes: passive sim::UsageProbe implementations attached
+// to every directed channel of the platform (host PCIe switches per
+// direction, every peer link, the host worker).
+//
+// Each probe accumulates busy time, operation count, payload bytes and a
+// queueing-delay histogram -- the "how saturated was each NVLink/PCIe
+// channel" evidence the paper presents through nvprof (Section IV-E) and
+// that BLASX/XKaapi-style schedulers are motivated by.  Probes see *all*
+// occupancy, including the shadow host-link occupancy that PCIe peer copies
+// crossing the QPI fabric impose, which the op trace intentionally omits.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "sim/resource.hpp"
+
+namespace xkb::obs {
+
+/// Log-scale queueing-delay histogram (seconds).  Bucket i holds delays in
+/// (kBounds[i-1], kBounds[i]]; bucket 0 holds exact zeros (uncontended).
+struct DelayHistogram {
+  static constexpr int kBuckets = 8;
+  /// Upper bounds of buckets 0..6; bucket 7 is unbounded.
+  static constexpr std::array<double, kBuckets - 1> kBounds = {
+      0.0, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1};
+
+  std::array<std::uint64_t, kBuckets> count{};
+  std::uint64_t n = 0;
+  double sum = 0.0;
+  double max = 0.0;
+
+  void add(double d);
+  double mean() const { return n ? sum / static_cast<double>(n) : 0.0; }
+  /// Upper bound of the bucket containing the q-quantile (q in [0,1]);
+  /// `max` for the last bucket.  Coarse by design: the histogram keeps no
+  /// raw samples.
+  double quantile(double q) const;
+  void clear() { *this = DelayHistogram{}; }
+};
+
+/// Which platform resource a probe watches (report grouping).
+enum class LinkDir : std::uint8_t { kH2D, kD2H, kP2P, kHost };
+
+class LinkProbe final : public sim::UsageProbe {
+ public:
+  LinkProbe(std::string name, std::string cls, LinkDir dir, int src, int dst)
+      : name_(std::move(name)), cls_(std::move(cls)), dir_(dir), src_(src),
+        dst_(dst) {}
+
+  void on_op(sim::Time submitted, sim::Interval iv,
+             std::size_t bytes) override {
+    busy_ += iv.duration();
+    ++ops_;
+    bytes_ += bytes;
+    if (iv.end > last_end_) last_end_ = iv.end;
+    queue_.add(iv.start - submitted);
+  }
+
+  const std::string& name() const { return name_; }
+  /// Link class label: "2xNVLink" | "1xNVLink" | "PCIe" | "host".
+  const std::string& cls() const { return cls_; }
+  LinkDir dir() const { return dir_; }
+  int src() const { return src_; }
+  int dst() const { return dst_; }
+
+  double busy() const { return busy_; }
+  std::uint64_t ops() const { return ops_; }
+  std::size_t bytes() const { return bytes_; }
+  sim::Time last_end() const { return last_end_; }
+  const DelayHistogram& queue() const { return queue_; }
+
+  /// Fraction of [0, span] this link was occupied; 0 when span is 0.
+  double utilization(sim::Time span) const {
+    return span > 0.0 ? busy_ / span : 0.0;
+  }
+
+  void reset() {
+    busy_ = 0.0;
+    ops_ = 0;
+    bytes_ = 0;
+    last_end_ = 0.0;
+    queue_.clear();
+  }
+
+ private:
+  std::string name_, cls_;
+  LinkDir dir_;
+  int src_, dst_;
+  double busy_ = 0.0;
+  std::uint64_t ops_ = 0;
+  std::size_t bytes_ = 0;
+  sim::Time last_end_ = 0.0;
+  DelayHistogram queue_;
+};
+
+}  // namespace xkb::obs

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "check/check.hpp"
+#include "obs/obs.hpp"
 
 namespace xkb::rt {
 
@@ -81,11 +82,15 @@ void DataManager::ensure_valid(mem::DataHandle* h, int dev,
                                sim::Callback done) {
   mem::Replica& r = h->dev[dev];
   if (r.state == mem::ReplicaState::kValid) {
+    if (obs::Observability* o = plat_->obs())
+      o->on_cache_ref(dev, obs::CacheRef::kHit);
     plat_->cache(dev).touch(h, plat_->engine().now());
     plat_->engine().schedule_after(0.0, std::move(done));
     return;
   }
   if (r.state == mem::ReplicaState::kInFlight) {
+    if (obs::Observability* o = plat_->obs())
+      o->on_cache_ref(dev, obs::CacheRef::kInFlightHit);
     r.waiters.push_back(std::move(done));
     return;
   }
@@ -96,6 +101,27 @@ void DataManager::ensure_valid(mem::DataHandle* h, int dev,
   if (!try_reserve_or_defer(h, dev, std::move(retry))) return;
 
   const Source s = choose_source(*h, dev);
+  if (obs::Observability* o = plat_->obs()) {
+    o->on_cache_ref(dev, obs::CacheRef::kMiss);
+    obs::Decision d;
+    d.t = plat_->engine().now();
+    d.handle = h->id;
+    d.dst = dev;
+    switch (s.kind) {
+      case Source::kHost: d.pick = obs::Pick::kHost; break;
+      case Source::kDevice: d.pick = obs::Pick::kDevice; break;
+      case Source::kWaitDevice: d.pick = obs::Pick::kWaitDevice; break;
+      case Source::kWaitHost: d.pick = obs::Pick::kWaitHost; break;
+    }
+    d.picked_dev = s.dev;
+    d.forced = s.forced;
+    const auto& topo = plat_->topology();
+    for (int g : h->valid_devices())
+      d.candidates.push_back({g, topo.p2p_perf_rank(g, dev), false});
+    for (int g : h->inflight_devices())
+      d.candidates.push_back({g, topo.p2p_perf_rank(g, dev), true});
+    o->on_decision(std::move(d));
+  }
   if (check::Checker* c = plat_->checker()) {
     check::SourceKind k = check::SourceKind::kHost;
     switch (s.kind) {
@@ -128,9 +154,12 @@ void DataManager::ensure_valid(mem::DataHandle* h, int dev,
       // configuration and are tallied separately.
       const int g = s.dev;
       (s.forced ? stats_.forced_waits : stats_.optimistic_waits)++;
+      if (obs::Observability* o = plat_->obs())
+        o->on_wait(h->id, g, dev, s.forced);
       h->dev[g].pins++;  // survive until the forwarding copy completes
       r.eta = h->dev[g].eta;  // rough: refined when the copy is issued
-      h->dev[g].waiters.push_back([this, h, g, dev] { issue_p2p(h, g, dev); });
+      h->dev[g].waiters.push_back(
+          [this, h, g, dev] { issue_p2p(h, g, dev, /*chained=*/true); });
       break;
     }
     case Source::kWaitHost:
@@ -208,10 +237,14 @@ void DataManager::reserve_with_flushes(mem::DataHandle* h, int dev) {
   if (check::Checker* c = plat_->checker())
     for (mem::DataHandle* v : res.clean_evicted)
       c->on_evict(v, dev, /*was_dirty=*/false);
+  if (obs::Observability* o = plat_->obs())
+    for (std::size_t i = 0; i < res.clean_evicted.size(); ++i)
+      o->on_evict(dev, /*dirty=*/false);
   for (mem::DataHandle* v : res.dirty_evicted) {
     stats_.evict_flushes++;
     if (check::Checker* c = plat_->checker())
       c->on_evict(v, dev, /*was_dirty=*/true);
+    if (obs::Observability* o = plat_->obs()) o->on_evict(dev, /*dirty=*/true);
     flush_from_device(v, dev, /*drop_buffer=*/true);
   }
   if (plat_->options().functional) {
@@ -229,10 +262,14 @@ void DataManager::issue_h2d(mem::DataHandle* h, int dst) {
   if (check::Checker* c = plat_->checker())
     c->on_transfer_issue(check::TransferKind::kH2D, h, -1, dst, iv.start,
                          iv.end);
+  if (obs::Observability* o = plat_->obs())
+    o->on_transfer(obs::Xfer::kH2D, h->id, -1, dst, iv, h->bytes(),
+                   /*chained=*/false);
   h->dev[dst].eta = iv.end;
 }
 
-void DataManager::issue_p2p(mem::DataHandle* h, int src, int dst) {
+void DataManager::issue_p2p(mem::DataHandle* h, int src, int dst,
+                            bool chained) {
   assert(h->dev[src].state == mem::ReplicaState::kValid);
   stats_.d2d++;
   auto iv = plat_->copy_p2p(src, dst, h->bytes(), [this, h, src, dst] {
@@ -244,6 +281,8 @@ void DataManager::issue_p2p(mem::DataHandle* h, int src, int dst) {
   if (check::Checker* c = plat_->checker())
     c->on_transfer_issue(check::TransferKind::kD2D, h, src, dst, iv.start,
                          iv.end);
+  if (obs::Observability* o = plat_->obs())
+    o->on_transfer(obs::Xfer::kD2D, h->id, src, dst, iv, h->bytes(), chained);
   h->dev[dst].eta = iv.end;
 }
 
@@ -339,7 +378,7 @@ void DataManager::flush_from_device(mem::DataHandle* h, int src,
   stats_.d2h++;
   const std::uint64_t v0 = h->version;
   if (check::Checker* c = plat_->checker()) c->on_host_flush_issue(h, src, v0);
-  plat_->copy_d2h(src, h->bytes(), [this, h, src, drop_buffer, v0] {
+  auto iv = plat_->copy_d2h(src, h->bytes(), [this, h, src, drop_buffer, v0] {
     h->dev[src].pins--;
     if (check::Checker* c = plat_->checker())
       c->on_host_flush_done(h, src, /*stale=*/h->version != v0, v0,
@@ -380,6 +419,9 @@ void DataManager::flush_from_device(mem::DataHandle* h, int src,
     h->host.waiters.clear();
     for (auto& w : waiters) w();
   });
+  if (obs::Observability* o = plat_->obs())
+    o->on_transfer(obs::Xfer::kD2H, h->id, src, -1, iv, h->bytes(),
+                   /*chained=*/false);
 }
 
 }  // namespace xkb::rt

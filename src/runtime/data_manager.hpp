@@ -122,7 +122,10 @@ class DataManager {
   void ensure_valid(mem::DataHandle* h, int dev, sim::Callback done);
   void reserve_with_flushes(mem::DataHandle* h, int dev);
   void issue_h2d(mem::DataHandle* h, int dst);
-  void issue_p2p(mem::DataHandle* h, int src, int dst);
+  /// `chained` marks the forwarding leg of a kWaitDevice wait (issued by a
+  /// reception-completion waiter) -- observability links it back to the
+  /// reception it chained off.
+  void issue_p2p(mem::DataHandle* h, int src, int dst, bool chained = false);
   void complete_arrival(mem::DataHandle* h, int dev);
   void flush_from_device(mem::DataHandle* h, int src, bool drop_buffer);
 

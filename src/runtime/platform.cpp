@@ -3,6 +3,9 @@
 #include <cassert>
 #include <limits>
 
+#include "obs/critical_path.hpp"
+#include "obs/obs.hpp"
+
 namespace xkb::rt {
 
 namespace {
@@ -56,19 +59,54 @@ Platform::Platform(topo::Topology topo, PerfModel perf, PlatformOptions opt)
         g, opt_.device_capacity, opt_.eviction));
 }
 
+void Platform::set_obs(obs::Observability* o) {
+  obs_ = o;
+  const int n = topo_.num_gpus();
+  for (int l = 0; l < topo_.num_host_links(); ++l) {
+    if (!h2d_[l]) continue;
+    h2d_[l]->set_probe(o ? o->make_link_probe("h2d" + std::to_string(l),
+                                              "host", obs::LinkDir::kH2D, -1,
+                                              l)
+                         : nullptr);
+    d2h_[l]->set_probe(o ? o->make_link_probe("d2h" + std::to_string(l),
+                                              "host", obs::LinkDir::kD2H, l,
+                                              -1)
+                         : nullptr);
+  }
+  for (int s = 0; s < n; ++s)
+    for (int d = 0; d < n; ++d) {
+      auto* ch = p2p_[static_cast<std::size_t>(s) * n + d].get();
+      if (!ch) continue;
+      ch->set_probe(o ? o->make_link_probe(
+                            ch->name(),
+                            obs::link_class_label(topo_.link_class(s, d)),
+                            obs::LinkDir::kP2P, s, d)
+                      : nullptr);
+    }
+  host_worker_->set_probe(
+      o ? o->make_link_probe("host", "host", obs::LinkDir::kHost, -1, -1)
+        : nullptr);
+}
+
 sim::Interval Platform::copy_h2d(int dev, std::size_t bytes,
                                  sim::Callback done) {
+  const sim::Time t0 = engine_.now();
   auto iv = h2d_[topo_.host_link_of(dev)]->transfer(bytes, std::move(done));
-  trace_.add({dev, trace::OpKind::kHtoD, iv.start, iv.end, bytes, 0.0, 0,
-              "HtoD"});
+  trace::Record rec{dev,   trace::OpKind::kHtoD, iv.start, iv.end,
+                    bytes, 0.0,                  0,        "HtoD"};
+  rec.queued = iv.start - t0;
+  trace_.add(std::move(rec));
   return iv;
 }
 
 sim::Interval Platform::copy_d2h(int dev, std::size_t bytes,
                                  sim::Callback done) {
+  const sim::Time t0 = engine_.now();
   auto iv = d2h_[topo_.host_link_of(dev)]->transfer(bytes, std::move(done));
-  trace_.add({dev, trace::OpKind::kDtoH, iv.start, iv.end, bytes, 0.0, 0,
-              "DtoH"});
+  trace::Record rec{dev,   trace::OpKind::kDtoH, iv.start, iv.end,
+                    bytes, 0.0,                  0,        "DtoH"};
+  rec.queued = iv.start - t0;
+  trace_.add(std::move(rec));
   return iv;
 }
 
@@ -76,6 +114,7 @@ sim::Interval Platform::copy_p2p(int src, int dst, std::size_t bytes,
                                  sim::Callback done) {
   auto* ch = p2p_[static_cast<std::size_t>(src) * topo_.num_gpus() + dst].get();
   assert(ch && "no peer path between GPUs");
+  const sim::Time t0 = engine_.now();
   auto iv = ch->transfer(bytes, std::move(done));
   // Peer traffic between GPUs that do not share a PCIe switch crosses the
   // host PCIe fabric (switch -> CPU -> QPI -> CPU -> switch) and therefore
@@ -88,8 +127,12 @@ sim::Interval Platform::copy_p2p(int src, int dst, std::size_t bytes,
     d2h_[topo_.host_link_of(src)]->submit(iv.duration(), {});
     h2d_[topo_.host_link_of(dst)]->submit(iv.duration(), {});
   }
-  trace_.add({dst, trace::OpKind::kPtoP, iv.start, iv.end, bytes, 0.0, 0,
-              "PtoP from " + std::to_string(src)});
+  trace::Record rec{dst,   trace::OpKind::kPtoP, iv.start, iv.end,
+                    bytes, 0.0,                  0,
+                    "PtoP from " + std::to_string(src)};
+  rec.peer = src;
+  rec.queued = iv.start - t0;
+  trace_.add(std::move(rec));
   return iv;
 }
 
@@ -104,9 +147,13 @@ sim::Interval Platform::launch_kernel(int dev, double seconds, double flops,
       best = kstreams_[dev][k].get();
       lane = static_cast<int>(k);
     }
+  const sim::Time t0 = engine_.now();
   auto iv = best->submit(seconds, std::move(done));
-  trace_.add({dev, trace::OpKind::kKernel, iv.start, iv.end, 0, flops, lane,
-              label});
+  trace::Record rec{dev, trace::OpKind::kKernel, iv.start, iv.end,
+                    0,   flops,                  lane,     label};
+  rec.queued = iv.start - t0;
+  trace_.add(std::move(rec));
+  if (obs_) obs_->on_kernel(dev, label, iv);
   if (lane_out) *lane_out = lane;
   return iv;
 }

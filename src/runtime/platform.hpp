@@ -28,6 +28,10 @@ namespace xkb::check {
 class Checker;
 }
 
+namespace xkb::obs {
+class Observability;
+}
+
 namespace xkb::rt {
 
 struct PlatformOptions {
@@ -56,6 +60,13 @@ class Platform {
   /// DataManager reaches the checker through here; null when disabled.
   void set_checker(check::Checker* c) { checker_ = c; }
   check::Checker* checker() const { return checker_; }
+
+  /// Attach/detach the observability layer: registers a link-utilization
+  /// probe on every directed channel (host links per direction, every peer
+  /// channel, the host worker).  Must run before the Runtime is constructed
+  /// (it caches registry series pointers); null detaches all probes.
+  void set_obs(obs::Observability* o);
+  obs::Observability* obs() const { return obs_; }
 
   /// Host -> device copy over the GPU's (possibly shared) host link.
   sim::Interval copy_h2d(int dev, std::size_t bytes, sim::Callback done);
@@ -95,6 +106,7 @@ class Platform {
   std::unique_ptr<sim::FifoResource> host_worker_;
   std::vector<std::unique_ptr<mem::DeviceCache>> caches_;
   check::Checker* checker_ = nullptr;
+  obs::Observability* obs_ = nullptr;
 };
 
 }  // namespace xkb::rt

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/obs.hpp"
+
 namespace xkb::rt {
 
 namespace {
@@ -45,6 +47,11 @@ Runtime::Runtime(Platform& plat, std::unique_ptr<Scheduler> sched,
         [c = checker_.get()](sim::Time t, std::uint64_t seq) {
           c->on_engine_event(t, seq);
         });
+  }
+  if (obs::Observability* o = plat_->obs()) {
+    ready_series_.reserve(static_cast<std::size_t>(plat.num_gpus()));
+    for (int g = 0; g < plat.num_gpus(); ++g)
+      ready_series_.push_back(o->ready_series(g));
   }
 }
 
@@ -132,6 +139,12 @@ void Runtime::on_ready(Task* t) {
 
 void Runtime::fill_all() {
   for (int g = 0; g < num_gpus(); ++g) fill(g);
+  if (!ready_series_.empty()) {
+    const sim::Time now = plat_->engine().now();
+    for (int g = 0; g < num_gpus(); ++g)
+      ready_series_[g]->sample(now,
+                               static_cast<double>(devs_[g].assigned.size()));
+  }
 }
 
 void Runtime::fill(int dev) {

@@ -25,6 +25,10 @@
 #include "runtime/scheduler.hpp"
 #include "runtime/task.hpp"
 
+namespace xkb::obs {
+class Series;
+}
+
 namespace xkb::rt {
 
 struct RuntimeOptions {
@@ -120,6 +124,9 @@ class Runtime {
   std::vector<std::unique_ptr<Task>> tasks_;
   std::unordered_map<mem::DataHandle*, HandleSeq> seq_;
   std::vector<DevState> devs_;
+  /// Cached "ready.gpu<g>" series when an Observability layer was attached
+  /// to the platform before construction; empty otherwise.
+  std::vector<obs::Series*> ready_series_;
   std::size_t submitted_ = 0;
   std::size_t completed_ = 0;
   std::size_t steals_ = 0;

@@ -4,13 +4,15 @@
 
 namespace xkb::sim {
 
-Interval FifoResource::submit(Time duration, Callback on_done) {
+Interval FifoResource::submit(Time duration, Callback on_done,
+                              std::size_t bytes) {
   assert(duration >= 0.0);
   const Time start = free_at_ > eng_->now() ? free_at_ : eng_->now();
   const Time end = start + duration;
   free_at_ = end;
   busy_ += duration;
   ++ops_;
+  if (probe_) probe_->on_op(eng_->now(), Interval{start, end}, bytes);
   if (on_done)
     eng_->schedule_at(end, std::move(on_done));
   return Interval{start, end};
@@ -23,7 +25,7 @@ Time FifoResource::available_at() const {
 Interval Channel::transfer(std::size_t bytes, Callback on_done) {
   bytes_ += bytes;
   const Time dur = latency_ + static_cast<double>(bytes) / bw_;
-  return submit(dur, std::move(on_done));
+  return submit(dur, std::move(on_done), bytes);
 }
 
 }  // namespace xkb::sim

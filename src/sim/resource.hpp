@@ -20,6 +20,16 @@ struct Interval {
   Time duration() const { return end - start; }
 };
 
+/// Passive per-resource usage observer: sees every submission with its
+/// submit time (queueing delay = interval start - submit time), the occupied
+/// interval, and the payload size (0 for non-transfer occupancy).  Used by
+/// the xkb::obs link-utilization probes; at most one per resource, null to
+/// detach, one pointer test per submission when unset.
+struct UsageProbe {
+  virtual ~UsageProbe() = default;
+  virtual void on_op(Time submitted, Interval iv, std::size_t bytes) = 0;
+};
+
 class FifoResource {
  public:
   FifoResource(Engine& eng, std::string name)
@@ -27,7 +37,8 @@ class FifoResource {
 
   /// Occupy the resource for `duration` seconds, FIFO after earlier work.
   /// `on_done` (may be empty) fires at the returned interval's end.
-  Interval submit(Time duration, Callback on_done);
+  /// `bytes` is reported to the attached probe only (payload accounting).
+  Interval submit(Time duration, Callback on_done, std::size_t bytes = 0);
 
   /// Earliest time a new submission would start.
   Time available_at() const;
@@ -36,12 +47,16 @@ class FifoResource {
   std::size_t ops() const { return ops_; }
   const std::string& name() const { return name_; }
 
+  void set_probe(UsageProbe* p) { probe_ = p; }
+  UsageProbe* probe() const { return probe_; }
+
  private:
   Engine* eng_;
   std::string name_;
   Time free_at_ = 0.0;
   Time busy_ = 0.0;
   std::size_t ops_ = 0;
+  UsageProbe* probe_ = nullptr;
 };
 
 /// A directed link: converts bytes to occupancy time using a bandwidth and a

@@ -9,11 +9,26 @@
 
 namespace xkb::trace {
 
-/// CSV with header: device,kind,start,end,bytes,flops,lane,label.
+/// CSV with header: device,kind,start,end,bytes,flops,lane,peer,queued,label.
+/// Labels containing commas, quotes or newlines are RFC-4180 quoted.
 std::string to_csv(const Trace& t);
 
+/// Inverse of to_csv: parse a CSV dump back into a Trace (tools/trace_report
+/// consumes saved traces).  Throws std::invalid_argument on malformed input.
+Trace from_csv(const std::string& csv);
+
 /// Chrome trace-event JSON ("X" complete events, one track per GPU, one
-/// sub-track per lane/op-class).  Timestamps in microseconds of virtual time.
+/// sub-track per lane/op-class; "M" metadata events name the pid "GPU n" and
+/// the tids kernel/HtoD/DtoH/PtoP).  Timestamps in microseconds of virtual
+/// time.
 std::string to_chrome_json(const Trace& t);
+
+/// JSON string escaping (quotes, backslashes and all control characters),
+/// shared with the enriched xkb::obs exporter.
+std::string json_escape(const std::string& s);
+
+/// Chrome-trace tid for an op class (0 kernel, 1 HtoD, 2 DtoH, 3 PtoP):
+/// the per-GPU sub-track layout both exporters agree on.
+int chrome_tid(OpKind k);
 
 }  // namespace xkb::trace

@@ -14,6 +14,17 @@ const char* to_string(OpKind k) {
   return "?";
 }
 
+bool parse_kind(const std::string& s, OpKind& out) {
+  for (OpKind k : {OpKind::kHtoD, OpKind::kDtoH, OpKind::kPtoP,
+                   OpKind::kKernel}) {
+    if (s == to_string(k)) {
+      out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
 void Trace::add(Record r) {
   if (!enabled_) return;
   max_device_ = std::max(max_device_, r.device);
@@ -43,6 +54,13 @@ Breakdown Trace::breakdown(int device) const {
 sim::Time Trace::span() const {
   sim::Time t = 0.0;
   for (const Record& r : records_) t = std::max(t, r.end);
+  return t;
+}
+
+sim::Time Trace::t0() const {
+  if (records_.empty()) return 0.0;
+  sim::Time t = records_.front().start;
+  for (const Record& r : records_) t = std::min(t, r.start);
   return t;
 }
 

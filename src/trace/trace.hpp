@@ -16,6 +16,8 @@ namespace xkb::trace {
 enum class OpKind { kHtoD, kDtoH, kPtoP, kKernel };
 
 const char* to_string(OpKind k);
+/// Inverse of to_string; returns false when `s` names no OpKind.
+bool parse_kind(const std::string& s, OpKind& out);
 
 struct Record {
   int device = 0;  ///< device executing/receiving the operation
@@ -26,6 +28,11 @@ struct Record {
   double flops = 0.0;     ///< kernels only
   int lane = 0;           ///< stream index within the device
   std::string label;      ///< kernel name / transfer peer
+  int peer = -1;          ///< PtoP only: source device (link identity)
+  /// Queueing delay: seconds the op waited behind earlier work on its
+  /// resource (interval start - submission time).  Feeds the per-link
+  /// contention statistics of xkb::obs and tools/trace_report.
+  sim::Time queued = 0.0;
 };
 
 /// Per-class time totals ("cumulative execution time" of Fig. 6).
@@ -49,6 +56,11 @@ class Trace {
 
   /// Latest end time over all records (the makespan of the traced region).
   sim::Time span() const;
+
+  /// Earliest start time over all records.  Non-zero when the trace was
+  /// cleared mid-run (e.g. after a data-on-device distribution phase) --
+  /// the traced window is [t0(), span()].
+  sim::Time t0() const;
 
   /// Bytes moved per transfer class.
   std::size_t bytes(OpKind kind) const;

@@ -118,9 +118,11 @@ TEST(Export, CsvHasHeaderAndRows) {
   t.add({0, OpKind::kKernel, 0.0, 1.0, 0, 2e9, 0, "gemm"});
   t.add({3, OpKind::kPtoP, 0.5, 0.7, 4096, 0.0, 0, "PtoP from 1"});
   const std::string csv = to_csv(t);
-  EXPECT_NE(csv.find("device,kind,start,end,bytes,flops,lane,label"),
+  EXPECT_NE(csv.find("device,kind,start,end,bytes,flops,lane,peer,queued,"
+                     "label"),
             std::string::npos);
-  EXPECT_NE(csv.find("0,GPU Kernel,0,1,0,2e+09,0,gemm"), std::string::npos);
+  EXPECT_NE(csv.find("0,GPU Kernel,0,1,0,2000000000,0,-1,0,gemm"),
+            std::string::npos);
   EXPECT_NE(csv.find("3,memcpy PtoP"), std::string::npos);
 }
 

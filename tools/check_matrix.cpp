@@ -6,9 +6,14 @@
 //
 //   check_matrix                 full matrix at the default size
 //   check_matrix --n 16384       bigger tiles-per-matrix sweep
+//   check_matrix --obs           also enable xkb::obs on every run, which
+//                                makes the checker reconcile the observed
+//                                event stream against TransferStats and the
+//                                trace breakdown
 //   check_matrix --overhead      also measure checked-vs-unchecked wall
-//                                clock on a GEMM workload; exit 4 if the
-//                                checker costs more than 2x
+//                                clock on a GEMM workload (exit 4 beyond
+//                                2x), and obs-on-vs-off (exit 4 beyond
+//                                1.3x)
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -26,9 +31,10 @@ constexpr Blas3 kRoutines[] = {
     Blas3::kTrsm, Blas3::kHemm, Blas3::kHerk,  Blas3::kHer2k,
 };
 
-double wall_seconds(const BenchConfig& cfg, bool checked) {
+double wall_seconds(const BenchConfig& cfg, bool checked, bool obs = false) {
   BenchConfig c = cfg;
   c.check.enabled = checked;
+  c.obs.enabled = obs;
   auto model = make_xkblas(rt::HeuristicConfig::xkblas());
   // Enough repetitions to keep the ratio stable: one run is ~1 ms of wall
   // clock and a 2x budget check on single-millisecond samples would be
@@ -47,15 +53,16 @@ double wall_seconds(const BenchConfig& cfg, bool checked) {
 
 int main(int argc, char** argv) {
   std::size_t n = 8192, tile = 2048;
-  bool overhead = false;
+  bool overhead = false, obs = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--n" && i + 1 < argc) n = std::stoul(argv[++i]);
     else if (arg == "--tile" && i + 1 < argc) tile = std::stoul(argv[++i]);
     else if (arg == "--overhead") overhead = true;
+    else if (arg == "--obs") obs = true;
     else {
       std::fprintf(stderr, "usage: check_matrix [--n N] [--tile T] "
-                           "[--overhead]\n");
+                           "[--obs] [--overhead]\n");
       return 2;
     }
   }
@@ -70,6 +77,7 @@ int main(int argc, char** argv) {
         cfg.tile = tile;
         cfg.data_on_device = dod;
         cfg.check.enabled = true;
+        cfg.obs.enabled = obs;  // adds the obs-vs-stats reconciliation
         if (!model->supports(routine)) {
           ++skipped;
           continue;
@@ -115,6 +123,20 @@ int main(int argc, char** argv) {
                 ratio, off, on);
     if (ratio > 2.0) {
       std::fprintf(stderr, "overhead budget exceeded (limit 2.0x)\n");
+      return 4;
+    }
+    // The observability layer must stay near-free: passive probes and
+    // counter bumps only, no extra engine events.
+    const double obs_on = wall_seconds(cfg, false, /*obs=*/true);
+    if (obs_on <= 0.0) {
+      std::fprintf(stderr, "obs overhead probe failed to run\n");
+      return 4;
+    }
+    const double obs_ratio = obs_on / off;
+    std::printf("obs-mode overhead: %.2fx (%.3fs -> %.3fs over 20 reps)\n",
+                obs_ratio, off, obs_on);
+    if (obs_ratio > 1.3) {
+      std::fprintf(stderr, "obs overhead budget exceeded (limit 1.3x)\n");
       return 4;
     }
   }

@@ -15,6 +15,7 @@
 #include "baselines/library_model.hpp"
 #include <fstream>
 
+#include "obs/report.hpp"
 #include "trace/export.hpp"
 #include "trace/gantt.hpp"
 #include "util/table.hpp"
@@ -38,7 +39,12 @@ void usage() {
       "  --no-topo      disable topology-aware source selection (xkblas)\n"
       "  --data-on-device   2D block-cyclic pre-distribution scenario\n"
       "  --gantt        print an ASCII Gantt chart of the run\n"
-      "  --trace-json F own XKBlas run, Chrome trace-event JSON to file F\n"
+      "  --trace-out F  own XKBlas run, Chrome trace-event JSON to file F,\n"
+      "                 enriched with decision/flow/counter tracks\n"
+      "                 (--trace-json is an alias)\n"
+      "  --metrics-out F  xkb::obs metrics + link-utilization + critical-path\n"
+      "                 JSON to file F (any --lib; with --trace-out the same\n"
+      "                 direct run feeds both files)\n"
       "  --csv          print one machine-readable CSV row\n"
       "  --check        run under xkb::check (races, coherence, progress);\n"
       "                 exit 3 and print the report on any violation\n"
@@ -86,7 +92,7 @@ int main(int argc, char** argv) {
   std::size_t n = 32768, tile = 2048;
   bool no_heur = false, no_topo = false, dod = false, gantt = false,
        csv = false, check = false, hash = false;
-  std::string trace_json;
+  std::string trace_json, metrics_out;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -103,7 +109,8 @@ int main(int argc, char** argv) {
     else if (arg == "--no-topo") no_topo = true;
     else if (arg == "--data-on-device") dod = true;
     else if (arg == "--gantt") gantt = true;
-    else if (arg == "--trace-json") trace_json = next();
+    else if (arg == "--trace-json" || arg == "--trace-out") trace_json = next();
+    else if (arg == "--metrics-out") metrics_out = next();
     else if (arg == "--csv") csv = true;
     else if (arg == "--check") check = true;
     else if (arg == "--hash") { hash = true; check = true; }
@@ -127,10 +134,13 @@ int main(int argc, char** argv) {
     cfg.topology = parse_topo(topo_name);
     cfg.data_on_device = dod;
     cfg.check.enabled = check;
+    cfg.obs.enabled = !metrics_out.empty();
 
     if (!trace_json.empty()) {
       // Direct run with the trace retained, exported for chrome://tracing.
       rt::Platform plat(cfg.topology, cfg.perf, {});
+      obs::Observability o(plat.num_gpus());
+      plat.set_obs(&o);  // before the Runtime: it caches series pointers
       rt::RuntimeOptions ropt;
       ropt.heuristics = heur;
       ropt.task_overhead = 3e-6;
@@ -160,11 +170,21 @@ int main(int argc, char** argv) {
           return 3;
         }
       }
+      o.finalize_registry();
       std::ofstream out(trace_json);
-      out << trace::to_chrome_json(plat.trace());
-      std::printf("XKBlas %s N=%zu: %.2f TFlop/s; %zu trace events -> %s\n",
+      out << obs::to_chrome_json(plat.trace(), o);
+      std::printf("XKBlas %s N=%zu: %.2f TFlop/s; %zu trace events, "
+                  "%zu decisions, %zu chains -> %s\n",
                   blas3_name(cfg.routine), n, plan.flops / t / 1e12,
-                  plat.trace().records().size(), trace_json.c_str());
+                  plat.trace().records().size(), o.decisions().size(),
+                  o.flows().size(), trace_json.c_str());
+      if (!metrics_out.empty()) {
+        const obs::RunReport rep =
+            obs::build_report(plat.trace(), plat.topology(), &o);
+        std::ofstream mout(metrics_out);
+        mout << obs::report_json(rep, &o);
+        std::printf("metrics -> %s\n", metrics_out.c_str());
+      }
       return 0;
     }
 
@@ -186,6 +206,11 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "xkb::check: %zu violation(s)\n%s",
                    r.check_violations, r.check_report.c_str());
       return 3;
+    }
+    if (!metrics_out.empty()) {
+      std::ofstream mout(metrics_out);
+      mout << r.metrics_json;
+      std::printf("metrics -> %s\n", metrics_out.c_str());
     }
 
     if (csv) {
