@@ -1,9 +1,12 @@
 #include "baselines/library_model.hpp"
 
 #include <algorithm>
+#include <sstream>
+#include <stdexcept>
 #include <utility>
 
 #include "baselines/common.hpp"
+#include "fault/injector.hpp"
 #include "obs/report.hpp"
 
 namespace xkb::baselines {
@@ -203,7 +206,30 @@ BenchResult SpecModel::run(const BenchConfig& cfg) {
   return run_with_spec(spec_, cfg);
 }
 
+void BenchConfig::validate() const {
+  if (n == 0)
+    throw std::invalid_argument(
+        "BenchConfig.n == 0: an empty matrix has no task graph to run");
+  if (tile == 0)
+    throw std::invalid_argument(
+        "BenchConfig.tile == 0: tiling by zero divides the matrix into "
+        "nothing");
+  if (tile > n)
+    throw std::invalid_argument(
+        "BenchConfig.tile (" + std::to_string(tile) + ") exceeds n (" +
+        std::to_string(n) + "): the tile grid would be empty");
+  if (kernel_streams < 1)
+    throw std::invalid_argument(
+        "BenchConfig.kernel_streams < 1: a device needs at least one "
+        "stream to execute kernels");
+  if (device_capacity == 0)
+    throw std::invalid_argument(
+        "BenchConfig.device_capacity == 0: no replica could ever be "
+        "allocated");
+}
+
 BenchResult run_with_spec(const ModelSpec& spec, const BenchConfig& cfg) {
+  cfg.validate();
   BenchResult res;
   if (cfg.n > spec.max_n) {
     res.failed = true;
@@ -225,6 +251,14 @@ BenchResult run_with_spec(const ModelSpec& spec, const BenchConfig& cfg) {
   if (cfg.obs.enabled) {
     o = std::make_shared<obs::Observability>(plat.num_gpus());
     plat.set_obs(o.get());  // before the Runtime: it caches series pointers
+  }
+
+  std::unique_ptr<fault::Injector> inj;
+  if (!cfg.fault_plan.empty()) {
+    inj = std::make_unique<fault::Injector>(cfg.fault_plan);
+    // Before the Runtime: its constructor binds the device-fail hook and
+    // arms the plan's silent events against the engine.
+    plat.set_fault(inj.get());
   }
 
   rt::RuntimeOptions ropt;
@@ -261,8 +295,9 @@ BenchResult run_with_spec(const ModelSpec& spec, const BenchConfig& cfg) {
   try {
     if (cfg.data_on_device) {
       plan.distribute();
-      runtime.run();
-      t0 = plat.engine().now();
+      // run() reports the last *observable* instant: pending silent fault
+      // events must not inflate the distribution phase's end time.
+      t0 = runtime.run();
       plat.trace().clear();
       if (o) o->clear();  // observe only the measured (compute) phase
       s0 = runtime.data_manager().stats();
@@ -280,6 +315,14 @@ BenchResult run_with_spec(const ModelSpec& spec, const BenchConfig& cfg) {
     res.failed = true;
     res.error = e.what();
     return res;
+  } catch (const fault::FaultError& e) {
+    // Failed-but-diagnosed: the recovery machinery hit its documented
+    // limits (retries exhausted, unrecoverable dirty loss, stuck run).
+    res.failed = true;
+    res.error = e.what();
+    res.task_remaps = runtime.task_remaps();
+    res.task_replays = runtime.task_replays();
+    return res;
   }
 
   res.breakdown = plat.trace().breakdown();
@@ -288,6 +331,20 @@ BenchResult run_with_spec(const ModelSpec& spec, const BenchConfig& cfg) {
   res.transfers = runtime.data_manager().stats();
   res.steals = runtime.steals();
   res.tasks = runtime.tasks_completed();
+  if (inj) {
+    res.task_remaps = runtime.task_remaps();
+    res.task_replays = runtime.task_replays();
+    const rt::TransferStats& ts = res.transfers;
+    std::ostringstream js;
+    js << "{\"injector\":" << inj->counters_json()
+       << ",\"unconsumed_xfail\":" << inj->unconsumed_transfer_faults()
+       << ",\"recovery\":{\"transfer_aborts\":" << ts.transfer_aborts
+       << ",\"transfer_retries\":" << ts.transfer_retries
+       << ",\"waiter_replans\":" << ts.waiter_replans
+       << ",\"task_remaps\":" << res.task_remaps
+       << ",\"task_replays\":" << res.task_replays << "}}";
+    res.fault_json = js.str();
+  }
   if (const check::Checker* c = runtime.checker()) {
     res.check_ok = c->ok();
     res.check_violations = c->total_violations();

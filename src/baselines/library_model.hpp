@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "check/check.hpp"
+#include "fault/fault.hpp"
 #include "obs/obs.hpp"
 #include "runtime/data_manager.hpp"
 #include "runtime/perf_model.hpp"
@@ -47,6 +48,18 @@ struct BenchConfig {
   /// Observability instance; combined with `check`, the obs accounting is
   /// reconciled against TransferStats and the trace breakdown.
   obs::ObsConfig obs;
+  /// Opt-in fault plan (xkb::fault).  Non-empty plans arm a deterministic
+  /// Injector before the run; recovery statistics and injector counters
+  /// land in BenchResult::fault_json.  A FaultError (retries exhausted,
+  /// unrecoverable data loss, stuck progress) is reported as a failed-but-
+  /// diagnosed run, like an OOM.
+  fault::FaultPlan fault_plan;
+
+  /// Reject nonsensical configurations (n/tile of zero, tile > n, no
+  /// kernel streams) with an actionable std::invalid_argument instead of a
+  /// division by zero or an empty task graph deep in the run.  Called by
+  /// run_with_spec.
+  void validate() const;
 };
 
 struct BenchResult {
@@ -68,6 +81,10 @@ struct BenchResult {
   // Populated only when BenchConfig::obs.enabled was set.
   std::string metrics_json;  ///< report_json: span/links/critical-path/metrics
   std::shared_ptr<obs::Observability> obs;  ///< the live measurement layer
+  // Populated only when BenchConfig::fault_plan was non-empty.
+  std::size_t task_remaps = 0;   ///< tasks migrated off a failed device
+  std::size_t task_replays = 0;  ///< producers re-run to rebuild lost tiles
+  std::string fault_json;  ///< injector counters + runtime recovery stats
 };
 
 class LibraryModel {

@@ -23,6 +23,12 @@ enum : std::uint64_t {
   kTagFlushDone = 0x5b,
   kTagEvict = 0x5c,
   kTagEngine = 0x5d,
+  kTagAbort = 0x5e,
+  kTagDevFail = 0x5f,
+  kTagLost = 0x60,
+  kTagPromote = 0x61,
+  kTagReplay = 0x62,
+  kTagRemap = 0x63,
 };
 
 }  // namespace
@@ -189,6 +195,10 @@ void Checker::on_kernel_issue(std::uint64_t id, int dev, int lane,
   TaskInfo* t = task(id);
   if (!t) return;
   t->device = dev;
+  if (cfg_.coherence && device_failed(dev))
+    violation(ViolationKind::kCoherence,
+              "kernel of task " + std::to_string(id) + " '" + t->label +
+                  "' issued on blacklisted GPU " + std::to_string(dev));
   // Import the happens-before edges carried by the operand receptions, then
   // verify freshness: a kernel must start with every read operand valid on
   // its device and holding the latest version.
@@ -303,6 +313,11 @@ void Checker::on_source_choice(const mem::DataHandle* h, int dst,
       break;
     case SourceKind::kDevice: {
       const mem::Replica& r = h->dev[static_cast<std::size_t>(src)];
+      if (device_failed(src))
+        violation(ViolationKind::kCoherence,
+                  "choose_source picked failed GPU " + std::to_string(src) +
+                      " as source for tile " + std::to_string(h->id) +
+                      " -> GPU " + std::to_string(dst));
       if (r.state != mem::ReplicaState::kValid)
         violation(ViolationKind::kCoherence,
                   "choose_source picked invalid replica on GPU " +
@@ -326,6 +341,10 @@ void Checker::on_source_choice(const mem::DataHandle* h, int dst,
     }
     case SourceKind::kWaitDevice: {
       const mem::Replica& r = h->dev[static_cast<std::size_t>(src)];
+      if (device_failed(src))
+        violation(ViolationKind::kCoherence,
+                  "choose_source chained tile " + std::to_string(h->id) +
+                      " on a reception at failed GPU " + std::to_string(src));
       if (r.state != mem::ReplicaState::kInFlight)
         violation(ViolationKind::kCoherence,
                   "optimistic forwarding chained on GPU " +
@@ -375,6 +394,14 @@ void Checker::on_transfer_issue(TransferKind k, const mem::DataHandle* h,
   fold_time(end);
   Shadow& s = shadow(h);
   const auto d = static_cast<std::size_t>(dst);
+  if (cfg_.coherence && device_failed(dst))
+    violation(ViolationKind::kCoherence,
+              "transfer of tile " + std::to_string(h->id) +
+                  " issued towards blacklisted GPU " + std::to_string(dst));
+  if (cfg_.coherence && k == TransferKind::kD2D && device_failed(src))
+    violation(ViolationKind::kCoherence,
+              "D2D of tile " + std::to_string(h->id) +
+                  " issued from blacklisted GPU " + std::to_string(src));
   if (k == TransferKind::kH2D) {
     ++h2d_seen_;
     if (cfg_.coherence && h->host.state != mem::ReplicaState::kValid)
@@ -492,6 +519,10 @@ void Checker::on_host_flush_issue(const mem::DataHandle* h, int src,
   ++d2h_seen_;
   Shadow& s = shadow(h);
   s.d2h_inflight = true;
+  if (cfg_.coherence && device_failed(src))
+    violation(ViolationKind::kCoherence,
+              "host flush of tile " + std::to_string(h->id) +
+                  " issued from blacklisted GPU " + std::to_string(src));
   if (cfg_.coherence && version != s.version)
     violation(ViolationKind::kCoherence,
               "flush of tile " + std::to_string(h->id) + " from GPU " +
@@ -567,6 +598,124 @@ bool Checker::current_version_survives(const mem::DataHandle* h,
 }
 
 // ---------------------------------------------------------------------------
+// Fault-recovery events
+// ---------------------------------------------------------------------------
+
+void Checker::on_transfer_abort(TransferKind k, const mem::DataHandle* h,
+                                int src, int dst, std::size_t attempts,
+                                std::size_t cap) {
+  fold(kTagAbort);
+  fold(static_cast<std::uint64_t>(k));
+  fold(h->id);
+  fold(static_cast<std::uint64_t>(src) + 1);
+  fold(static_cast<std::uint64_t>(dst) + 1);
+  fold(attempts);
+  Shadow& s = shadow(h);
+  if (k == TransferKind::kD2H) {
+    ++d2h_aborts_seen_;
+    // The flush will never publish; stop counting it as survival evidence.
+    s.d2h_inflight = false;
+  } else {
+    ++rx_aborts_seen_;
+    if (dst >= 0) {
+      // The reception was cancelled: no arrival will consume the in-flight
+      // version, so clear it (current_version_survives must not count a
+      // copy that is no longer coming).
+      const auto d = static_cast<std::size_t>(dst);
+      s.in_version[d] = Shadow::kNoVersion;
+      s.in_vc[d] = VectorClock{};
+    }
+  }
+  if (cap != 0 && attempts > cap)
+    violation(ViolationKind::kCoherence,
+              "unbounded retry: transfer of tile " + std::to_string(h->id) +
+                  " -> " + (dst < 0 ? std::string("host")
+                                    : "GPU " + std::to_string(dst)) +
+                  " aborted on attempt " + std::to_string(attempts) +
+                  " past the retry cap of " + std::to_string(cap));
+}
+
+void Checker::on_device_failure(int dev) {
+  fold(kTagDevFail);
+  fold(static_cast<std::uint64_t>(dev));
+  if (failed_devs_.empty()) failed_devs_.assign(static_cast<std::size_t>(gpus_), 0);
+  if (dev >= 0 && dev < gpus_) failed_devs_[static_cast<std::size_t>(dev)] = 1;
+}
+
+void Checker::on_replica_lost(const mem::DataHandle* h, int dev,
+                              bool was_dirty) {
+  fold(kTagLost);
+  fold(h->id);
+  fold(static_cast<std::uint64_t>(dev));
+  fold(was_dirty ? 1u : 0u);
+  Shadow& s = shadow(h);
+  const auto d = static_cast<std::size_t>(dev);
+  s.dev_version[d] = Shadow::kNoVersion;
+  s.in_version[d] = Shadow::kNoVersion;  // any reception to the dead GPU dies
+  if (!cfg_.coherence) return;
+  // If the purge dropped the last holder of the current version, recovery
+  // owes us a replay (or a diagnosed data loss, which aborts the run before
+  // finalize).  A surviving copy -- promoted or not -- settles it here.
+  if (!current_version_survives(h, s, dev))
+    pending_recovery_[h] =
+        "tile " + std::to_string(h->id) + " version " +
+        std::to_string(s.version) + " lost with " +
+        (was_dirty ? std::string("dirty") : std::string("clean")) +
+        " replica on failed GPU " + std::to_string(dev);
+}
+
+void Checker::on_promote(const mem::DataHandle* h, int dev) {
+  fold(kTagPromote);
+  fold(h->id);
+  fold(static_cast<std::uint64_t>(dev));
+  Shadow& s = shadow(h);
+  pending_recovery_.erase(h);
+  if (!cfg_.coherence) return;
+  const mem::Replica& r = h->dev[static_cast<std::size_t>(dev)];
+  if (r.state != mem::ReplicaState::kValid || !r.dirty)
+    violation(ViolationKind::kCoherence,
+              "promotion of tile " + std::to_string(h->id) + " on GPU " +
+                  std::to_string(dev) +
+                  " did not leave a valid dirty replica");
+  else if (s.dev_version[static_cast<std::size_t>(dev)] != s.version)
+    violation(ViolationKind::kCoherence,
+              "promoted replica of tile " + std::to_string(h->id) +
+                  " on GPU " + std::to_string(dev) + " holds stale version " +
+                  std::to_string(s.dev_version[static_cast<std::size_t>(dev)]) +
+                  " (latest " + std::to_string(s.version) + ")");
+}
+
+void Checker::on_replay(const mem::DataHandle* h, std::uint64_t task) {
+  fold(kTagReplay);
+  fold(h->id);
+  fold(task);
+  // The replayed producer flows through on_submit/on_mark_written like any
+  // task; once it rewrites the tile the current version exists again.
+  pending_recovery_.erase(h);
+}
+
+void Checker::on_task_remap(std::uint64_t id, int from_dev, int to_dev) {
+  fold(kTagRemap);
+  fold(id);
+  fold(static_cast<std::uint64_t>(from_dev));
+  fold(static_cast<std::uint64_t>(to_dev));
+  TaskInfo* t = task(id);
+  if (!t) return;
+  // The execution on from_dev was cancelled: forget its stamp and recorded
+  // reads so the re-execution on to_dev re-orders them from scratch.
+  if (t->vc_set)
+    for (auto& [h, s] : shadows_) {
+      auto it = std::remove_if(s.readers.begin(), s.readers.end(),
+                               [id](const ReaderRec& r) { return r.task == id; });
+      s.readers.erase(it, s.readers.end());
+    }
+  t->vc = VectorClock{};
+  t->vc_set = false;
+  t->finished = false;
+  t->device = to_dev;
+}
+
+// ---------------------------------------------------------------------------
 // Engine events, finalization, reporting
 // ---------------------------------------------------------------------------
 
@@ -591,16 +740,22 @@ void Checker::finalize(const StatsView& st) {
   expect_eq(st.d2d, d2d_seen_, "d2d");
   expect_eq(st.optimistic_waits, optimistic_seen_, "optimistic_waits");
   expect_eq(st.forced_waits, forced_seen_, "forced_waits");
+  expect_eq(st.transfer_aborts, rx_aborts_seen_ + d2h_aborts_seen_,
+            "transfer_aborts");
   if (!optimistic_ && st.optimistic_waits != 0)
     violation(ViolationKind::kStats,
               "optimistic_waits = " + std::to_string(st.optimistic_waits) +
                   " under an ablation configuration (must be 0)");
-  if (st.completed == st.submitted && h2d_seen_ + d2d_seen_ != arrivals_)
+  // Every issued reception either materializes a replica or was aborted by
+  // fault recovery -- nothing may simply evaporate.
+  if (st.completed == st.submitted &&
+      h2d_seen_ + d2d_seen_ != arrivals_ + rx_aborts_seen_)
     violation(ViolationKind::kStats,
               "transfer ledger does not balance: " +
                   std::to_string(h2d_seen_) + " H2D + " +
                   std::to_string(d2d_seen_) + " D2D issued, but " +
-                  std::to_string(arrivals_) + " replicas materialized");
+                  std::to_string(arrivals_) + " replicas materialized and " +
+                  std::to_string(rx_aborts_seen_) + " receptions aborted");
 
   // --- progress audit ---------------------------------------------------
   if (cfg_.progress && st.completed != st.submitted) {
@@ -666,7 +821,12 @@ void Checker::finalize(const StatsView& st) {
 
   // --- final protocol scan ----------------------------------------------
   if (cfg_.coherence) {
+    for (const auto& [h, msg] : pending_recovery_)
+      violation(ViolationKind::kCoherence,
+                "unresolved recovery: " + msg +
+                    " and neither a surviving copy nor a replay restored it");
     for (const auto& [h, s] : shadows_) {
+      if (pending_recovery_.count(h)) continue;  // already reported above
       int dirty = 0;
       for (std::size_t g = 0; g < h->dev.size(); ++g) {
         if (h->dev[g].dirty) ++dirty;

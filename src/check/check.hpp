@@ -104,6 +104,7 @@ struct StatsView {
   std::size_t h2d = 0, d2h = 0, d2d = 0;
   std::size_t optimistic_waits = 0, forced_waits = 0;
   std::size_t submitted = 0, completed = 0;
+  std::size_t transfer_aborts = 0;  ///< fault-injected/recovery aborts
 };
 
 class Checker {
@@ -144,6 +145,29 @@ class Checker {
                           std::uint64_t version, sim::Time t);
   /// A resident replica was evicted from `dev` (already released).
   void on_evict(const mem::DataHandle* h, int dev, bool was_dirty);
+
+  // --- fault-recovery events (fed by rt::DataManager / rt::Runtime) ---
+  /// An issued transfer aborted before completion (injected failure, or
+  /// cancelled because an endpoint died).  `dst` is -1 for D2H flushes.
+  /// `attempts`/`cap` drive the bounded-retries invariant (0/0 for aborts
+  /// that are not retries of the same reception, e.g. device-loss purges).
+  void on_transfer_abort(TransferKind k, const mem::DataHandle* h, int src,
+                         int dst, std::size_t attempts, std::size_t cap);
+  /// GPU `dev` was blacklisted.  From here on, no source choice, D2D issue
+  /// or kernel may touch it.
+  void on_device_failure(int dev);
+  /// The replica of `h` on (failed) `dev` was purged.  If it was the last
+  /// holder of the current version, the handle enters the needs-recovery
+  /// set: a matching on_replay must follow, or finalize reports the loss.
+  void on_replica_lost(const mem::DataHandle* h, int dev, bool was_dirty);
+  /// A surviving replica on `dev` was promoted to dirty, replacing a dirty
+  /// copy lost to a device failure.  It must hold the current version.
+  void on_promote(const mem::DataHandle* h, int dev);
+  /// The producer of `h`'s lost dirty replica was resubmitted as `task`.
+  void on_replay(const mem::DataHandle* h, std::uint64_t task);
+  /// A not-yet-finished task migrated off a failed device; its recorded
+  /// (now cancelled) reads are dropped so the re-execution re-orders them.
+  void on_task_remap(std::uint64_t task, int from_dev, int to_dev);
 
   // --- engine events (fed by sim::Engine's observer hook) ---
   void on_engine_event(sim::Time t, std::uint64_t seq);
@@ -252,6 +276,18 @@ class Checker {
   std::size_t h2d_seen_ = 0, d2h_seen_ = 0, d2d_seen_ = 0;
   std::size_t arrivals_ = 0;
   std::size_t optimistic_seen_ = 0, forced_seen_ = 0;
+
+  // Fault-recovery bookkeeping.
+  std::size_t rx_aborts_seen_ = 0;   ///< aborted H2D/D2D receptions
+  std::size_t d2h_aborts_seen_ = 0;  ///< aborted host flushes
+  std::vector<char> failed_devs_;    ///< blacklisted GPUs (empty = none)
+  bool device_failed(int dev) const {
+    return dev >= 0 && static_cast<std::size_t>(dev) < failed_devs_.size() &&
+           failed_devs_[static_cast<std::size_t>(dev)] != 0;
+  }
+  /// Tiles whose last current copy died with a failed device; must be
+  /// resolved by on_replay before finalize.
+  std::unordered_map<const mem::DataHandle*, std::string> pending_recovery_;
 
   std::vector<Violation> violations_;
   std::size_t total_violations_ = 0;

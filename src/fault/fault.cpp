@@ -1,0 +1,212 @@
+#include "fault/fault.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <tuple>
+#include <utility>
+
+#include "util/rng.hpp"
+
+namespace xkb::fault {
+
+const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kBrownout: return "brownout";
+    case FaultKind::kLinkDown: return "link-down";
+    case FaultKind::kTransferFail: return "xfail";
+    case FaultKind::kDeviceFail: return "device-fail";
+  }
+  return "?";
+}
+
+const char* to_string(TransferKind k) {
+  switch (k) {
+    case TransferKind::kH2D: return "h2d";
+    case TransferKind::kD2D: return "d2d";
+    case TransferKind::kD2H: return "d2h";
+    case TransferKind::kAny: return "any";
+  }
+  return "?";
+}
+
+std::string FaultPlan::to_text() const {
+  std::ostringstream os;
+  os << "seed " << seed << "\n";
+  if (fail_prob > 0.0) os << "fail-prob " << fail_prob << "\n";
+  for (const FaultEvent& e : events) {
+    switch (e.kind) {
+      case FaultKind::kBrownout:
+        os << "brownout " << e.t << " " << e.a << " " << e.b << " "
+           << e.fraction;
+        if (e.duration > 0) os << " " << e.duration;
+        os << "\n";
+        break;
+      case FaultKind::kLinkDown:
+        os << "link-down " << e.t << " " << e.a << " " << e.b << "\n";
+        break;
+      case FaultKind::kTransferFail:
+        os << "xfail " << e.t << " " << to_string(e.xfer) << " " << e.a << " "
+           << e.b << "\n";
+        break;
+      case FaultKind::kDeviceFail:
+        os << "device-fail " << e.t << " " << e.a << "\n";
+        break;
+    }
+  }
+  return os.str();
+}
+
+namespace {
+
+[[noreturn]] void bad_line(int lineno, const std::string& line,
+                           const std::string& why) {
+  throw std::invalid_argument("fault plan line " + std::to_string(lineno) +
+                              ": " + why + " in '" + line + "'");
+}
+
+double want_num(std::istringstream& is, int lineno, const std::string& line,
+                const char* what) {
+  double v = 0.0;
+  if (!(is >> v)) bad_line(lineno, line, std::string("missing/bad ") + what);
+  return v;
+}
+
+int want_int(std::istringstream& is, int lineno, const std::string& line,
+             const char* what) {
+  double v = want_num(is, lineno, line, what);
+  if (v != std::floor(v))
+    bad_line(lineno, line, std::string(what) + " must be an integer");
+  return static_cast<int>(v);
+}
+
+void want_done(std::istringstream& is, int lineno, const std::string& line) {
+  std::string extra;
+  if (is >> extra) bad_line(lineno, line, "trailing junk '" + extra + "'");
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(const std::string& text) {
+  FaultPlan plan;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    std::istringstream is(hash == std::string::npos ? line
+                                                    : line.substr(0, hash));
+    std::string word;
+    if (!(is >> word)) continue;  // blank / comment-only
+    if (word == "seed") {
+      const double s = want_num(is, lineno, line, "seed");
+      if (s < 0) bad_line(lineno, line, "seed must be non-negative");
+      plan.seed = static_cast<std::uint64_t>(s);
+    } else if (word == "fail-prob") {
+      plan.fail_prob = want_num(is, lineno, line, "probability");
+      if (plan.fail_prob < 0.0 || plan.fail_prob > 1.0)
+        bad_line(lineno, line, "fail-prob must be in [0, 1]");
+    } else if (word == "brownout") {
+      FaultEvent e;
+      e.kind = FaultKind::kBrownout;
+      e.t = want_num(is, lineno, line, "time");
+      e.a = want_int(is, lineno, line, "endpoint a");
+      e.b = want_int(is, lineno, line, "endpoint b");
+      e.fraction = want_num(is, lineno, line, "fraction");
+      double dur = 0.0;
+      if (is >> dur) e.duration = dur;
+      else { is.clear(); }
+      if (e.t < 0 || e.a < 0 || e.b < 0 || e.a == e.b)
+        bad_line(lineno, line, "bad brownout endpoints/time");
+      if (e.fraction <= 0.0 || e.fraction > 1.0)
+        bad_line(lineno, line, "brownout fraction must be in (0, 1]");
+      if (e.duration < 0) bad_line(lineno, line, "negative duration");
+      plan.events.push_back(e);
+    } else if (word == "link-down") {
+      FaultEvent e;
+      e.kind = FaultKind::kLinkDown;
+      e.t = want_num(is, lineno, line, "time");
+      e.a = want_int(is, lineno, line, "endpoint a");
+      e.b = want_int(is, lineno, line, "endpoint b");
+      want_done(is, lineno, line);
+      if (e.t < 0 || e.a < 0 || e.b < 0 || e.a == e.b)
+        bad_line(lineno, line, "bad link-down endpoints/time");
+      plan.events.push_back(e);
+    } else if (word == "xfail") {
+      FaultEvent e;
+      e.kind = FaultKind::kTransferFail;
+      e.t = want_num(is, lineno, line, "time");
+      std::string kind;
+      if (!(is >> kind)) bad_line(lineno, line, "missing transfer kind");
+      if (kind == "h2d") e.xfer = TransferKind::kH2D;
+      else if (kind == "d2d") e.xfer = TransferKind::kD2D;
+      else if (kind == "d2h") e.xfer = TransferKind::kD2H;
+      else if (kind == "any") e.xfer = TransferKind::kAny;
+      else bad_line(lineno, line, "unknown transfer kind '" + kind + "'");
+      e.a = want_int(is, lineno, line, "src");
+      e.b = want_int(is, lineno, line, "dst");
+      want_done(is, lineno, line);
+      if (e.t < 0 || e.a < -1 || e.b < -1)
+        bad_line(lineno, line, "bad xfail spec");
+      plan.events.push_back(e);
+    } else if (word == "device-fail") {
+      FaultEvent e;
+      e.kind = FaultKind::kDeviceFail;
+      e.t = want_num(is, lineno, line, "time");
+      e.a = want_int(is, lineno, line, "device");
+      want_done(is, lineno, line);
+      if (e.t < 0 || e.a < 0) bad_line(lineno, line, "bad device-fail spec");
+      plan.events.push_back(e);
+    } else {
+      bad_line(lineno, line, "unknown directive '" + word + "'");
+    }
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::parse_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in)
+    throw std::invalid_argument("cannot open fault plan file '" + path + "'");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse(ss.str());
+}
+
+FaultPlan FaultPlan::random(std::uint64_t seed, int num_gpus,
+                            sim::Time horizon) {
+  FaultPlan plan;
+  plan.seed = seed;
+  Rng rng(seed ^ 0x9e3779b97f4a7c15ull);
+  if (num_gpus < 2 || horizon <= 0) return plan;
+  const auto pair = [&] {
+    const int a = static_cast<int>(rng.next_below(num_gpus));
+    int b = static_cast<int>(rng.next_below(num_gpus - 1));
+    if (b >= a) ++b;
+    return std::pair<int, int>(a, b);
+  };
+  // Two brownouts: one transient, one lasting to the end of the run.
+  for (int i = 0; i < 2; ++i) {
+    FaultEvent e;
+    e.kind = FaultKind::kBrownout;
+    e.t = rng.uniform(0.0, horizon * 0.5);
+    std::tie(e.a, e.b) = pair();
+    e.fraction = rng.uniform(0.1, 0.6);
+    e.duration = (i == 0) ? rng.uniform(horizon * 0.1, horizon * 0.4) : 0.0;
+    plan.events.push_back(e);
+  }
+  // One route demotion.
+  {
+    FaultEvent e;
+    e.kind = FaultKind::kLinkDown;
+    e.t = rng.uniform(0.0, horizon * 0.5);
+    std::tie(e.a, e.b) = pair();
+    plan.events.push_back(e);
+  }
+  // A sprinkle of transfer failures.
+  plan.fail_prob = 0.01;
+  return plan;
+}
+
+}  // namespace xkb::fault

@@ -44,6 +44,11 @@ constexpr const char* to_string(ReplicaState s) {
 
 struct DataHandle;
 
+/// Where an in-flight replica's bytes are coming from (Replica::fetch_src).
+inline constexpr int kFetchHost = -1;    ///< H2D from the host copy
+inline constexpr int kFetchIdle = -2;    ///< no fetch in progress
+inline constexpr int kFetchParked = -3;  ///< parked until a replay rewrites
+
 /// Per-location replica bookkeeping (host uses the same record as devices).
 struct Replica {
   ReplicaState state = ReplicaState::kInvalid;
@@ -53,6 +58,25 @@ struct Replica {
   sim::Time eta = 0.0;       ///< arrival time when kInFlight
   sim::Time last_use = 0.0;  ///< LRU stamp (kept for trace/debug output)
   std::vector<std::function<void()>> waiters;  ///< run when kInFlight -> kValid
+
+  // Fetch provenance (xkb::fault recovery).  Pre-fault, an in-flight
+  // reception was an opaque promise: a completion lambda somewhere in the
+  // engine queue.  Recovery must be able to cancel and re-plan that
+  // promise, so the reception now carries explicit metadata:
+  //   * fetch_gen is bumped whenever the pending fetch is aborted or
+  //     re-planned; every completion callback captures the generation it
+  //     was issued under and no-ops on mismatch (the DES analogue of
+  //     cancelling a DMA),
+  //   * fetch_src records where the bytes come from (device id, kFetchHost,
+  //     or kFetchParked while waiting for a lost tile to be recomputed),
+  //   * fetch_waiting marks a chained reception: registered on the source
+  //     replica's chained_dsts, no transfer issued yet,
+  //   * fetch_attempts counts failed attempts for the retry-backoff cap.
+  std::uint32_t fetch_gen = 0;
+  std::uint16_t fetch_attempts = 0;
+  int fetch_src = kFetchIdle;
+  bool fetch_waiting = false;
+  std::vector<int> chained_dsts;  ///< receptions chained on THIS arrival
 
   // Intrusive LRU linkage, owned by the DeviceCache the replica is resident
   // in.  Device replicas only; the host Replica is never cached.  The cache

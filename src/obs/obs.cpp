@@ -73,6 +73,22 @@ void Observability::on_decision(Decision d) {
   decisions_.push_back(std::move(d));
 }
 
+void Observability::on_fault_mark(sim::Time t, std::string what,
+                                  std::string detail) {
+  if (t > last_event_) last_event_ = t;
+  count_fault(what);
+  fault_marks_.push_back(FaultMark{t, std::move(what), std::move(detail)});
+}
+
+void Observability::count_fault(const std::string& what, double n) {
+  for (auto& kv : fault_counts_)
+    if (kv.first == what) {
+      kv.second += n;
+      return;
+    }
+  fault_counts_.emplace_back(what, n);
+}
+
 void Observability::on_transfer(Xfer k, std::uint64_t handle, int src, int dst,
                                 sim::Interval iv, std::size_t bytes,
                                 bool chained) {
@@ -150,6 +166,8 @@ void Observability::clear() {
   for (auto& l : links_) l->reset();
   decisions_.clear();
   flows_.clear();
+  fault_marks_.clear();
+  fault_counts_.clear();
   all_ = OpTotals{};
   for (auto& g : per_gpu_) g = OpTotals{};
   std::fill(hits_.begin(), hits_.end(), 0);
@@ -180,6 +198,7 @@ void Observability::finalize_registry() {
   set("bytes.ptop", static_cast<double>(all_.ptop_bytes));
   set("decisions", static_cast<double>(decisions_.size()));
   set("flows", static_cast<double>(flows_.size()));
+  for (const auto& kv : fault_counts_) set("fault." + kv.first, kv.second);
   std::uint64_t hits = 0, misses = 0, inflight = 0, ec = 0, ed = 0;
   for (int g = 0; g < gpus_; ++g) {
     auto d = static_cast<std::size_t>(g);

@@ -22,6 +22,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "obs/metrics.hpp"
@@ -63,6 +64,15 @@ struct Decision {
     bool in_flight = false;  ///< optimistic candidate (reception ongoing)
   };
   std::vector<Candidate> candidates;
+};
+
+/// A fault-plan event or recovery action, stamped at the virtual instant it
+/// applied.  Rendered as instant events on a dedicated "faults" track in
+/// the Chrome export and folded into fault.* registry counters.
+struct FaultMark {
+  sim::Time t = 0.0;
+  std::string what;    ///< counter key: brownout, link_down, device_fail, ...
+  std::string detail;  ///< human-readable description for the export
 };
 
 /// One transfer-forwarding chain: a reception on `src_dev` whose completion
@@ -113,6 +123,14 @@ class Observability {
   void on_transfer(Xfer k, std::uint64_t handle, int src, int dst,
                    sim::Interval iv, std::size_t bytes, bool chained);
 
+  // --- fault hooks (platform link mutations + runtime recovery) ---
+  /// Record a fault instant: `what` is the counter key (becomes the
+  /// registry counter "fault.<what>"), `detail` the export description.
+  void on_fault_mark(sim::Time t, std::string what, std::string detail);
+  /// Count a recovery action without an export-worthy instant (retries,
+  /// re-plans, remaps...): bumps "fault.<what>" only.
+  void count_fault(const std::string& what, double n = 1.0);
+
   // --- runtime hooks ---
   /// The ready-queue-depth series of `dev` ("ready.gpu<dev>"); the runtime
   /// caches the pointer and samples it on every scheduling event.
@@ -124,6 +142,7 @@ class Observability {
   }
   const std::vector<Decision>& decisions() const { return decisions_; }
   const std::vector<Flow>& flows() const { return flows_; }
+  const std::vector<FaultMark>& fault_marks() const { return fault_marks_; }
   const OpTotals& totals() const { return all_; }
   /// Per-device totals with the trace's attribution: HtoD/PtoP to the
   /// receiving device, DtoH to the source device, kernels to theirs.
@@ -158,6 +177,8 @@ class Observability {
   std::vector<std::unique_ptr<LinkProbe>> links_;
   std::vector<Decision> decisions_;
   std::vector<Flow> flows_;
+  std::vector<FaultMark> fault_marks_;
+  std::vector<std::pair<std::string, double>> fault_counts_;  // insertion order
   OpTotals all_;
   std::vector<OpTotals> per_gpu_;
   std::vector<Series*> ready_;  ///< cached "ready.gpu<g>" series

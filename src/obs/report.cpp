@@ -279,6 +279,24 @@ std::string to_chrome_json(const trace::Trace& tr, const Observability& o) {
     emit(e.str());
   }
 
+  // Fault-plan applications and recovery milestones as global instants on
+  // a dedicated "faults" track, so a brownout or device loss can be read
+  // in context with the transfers it perturbed.
+  if (!o.fault_marks().empty()) {
+    emit("{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 990"
+         ", \"args\": {\"name\": \"faults\"}}");
+    for (const FaultMark& f : o.fault_marks()) {
+      std::ostringstream e;
+      e.precision(15);
+      e << "{\"name\": \"" << trace::json_escape(f.what)
+        << "\", \"cat\": \"fault\", \"ph\": \"i\", \"s\": \"g\", \"pid\": 990"
+        << ", \"tid\": 0, \"ts\": " << f.t * 1e6
+        << ", \"args\": {\"detail\": \"" << trace::json_escape(f.detail)
+        << "\"}}";
+      emit(e.str());
+    }
+  }
+
   // Ready-queue depth as counter tracks (one per device).
   for (const auto& [name, s] : o.metrics().series_map()) {
     if (name.rfind("ready.gpu", 0) != 0 || s.empty()) continue;

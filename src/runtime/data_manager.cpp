@@ -1,10 +1,13 @@
 #include "runtime/data_manager.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
+#include <sstream>
 #include <utility>
 
 #include "check/check.hpp"
+#include "fault/injector.hpp"
 #include "obs/obs.hpp"
 
 namespace xkb::rt {
@@ -26,6 +29,10 @@ void unpack_tile(const mem::DataHandle& h, const std::byte* src) {
   const std::size_t col = h.m * h.wordsize;
   for (std::size_t j = 0; j < h.n; ++j)
     std::memcpy(dst + j * h.ld * h.wordsize, src + j * col, col);
+}
+
+std::string endpoint_name(int dev) {
+  return dev >= 0 ? "gpu" + std::to_string(dev) : std::string("host");
 }
 
 }  // namespace
@@ -100,9 +107,43 @@ void DataManager::ensure_valid(mem::DataHandle* h, int dev,
   };
   if (!try_reserve_or_defer(h, dev, std::move(retry))) return;
 
-  const Source s = choose_source(*h, dev);
-  if (obs::Observability* o = plat_->obs()) {
+  if (obs::Observability* o = plat_->obs())
     o->on_cache_ref(dev, obs::CacheRef::kMiss);
+  if (plat_->options().functional && h->dev_buf.empty())
+    h->dev_buf.resize(plat_->num_gpus());
+  if (plat_->options().functional && h->dev_buf[dev].size() != h->bytes())
+    h->dev_buf[dev].resize(h->bytes());
+  r.state = mem::ReplicaState::kInFlight;
+  r.waiters.push_back(std::move(done));
+  plan_fetch(h, dev);
+}
+
+void DataManager::plan_fetch(mem::DataHandle* h, int dev) {
+  mem::Replica& r = h->dev[dev];
+  assert(r.state == mem::ReplicaState::kInFlight);
+  // Mask the destination while choosing: a re-planned fetch is itself
+  // kInFlight and must never pick (or chain on) itself.
+  r.state = mem::ReplicaState::kInvalid;
+  const Source s = choose_source(*h, dev);
+  r.state = mem::ReplicaState::kInFlight;
+
+  if (s.kind == Source::kNone) {
+    // No copy of the bytes exists anywhere.  Legal only while a producer
+    // replay is rebuilding the tile: park until its mark_written re-plans.
+    if (!replay_pending_.count(h)) {
+      std::ostringstream os;
+      os << "no copy of tile " << h->id << " (version " << h->version
+         << ") exists anywhere and no replay is pending: fetch to gpu" << dev
+         << " cannot be satisfied";
+      throw fault::UnrecoverableDataLoss(os.str());
+    }
+    r.fetch_src = mem::kFetchParked;
+    r.fetch_waiting = false;
+    if (obs::Observability* o = plat_->obs()) o->count_fault("parked_fetch");
+    return;
+  }
+
+  if (obs::Observability* o = plat_->obs()) {
     obs::Decision d;
     d.t = plat_->engine().now();
     d.handle = h->id;
@@ -112,6 +153,7 @@ void DataManager::ensure_valid(mem::DataHandle* h, int dev,
       case Source::kDevice: d.pick = obs::Pick::kDevice; break;
       case Source::kWaitDevice: d.pick = obs::Pick::kWaitDevice; break;
       case Source::kWaitHost: d.pick = obs::Pick::kWaitHost; break;
+      case Source::kNone: break;  // handled above
     }
     d.picked_dev = s.dev;
     d.forced = s.forced;
@@ -119,7 +161,7 @@ void DataManager::ensure_valid(mem::DataHandle* h, int dev,
     for (int g : h->valid_devices())
       d.candidates.push_back({g, topo.p2p_perf_rank(g, dev), false});
     for (int g : h->inflight_devices())
-      d.candidates.push_back({g, topo.p2p_perf_rank(g, dev), true});
+      if (g != dev) d.candidates.push_back({g, topo.p2p_perf_rank(g, dev), true});
     o->on_decision(std::move(d));
   }
   if (check::Checker* c = plat_->checker()) {
@@ -129,15 +171,10 @@ void DataManager::ensure_valid(mem::DataHandle* h, int dev,
       case Source::kDevice: k = check::SourceKind::kDevice; break;
       case Source::kWaitDevice: k = check::SourceKind::kWaitDevice; break;
       case Source::kWaitHost: k = check::SourceKind::kWaitHost; break;
+      case Source::kNone: break;  // handled above
     }
     c->on_source_choice(h, dev, k, s.dev, s.forced);
   }
-  if (plat_->options().functional && h->dev_buf.empty())
-    h->dev_buf.resize(plat_->num_gpus());
-  if (plat_->options().functional && h->dev_buf[dev].size() != h->bytes())
-    h->dev_buf[dev].resize(h->bytes());
-  r.state = mem::ReplicaState::kInFlight;
-  r.waiters.push_back(std::move(done));
 
   switch (s.kind) {
     case Source::kHost:
@@ -158,20 +195,63 @@ void DataManager::ensure_valid(mem::DataHandle* h, int dev,
         o->on_wait(h->id, g, dev, s.forced);
       h->dev[g].pins++;  // survive until the forwarding copy completes
       r.eta = h->dev[g].eta;  // rough: refined when the copy is issued
-      h->dev[g].waiters.push_back(
-          [this, h, g, dev] { issue_p2p(h, g, dev, /*chained=*/true); });
+      r.fetch_src = g;
+      r.fetch_waiting = true;
+      h->dev[g].chained_dsts.push_back(dev);
       break;
     }
     case Source::kWaitHost:
-      h->host.waiters.push_back([this, h, dev] { issue_h2d(h, dev); });
+      r.fetch_src = mem::kFetchHost;
+      r.fetch_waiting = true;
+      h->host.chained_dsts.push_back(dev);
       break;
+    case Source::kNone:
+      break;  // handled above
   }
+}
+
+void DataManager::replan_fetch(mem::DataHandle* h, int dev) {
+  mem::Replica& r = h->dev[dev];
+  if (r.state != mem::ReplicaState::kInFlight) return;
+  r.fetch_gen++;  // cancel whatever copy or chain was feeding this replica
+  r.fetch_src = mem::kFetchIdle;
+  r.fetch_waiting = false;
+  plan_fetch(h, dev);
+}
+
+bool DataManager::reception_fed(const mem::DataHandle& h, int dev) const {
+  int cur = dev;
+  for (int hops = 0; hops <= plat_->num_gpus(); ++hops) {
+    const mem::Replica& r = h.dev[cur];
+    if (r.state != mem::ReplicaState::kInFlight) return false;
+    if (r.fetch_src == mem::kFetchIdle || r.fetch_src == mem::kFetchParked)
+      return false;  // aborted (awaiting backoff) or parked for a replay
+    if (r.fetch_src == mem::kFetchHost) return true;
+    if (plat_->device_failed(r.fetch_src)) return false;
+    if (!r.fetch_waiting) return true;  // an actual copy feeds the chain
+    cur = r.fetch_src;
+  }
+  return false;  // cycle: never chain on it
 }
 
 DataManager::Source DataManager::choose_source(const mem::DataHandle& h,
                                                int dst) const {
   const auto& topo = plat_->topology();
-  const std::vector<int> valid = h.valid_devices();
+  // Failed devices are filtered defensively: mid-recovery, a handle later in
+  // the purge order may still show a "valid" replica on the dead GPU.
+  std::vector<int> valid;
+  for (int g : h.valid_devices())
+    if (!plat_->device_failed(g)) valid.push_back(g);
+  // Candidates to chain on: live receptions whose wait-chain terminates in
+  // an actual transfer (chaining on a parked or orphaned reception would
+  // deadlock, and mutual chains would cycle).
+  auto fed_flying = [&] {
+    std::vector<int> out;
+    for (int g : h.inflight_devices())
+      if (g != dst && !plat_->device_failed(g) && reception_fed(h, g))
+        out.push_back(g);
+    return out;
+  };
 
   if (!valid.empty()) {
     switch (cfg_.source) {
@@ -202,7 +282,7 @@ DataManager::Source DataManager::choose_source(const mem::DataHandle& h,
     // Optimistic heuristic: a duplicate H2D can be avoided by waiting for an
     // ongoing reception on a peer GPU and forwarding from there.
     if (cfg_.optimistic_d2d) {
-      const std::vector<int> flying = h.inflight_devices();
+      const std::vector<int> flying = fed_flying();
       if (!flying.empty()) {
         int best = flying.front();
         for (int g : flying)
@@ -223,8 +303,8 @@ DataManager::Source DataManager::choose_source(const mem::DataHandle& h,
   if (h.host.state == mem::ReplicaState::kInFlight)
     return {Source::kWaitHost, -1};
 
-  const std::vector<int> flying = h.inflight_devices();
-  assert(!flying.empty() && "no copy of the data exists anywhere");
+  const std::vector<int> flying = fed_flying();
+  if (flying.empty()) return {Source::kNone, -1};
   // Forced wait (not a heuristic): the only copy is in flight.
   int best = flying.front();
   for (int g : flying)
@@ -254,8 +334,24 @@ void DataManager::reserve_with_flushes(mem::DataHandle* h, int dev) {
 }
 
 void DataManager::issue_h2d(mem::DataHandle* h, int dst) {
+  mem::Replica& r = h->dev[dst];
+  r.fetch_src = mem::kFetchHost;
+  r.fetch_waiting = false;
+  const std::uint32_t gen = r.fetch_gen;
+  bool fail = false;
+  if (fault::Injector* f = plat_->fault())
+    fail = f->should_fail_transfer(fault::TransferKind::kH2D, -1, dst,
+                                   plat_->engine().now());
   stats_.h2d++;
-  auto iv = plat_->copy_h2d(dst, h->bytes(), [this, h, dst] {
+  auto iv = plat_->copy_h2d(dst, h->bytes(), [this, h, dst, gen, fail] {
+    mem::Replica& r = h->dev[dst];
+    // Cancelled mid-flight (re-plan or device failure): whoever bumped the
+    // generation owns the cleanup; this completion is a dead DMA.
+    if (r.fetch_gen != gen || r.state != mem::ReplicaState::kInFlight) return;
+    if (fail) {
+      reception_failed(h, mem::kFetchHost, dst);
+      return;
+    }
     if (plat_->options().functional) pack_tile(*h, h->dev_buf[dst].data());
     complete_arrival(h, dst);
   });
@@ -265,14 +361,29 @@ void DataManager::issue_h2d(mem::DataHandle* h, int dst) {
   if (obs::Observability* o = plat_->obs())
     o->on_transfer(obs::Xfer::kH2D, h->id, -1, dst, iv, h->bytes(),
                    /*chained=*/false);
-  h->dev[dst].eta = iv.end;
+  r.eta = iv.end;
 }
 
 void DataManager::issue_p2p(mem::DataHandle* h, int src, int dst,
                             bool chained) {
   assert(h->dev[src].state == mem::ReplicaState::kValid);
+  mem::Replica& r = h->dev[dst];
+  r.fetch_src = src;
+  r.fetch_waiting = false;
+  const std::uint32_t gen = r.fetch_gen;
+  bool fail = false;
+  if (fault::Injector* f = plat_->fault())
+    fail = f->should_fail_transfer(fault::TransferKind::kD2D, src, dst,
+                                   plat_->engine().now());
   stats_.d2d++;
-  auto iv = plat_->copy_p2p(src, dst, h->bytes(), [this, h, src, dst] {
+  auto iv = plat_->copy_p2p(src, dst, h->bytes(), [this, h, src, dst, gen,
+                                                   fail] {
+    mem::Replica& r = h->dev[dst];
+    if (r.fetch_gen != gen || r.state != mem::ReplicaState::kInFlight) return;
+    if (fail) {
+      reception_failed(h, src, dst);  // drops the source pin
+      return;
+    }
     if (plat_->options().functional)
       std::memcpy(h->dev_buf[dst].data(), h->dev_buf[src].data(), h->bytes());
     unpin(h, src);
@@ -283,28 +394,96 @@ void DataManager::issue_p2p(mem::DataHandle* h, int src, int dst,
                          iv.end);
   if (obs::Observability* o = plat_->obs())
     o->on_transfer(obs::Xfer::kD2D, h->id, src, dst, iv, h->bytes(), chained);
-  h->dev[dst].eta = iv.end;
+  r.eta = iv.end;
+}
+
+void DataManager::reception_failed(mem::DataHandle* h, int src, int dst) {
+  fault::Injector* f = plat_->fault();
+  assert(f && "transfer failure without an injector");
+  mem::Replica& r = h->dev[dst];
+  if (src >= 0 && !plat_->device_failed(src)) unpin(h, src);
+  r.fetch_attempts++;
+  const fault::RetryPolicy& rp = f->retry();
+  const int attempts = r.fetch_attempts;
+  if (obs::Observability* o = plat_->obs()) {
+    std::ostringstream os;
+    os << (src >= 0 ? "d2d" : "h2d") << " tile " << h->id << " "
+       << endpoint_name(src) << "->gpu" << dst << " attempt " << attempts;
+    o->on_fault_mark(plat_->engine().now(), "transfer_abort", os.str());
+  }
+  if (attempts > rp.max_transfer_retries) {
+    std::ostringstream os;
+    os << "transfer of tile " << h->id << " to gpu" << dst << " from "
+       << endpoint_name(src) << " failed " << attempts
+       << " times (retry cap " << rp.max_transfer_retries
+       << "): giving up";
+    throw fault::TransferRetriesExhausted(os.str());
+  }
+  stats_.transfer_aborts++;
+  if (check::Checker* c = plat_->checker())
+    c->on_transfer_abort(src >= 0 ? check::TransferKind::kD2D
+                                  : check::TransferKind::kH2D,
+                         h, src, dst, static_cast<std::size_t>(attempts),
+                         static_cast<std::size_t>(rp.max_transfer_retries));
+  r.fetch_gen++;
+  r.fetch_src = mem::kFetchIdle;
+  r.fetch_waiting = false;
+  const std::uint32_t gen = r.fetch_gen;
+  const double delay = rp.backoff_for(attempts);
+  plat_->engine().schedule_after(delay, [this, h, dst, gen] {
+    mem::Replica& rr = h->dev[dst];
+    if (rr.fetch_gen != gen || rr.state != mem::ReplicaState::kInFlight)
+      return;  // superseded while backing off (e.g. device-failure re-plan)
+    stats_.transfer_retries++;
+    if (obs::Observability* o = plat_->obs()) o->count_fault("transfer_retry");
+    plan_fetch(h, dst);
+  });
 }
 
 void DataManager::complete_arrival(mem::DataHandle* h, int dev) {
   mem::Replica& r = h->dev[dev];
   assert(r.state == mem::ReplicaState::kInFlight);
   r.state = mem::ReplicaState::kValid;
+  r.fetch_src = mem::kFetchIdle;
+  r.fetch_waiting = false;
+  r.fetch_attempts = 0;
   if (check::Checker* c = plat_->checker())
     c->on_arrival(h, dev, plat_->engine().now());
   plat_->cache(dev).touch(h, plat_->engine().now());
+  // Forward to every reception chained on this arrival (Section III-C).
+  // Chains cancelled by recovery removed themselves from the list, so
+  // whatever is left is still waiting on us.
+  auto chains = std::move(r.chained_dsts);
+  r.chained_dsts.clear();
+  for (int d : chains) {
+    mem::Replica& rd = h->dev[d];
+    if (rd.state == mem::ReplicaState::kInFlight && rd.fetch_waiting &&
+        rd.fetch_src == dev) {
+      issue_p2p(h, dev, d, /*chained=*/true);
+    } else {
+      unpin(h, dev);  // stale entry: drop its registration pin
+    }
+  }
   auto waiters = std::move(r.waiters);
   r.waiters.clear();
   for (auto& w : waiters) w();
 }
 
 void DataManager::mark_written(mem::DataHandle* h, int dev) {
-  // Dependencies guarantee no reader transfer overlaps a writer kernel.
+  // Dependencies guarantee no reader transfer overlaps a writer kernel --
+  // except fetches parked for this very write (a producer replay), which
+  // re-plan below once the new version exists.
+  std::vector<int> parked;
   for (int g = 0; g < plat_->num_gpus(); ++g) {
     if (g == dev) continue;
     mem::Replica& o = h->dev[g];
-    assert(o.state != mem::ReplicaState::kInFlight &&
-           "write raced an in-flight replica: dependency bug");
+    if (o.state == mem::ReplicaState::kInFlight) {
+      if (o.fetch_src == mem::kFetchParked) {
+        parked.push_back(g);
+        continue;
+      }
+      assert(false && "write raced an in-flight replica: dependency bug");
+    }
     // A dirty peer replica is intentionally superseded by the new version:
     // clear the bit before release (which refuses dirty replicas, since
     // anywhere else that would silently discard unsaved bytes).
@@ -318,18 +497,44 @@ void DataManager::mark_written(mem::DataHandle* h, int dev) {
     }
   }
   h->version++;
-  // If an eviction flush of the previous version is in flight, leave the
-  // host marked kInFlight: its completion detects the version mismatch,
-  // discards the stale payload and re-flushes for any waiters.
-  if (h->host.state == mem::ReplicaState::kValid)
+  bool reflush_host = false;
+  if (h->host.state == mem::ReplicaState::kValid) {
     h->host.state = mem::ReplicaState::kInvalid;  // lazy host coherency
+  } else if (h->host.state == mem::ReplicaState::kInFlight &&
+             h->host.fetch_src == mem::kFetchIdle) {
+    // The flush feeding the host promise was aborted (its source GPU died,
+    // or it is a promise parked on this very replay).  The old version is
+    // gone for good: serve waiters from the new one, or drop the promise.
+    if (!h->host.waiters.empty() || !h->host.chained_dsts.empty())
+      reflush_host = true;
+    else
+      h->host.state = mem::ReplicaState::kInvalid;
+  }
+  // Any *active* flush's completion detects the version bump itself,
+  // discards the stale payload and re-flushes for waiters.
 
   mem::Replica& r = h->dev[dev];
+  const bool was_parked = r.state == mem::ReplicaState::kInFlight &&
+                          r.fetch_src == mem::kFetchParked;
   r.state = mem::ReplicaState::kValid;
+  r.fetch_gen++;  // supersede any stale fetch bookkeeping on the writer
+  r.fetch_src = mem::kFetchIdle;
+  r.fetch_waiting = false;
+  r.fetch_attempts = 0;
   plat_->cache(dev).set_dirty(h, true);
   plat_->cache(dev).touch(h, plat_->engine().now());
   if (check::Checker* c = plat_->checker())
     c->on_mark_written(h, dev, plat_->engine().now());
+  replay_pending_.erase(h);
+  if (was_parked) {
+    // The replay landed on the very device a parked fetch was promised to:
+    // the write itself satisfies the promise.
+    auto waiters = std::move(r.waiters);
+    r.waiters.clear();
+    for (auto& w : waiters) w();
+  }
+  for (int g : parked) replan_fetch(h, g);
+  if (reflush_host) flush_from_device(h, dev, /*drop_buffer=*/false);
 }
 
 void DataManager::host_write(mem::DataHandle* h) {
@@ -337,10 +542,16 @@ void DataManager::host_write(mem::DataHandle* h) {
   // makes its completion discard the payload instead of overwriting the
   // CPU's new data.
   h->version++;
+  std::vector<int> parked;
   for (int g = 0; g < plat_->num_gpus(); ++g) {
     mem::Replica& r = h->dev[g];
-    assert(r.state != mem::ReplicaState::kInFlight &&
-           "host write raced a device transfer: dependency bug");
+    if (r.state == mem::ReplicaState::kInFlight) {
+      if (r.fetch_src == mem::kFetchParked) {
+        parked.push_back(g);
+        continue;
+      }
+      assert(false && "host write raced a device transfer: dependency bug");
+    }
     // The CPU's new bytes supersede any dirty device copy: clear the bit
     // before release so the intentional discard is explicit.
     plat_->cache(g).set_dirty(h, false);
@@ -353,7 +564,20 @@ void DataManager::host_write(mem::DataHandle* h) {
     }
   }
   h->host.state = mem::ReplicaState::kValid;
+  h->host.fetch_src = mem::kFetchIdle;  // any aborted flush is superseded
   if (check::Checker* c = plat_->checker()) c->on_host_write(h);
+  replay_pending_.erase(h);
+  for (int g : parked) replan_fetch(h, g);
+  // Receptions chained on a host flush promise: the CPU write supersedes
+  // the flush, so feed them from the (now valid) host copy directly.
+  auto chains = std::move(h->host.chained_dsts);
+  h->host.chained_dsts.clear();
+  for (int d : chains) {
+    mem::Replica& rd = h->dev[d];
+    if (rd.state == mem::ReplicaState::kInFlight && rd.fetch_waiting &&
+        rd.fetch_src == mem::kFetchHost)
+      issue_h2d(h, d);
+  }
 }
 
 void DataManager::flush_to_host(mem::DataHandle* h, sim::Callback done) {
@@ -366,7 +590,16 @@ void DataManager::flush_to_host(mem::DataHandle* h, sim::Callback done) {
     return;
   }
   const int src = h->dirty_device();
-  assert(src >= 0 && "host invalid but no device holds a dirty copy");
+  if (src < 0) {
+    // Only legal while a producer replay is rebuilding the tile: park the
+    // host promise; the replay's mark_written re-flushes for the waiter.
+    assert(replay_pending_.count(h) &&
+           "host invalid but no device holds a dirty copy");
+    h->host.state = mem::ReplicaState::kInFlight;
+    h->host.fetch_src = mem::kFetchIdle;
+    h->host.waiters.push_back(std::move(done));
+    return;
+  }
   h->host.waiters.push_back(std::move(done));
   flush_from_device(h, src, /*drop_buffer=*/false);  // pins src internally
 }
@@ -374,12 +607,28 @@ void DataManager::flush_to_host(mem::DataHandle* h, sim::Callback done) {
 void DataManager::flush_from_device(mem::DataHandle* h, int src,
                                     bool drop_buffer) {
   h->host.state = mem::ReplicaState::kInFlight;
+  h->host.fetch_gen++;  // supersede any older flush still airborne
+  h->host.fetch_src = src;
+  const std::uint32_t gen = h->host.fetch_gen;
+  bool fail = false;
+  if (fault::Injector* f = plat_->fault())
+    fail = f->should_fail_transfer(fault::TransferKind::kD2H, src, -1,
+                                   plat_->engine().now());
   h->dev[src].pins++;
   stats_.d2h++;
   const std::uint64_t v0 = h->version;
   if (check::Checker* c = plat_->checker()) c->on_host_flush_issue(h, src, v0);
-  auto iv = plat_->copy_d2h(src, h->bytes(), [this, h, src, drop_buffer, v0] {
-    h->dev[src].pins--;
+  auto iv = plat_->copy_d2h(src, h->bytes(), [this, h, src, drop_buffer, v0,
+                                              gen, fail] {
+    // The source pin is released even when this flush was superseded by a
+    // newer one -- unless the device died, which zeroed its pin counts.
+    if (!plat_->device_failed(src)) h->dev[src].pins--;
+    if (h->host.fetch_gen != gen) return;  // aborted or superseded
+    h->host.fetch_src = mem::kFetchIdle;
+    if (fail) {
+      flush_failed(h, src, drop_buffer);
+      return;
+    }
     if (check::Checker* c = plat_->checker())
       c->on_host_flush_done(h, src, /*stale=*/h->version != v0, v0,
                             plat_->engine().now());
@@ -415,13 +664,237 @@ void DataManager::flush_from_device(mem::DataHandle* h, int src,
     }
     if (h->dev[src].resident) plat_->cache(src).set_dirty(h, false);
     h->host.state = mem::ReplicaState::kValid;
+    h->host.fetch_attempts = 0;
     auto waiters = std::move(h->host.waiters);
     h->host.waiters.clear();
     for (auto& w : waiters) w();
+    // Receptions that chained on this flush (kWaitHost): fetch them now.
+    auto chains = std::move(h->host.chained_dsts);
+    h->host.chained_dsts.clear();
+    for (int d : chains) {
+      mem::Replica& rd = h->dev[d];
+      if (rd.state == mem::ReplicaState::kInFlight && rd.fetch_waiting &&
+          rd.fetch_src == mem::kFetchHost)
+        issue_h2d(h, d);
+    }
   });
   if (obs::Observability* o = plat_->obs())
     o->on_transfer(obs::Xfer::kD2H, h->id, src, -1, iv, h->bytes(),
                    /*chained=*/false);
+}
+
+void DataManager::flush_failed(mem::DataHandle* h, int src, bool drop_buffer) {
+  fault::Injector* f = plat_->fault();
+  assert(f && "flush failure without an injector");
+  h->host.fetch_attempts++;
+  const fault::RetryPolicy& rp = f->retry();
+  const int attempts = h->host.fetch_attempts;
+  if (obs::Observability* o = plat_->obs()) {
+    std::ostringstream os;
+    os << "d2h tile " << h->id << " gpu" << src << "->host attempt "
+       << attempts;
+    o->on_fault_mark(plat_->engine().now(), "transfer_abort", os.str());
+  }
+  if (attempts > rp.max_transfer_retries) {
+    std::ostringstream os;
+    os << "flush of tile " << h->id << " from gpu" << src << " to the host"
+       << " failed " << attempts << " times (retry cap "
+       << rp.max_transfer_retries << "): giving up";
+    throw fault::TransferRetriesExhausted(os.str());
+  }
+  stats_.transfer_aborts++;
+  if (check::Checker* c = plat_->checker())
+    c->on_transfer_abort(check::TransferKind::kD2H, h, src, -1,
+                         static_cast<std::size_t>(attempts),
+                         static_cast<std::size_t>(rp.max_transfer_retries));
+  h->host.fetch_gen++;
+  const std::uint32_t gen = h->host.fetch_gen;
+  const double delay = rp.backoff_for(attempts);
+  plat_->engine().schedule_after(delay, [this, h, src, drop_buffer, gen] {
+    if (h->host.fetch_gen != gen ||
+        h->host.state != mem::ReplicaState::kInFlight)
+      return;  // superseded (device failure re-planned, or CPU overwrote)
+    stats_.transfer_retries++;
+    if (obs::Observability* o = plat_->obs()) o->count_fault("transfer_retry");
+    // Re-read from whichever device is authoritative by now; for an
+    // eviction flush the replica is already invalid (the bytes only live
+    // in its buffer), so retry against the original source.
+    const int nsrc = h->dirty_device();
+    flush_from_device(h, nsrc >= 0 ? nsrc : src,
+                      nsrc >= 0 ? false : drop_buffer);
+  });
+}
+
+void DataManager::on_device_failure(
+    int g, const std::vector<mem::DataHandle*>& handles,
+    const std::function<bool(mem::DataHandle*, std::string&)>& replay) {
+  const int n = plat_->num_gpus();
+  std::vector<std::pair<mem::DataHandle*, bool>> lost;  // (handle, was_dirty)
+  std::vector<mem::DataHandle*> flush_aborted;
+
+  // Pass 1: cancel everything touching g and purge its replicas, so no
+  // later source choice (including the ones replays will trigger) can see
+  // the dead device's state.
+  for (mem::DataHandle* h : handles) {
+    mem::Replica& r = h->dev[g];
+    if (r.state == mem::ReplicaState::kInFlight) {
+      // The reception *into* g: detach it from whatever was feeding it.
+      if (r.fetch_waiting && r.fetch_src >= 0) {
+        auto& cd = h->dev[r.fetch_src].chained_dsts;
+        cd.erase(std::remove(cd.begin(), cd.end(), g), cd.end());
+        if (!plat_->device_failed(r.fetch_src)) unpin(h, r.fetch_src);
+      } else if (r.fetch_waiting && r.fetch_src == mem::kFetchHost) {
+        auto& cd = h->host.chained_dsts;
+        cd.erase(std::remove(cd.begin(), cd.end(), g), cd.end());
+      } else if (r.fetch_src >= 0 || r.fetch_src == mem::kFetchHost) {
+        // An actual copy toward g is airborne: abort it.
+        stats_.transfer_aborts++;
+        if (check::Checker* c = plat_->checker())
+          c->on_transfer_abort(r.fetch_src >= 0 ? check::TransferKind::kD2D
+                                                : check::TransferKind::kH2D,
+                               h, r.fetch_src, g, 0, 0);
+        if (obs::Observability* o = plat_->obs()) {
+          std::ostringstream os;
+          os << (r.fetch_src >= 0 ? "d2d" : "h2d") << " tile " << h->id
+             << " " << endpoint_name(r.fetch_src) << "->gpu" << g
+             << " cancelled: destination died";
+          o->on_fault_mark(plat_->engine().now(), "transfer_abort", os.str());
+        }
+        if (r.fetch_src >= 0 && !plat_->device_failed(r.fetch_src))
+          unpin(h, r.fetch_src);
+      }
+    }
+    // A host flush reading from g dies with it.
+    if (h->host.state == mem::ReplicaState::kInFlight &&
+        h->host.fetch_src == g) {
+      stats_.transfer_aborts++;
+      if (check::Checker* c = plat_->checker())
+        c->on_transfer_abort(check::TransferKind::kD2H, h, g, -1, 0, 0);
+      if (obs::Observability* o = plat_->obs()) {
+        std::ostringstream os;
+        os << "d2h tile " << h->id << " gpu" << g
+           << "->host cancelled: source died";
+        o->on_fault_mark(plat_->engine().now(), "transfer_abort", os.str());
+      }
+      h->host.fetch_gen++;
+      h->host.fetch_src = mem::kFetchIdle;
+      flush_aborted.push_back(h);
+    }
+    // Purge the replica itself.
+    const bool was_valid = r.state == mem::ReplicaState::kValid;
+    const bool was_dirty = r.dirty;
+    if (r.resident) {
+      plat_->cache(g).set_dirty(h, false);
+      plat_->cache(g).release(h);
+      if (!h->dev_buf.empty()) {
+        h->dev_buf[g].clear();
+        h->dev_buf[g].shrink_to_fit();
+      }
+    }
+    r.state = mem::ReplicaState::kInvalid;
+    r.pins = 0;
+    r.waiters.clear();
+    r.chained_dsts.clear();  // dependents re-plan in pass 3
+    r.fetch_gen++;  // cancel any airborne copy toward g
+    r.fetch_src = mem::kFetchIdle;
+    r.fetch_waiting = false;
+    r.fetch_attempts = 0;
+    r.eta = 0.0;
+    if (was_valid) {
+      if (check::Checker* c = plat_->checker())
+        c->on_replica_lost(h, g, was_dirty);
+      if (obs::Observability* o = plat_->obs())
+        o->count_fault("replica_lost");
+      if (was_dirty) lost.emplace_back(h, true);
+    }
+  }
+
+  // Pass 2: recover lost dirty data -- promote a surviving current copy,
+  // or arrange a producer replay.  Every needs-replay handle is registered
+  // before any replay task is actually submitted (the runtime defers the
+  // submissions until this call returns), so their operand fetches park
+  // instead of tripping the no-copy diagnostic.
+  for (auto& [h, was_dirty] : lost) {
+    int survivor = -1;
+    for (int d = 0; d < n; ++d)
+      if (d != g && !plat_->device_failed(d) &&
+          h->dev[d].state == mem::ReplicaState::kValid) {
+        survivor = d;
+        break;
+      }
+    if (survivor >= 0) {
+      plat_->cache(survivor).set_dirty(h, true);
+      if (check::Checker* c = plat_->checker()) c->on_promote(h, survivor);
+      if (obs::Observability* o = plat_->obs()) o->count_fault("promote");
+      continue;
+    }
+    if (replay_pending_.count(h)) continue;
+    std::string reason = "no producer recorded";
+    if (replay && replay(h, reason)) {
+      replay_pending_.insert(h);
+      continue;
+    }
+    std::ostringstream os;
+    os << "gpu" << g << " died holding the only copy of tile " << h->id
+       << " (version " << h->version << ") and its producer cannot be"
+       << " replayed: " << reason;
+    throw fault::UnrecoverableDataLoss(os.str());
+  }
+  // Aborted flushes: resume from a surviving authoritative copy, or fall
+  // back to replaying the producer (an eviction flush may have carried the
+  // last copy of the bytes).
+  for (mem::DataHandle* h : flush_aborted) {
+    if (h->host.state != mem::ReplicaState::kInFlight ||
+        h->host.fetch_src != mem::kFetchIdle)
+      continue;  // already resumed
+    const int nsrc = h->dirty_device();
+    if (nsrc >= 0 && !plat_->device_failed(nsrc)) {
+      flush_from_device(h, nsrc, /*drop_buffer=*/false);
+      continue;
+    }
+    if (replay_pending_.count(h)) continue;  // mark_written re-flushes
+    std::string reason = "no producer recorded";
+    if (replay && replay(h, reason)) {
+      replay_pending_.insert(h);
+      continue;
+    }
+    std::ostringstream os;
+    os << "gpu" << g << " died while flushing the only copy of tile "
+       << h->id << " (version " << h->version
+       << ") to the host and its producer cannot be replayed: " << reason;
+    throw fault::UnrecoverableDataLoss(os.str());
+  }
+
+  // Pass 3: re-plan every live reception that was fed by g -- actual
+  // copies out of g (aborted above via the generation bump) and chains
+  // registered on its arrivals.
+  for (mem::DataHandle* h : handles) {
+    for (int d = 0; d < n; ++d) {
+      if (d == g || plat_->device_failed(d)) continue;
+      mem::Replica& rd = h->dev[d];
+      if (rd.state != mem::ReplicaState::kInFlight || rd.fetch_src != g)
+        continue;
+      if (!rd.fetch_waiting) {
+        // The copy g->d was airborne; its completion is now a dead DMA.
+        stats_.transfer_aborts++;
+        if (check::Checker* c = plat_->checker())
+          c->on_transfer_abort(check::TransferKind::kD2D, h, g, d, 0, 0);
+        if (obs::Observability* o = plat_->obs()) {
+          std::ostringstream os;
+          os << "d2d tile " << h->id << " gpu" << g << "->gpu" << d
+             << " cancelled: source died";
+          o->on_fault_mark(plat_->engine().now(), "transfer_abort", os.str());
+        }
+      } else {
+        // A waiter chained on g's pending arrival: the wait can never be
+        // satisfied, so the re-plan below picks a surviving source.
+        stats_.waiter_replans++;
+        if (obs::Observability* o = plat_->obs())
+          o->count_fault("waiter_replan");
+      }
+      replan_fetch(h, d);
+    }
+  }
 }
 
 }  // namespace xkb::rt

@@ -24,9 +24,22 @@
 //
 // Everything else here is the XKaapi software-cache mechanics: MSI-like
 // validity, lazy host coherency, eviction flushes, pinning.
+//
+// Fault recovery (xkb::fault) threads through the same machinery: every
+// transfer completion is guarded by the replica's `fetch_gen`, so an
+// aborted or superseded copy is a no-op when its callback finally runs;
+// transient failures re-plan the fetch after a capped exponential backoff
+// in virtual time; and `on_device_failure` purges a dead GPU's replicas,
+// promotes a surviving copy of lost dirty data (or asks the runtime to
+// replay the producer), and re-plans every in-flight reception that was
+// sourced from -- or chained on -- the dead device.
 #pragma once
 
 #include <cstddef>
+#include <functional>
+#include <string>
+#include <unordered_set>
+#include <vector>
 
 #include "mem/registry.hpp"
 #include "runtime/platform.hpp"
@@ -73,6 +86,15 @@ struct TransferStats {
   std::size_t forced_waits = 0;
   std::size_t evict_flushes = 0;
   std::size_t oom_deferrals = 0;  ///< acquisitions deferred under pressure
+  /// Transfers that died in flight: injected transient failures plus copies
+  /// cancelled because an endpoint device failed.
+  std::size_t transfer_aborts = 0;
+  /// Fetches re-issued after a transient failure's backoff elapsed.
+  std::size_t transfer_retries = 0;
+  /// Optimistic/forced waiters whose awaited source device failed while
+  /// their chained reception was pending: each was re-planned to a
+  /// surviving source (or the host) instead of deadlocking.
+  std::size_t waiter_replans = 0;
 };
 
 class DataManager {
@@ -107,9 +129,29 @@ class DataManager {
   /// 2D block-cyclic distribution routine).  Does not pin.
   void prefetch(mem::DataHandle* h, int dev, sim::Callback done);
 
+  /// Device-failure recovery, called by the runtime after the topology
+  /// blacklisted `g`.  For every handle (in `handles` order, so the walk is
+  /// deterministic): abort an active host flush sourced at `g`, cancel the
+  /// reception into `g`, purge `g`'s replica, promote a surviving copy of a
+  /// lost dirty replica -- or ask `replay(h, reason)` to resubmit the
+  /// producer, parking dependent fetches until its mark_written -- and
+  /// re-plan every live reception that was sourced from `g`.  Throws
+  /// UnrecoverableDataLoss when the last copy of a current version died and
+  /// the producer is not replayable (`reason` says why).
+  void on_device_failure(int g, const std::vector<mem::DataHandle*>& handles,
+                         const std::function<bool(mem::DataHandle*,
+                                                  std::string&)>& replay);
+
+  /// True while `h`'s current version is gone and a producer replay is in
+  /// flight; fetches of `h` park (Replica::fetch_src == kFetchParked) until
+  /// the replay's mark_written re-plans them.
+  bool replay_pending(const mem::DataHandle* h) const {
+    return replay_pending_.count(h) != 0;
+  }
+
  private:
   struct Source {
-    enum Kind { kHost, kDevice, kWaitDevice, kWaitHost } kind = kHost;
+    enum Kind { kHost, kDevice, kWaitDevice, kWaitHost, kNone } kind = kHost;
     int dev = -1;
     /// kWaitDevice only: true when the wait is forced (the in-flight copy is
     /// the only one anywhere) rather than chosen by the optimistic heuristic.
@@ -120,6 +162,27 @@ class DataManager {
 
   void acquire_write(mem::DataHandle* h, int dev, sim::Callback done);
   void ensure_valid(mem::DataHandle* h, int dev, sim::Callback done);
+  /// Source selection + issue for a replica already in kInFlight: runs
+  /// choose_source (with the destination masked out, so a re-plan never
+  /// picks itself), emits the decision to obs/check, and issues the copy
+  /// or registers the chain.  kNone parks the fetch when a producer replay
+  /// is pending, else raises UnrecoverableDataLoss.
+  void plan_fetch(mem::DataHandle* h, int dev);
+  /// Cancel whatever fetch `dev`'s in-flight replica was waiting on (bumps
+  /// fetch_gen) and plan a fresh one.  No-op unless the replica is
+  /// kInFlight and not parked-for-replay.
+  void replan_fetch(mem::DataHandle* h, int dev);
+  /// A transfer into `dev` died in flight: count the abort, cap-check the
+  /// retry budget, and schedule the gen-guarded re-plan after backoff.
+  void reception_failed(mem::DataHandle* h, int src, int dst);
+  /// A host flush from `src` died in flight: like reception_failed for the
+  /// host copy; the retry re-reads from whichever device is dirty by then.
+  void flush_failed(mem::DataHandle* h, int src, bool drop_buffer);
+  /// Walk the wait-chain feeding the in-flight reception at `dev`: true
+  /// iff it terminates in an actual transfer from the host or a live
+  /// device.  Chaining on an unfed reception (parked, or sourced from a
+  /// failed GPU) would deadlock or cycle.
+  bool reception_fed(const mem::DataHandle& h, int dev) const;
   void reserve_with_flushes(mem::DataHandle* h, int dev);
   void issue_h2d(mem::DataHandle* h, int dst);
   /// `chained` marks the forwarding leg of a kWaitDevice wait (issued by a
@@ -142,6 +205,10 @@ class DataManager {
   HeuristicConfig cfg_;
   TransferStats stats_;
   std::size_t consecutive_oom_ = 0;
+  /// Handles whose current version died with a GPU and whose producer is
+  /// being replayed; mark_written clears the entry and re-plans parked
+  /// fetches.
+  std::unordered_set<const mem::DataHandle*> replay_pending_;
 };
 
 }  // namespace xkb::rt

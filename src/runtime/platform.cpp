@@ -3,6 +3,7 @@
 #include <cassert>
 #include <limits>
 
+#include "fault/injector.hpp"
 #include "obs/critical_path.hpp"
 #include "obs/obs.hpp"
 
@@ -86,6 +87,60 @@ void Platform::set_obs(obs::Observability* o) {
   host_worker_->set_probe(
       o ? o->make_link_probe("host", "host", obs::LinkDir::kHost, -1, -1)
         : nullptr);
+}
+
+void Platform::set_fault(fault::Injector* f) {
+  fault_ = f;
+  if (!f) return;
+  fault::Injector::Hooks hooks;
+  hooks.brownout = [this](int a, int b, double frac) {
+    apply_link_brownout(a, b, frac);
+  };
+  hooks.restore = [this](int a, int b) { apply_link_heal(a, b); };
+  hooks.link_down = [this](int a, int b) { apply_link_down(a, b); };
+  f->bind(std::move(hooks));
+}
+
+void Platform::sync_link_bandwidth(int a, int b) {
+  const int n = topo_.num_gpus();
+  if (auto* ch = p2p_[static_cast<std::size_t>(a) * n + b].get())
+    ch->set_bandwidth(topo_.gpu_bandwidth_gbps(a, b) * kGB);
+  if (auto* ch = p2p_[static_cast<std::size_t>(b) * n + a].get())
+    ch->set_bandwidth(topo_.gpu_bandwidth_gbps(b, a) * kGB);
+}
+
+void Platform::apply_link_brownout(int a, int b, double fraction) {
+  topo_.scale_link_bandwidth(a, b, fraction);
+  sync_link_bandwidth(a, b);
+  if (obs_)
+    obs_->on_fault_mark(engine_.now(), "brownout",
+                        "link " + std::to_string(a) + "-" + std::to_string(b) +
+                            " at " + std::to_string(fraction) + "x nominal");
+}
+
+void Platform::apply_link_heal(int a, int b) {
+  topo_.restore_link(a, b);
+  sync_link_bandwidth(a, b);
+  if (obs_)
+    obs_->on_fault_mark(engine_.now(), "link_heal",
+                        "link " + std::to_string(a) + "-" + std::to_string(b) +
+                            " restored to nominal");
+}
+
+void Platform::apply_link_down(int a, int b) {
+  const topo::LinkClass c = topo_.demote_link(a, b);
+  sync_link_bandwidth(a, b);
+  if (obs_)
+    obs_->on_fault_mark(engine_.now(), "link_down",
+                        "link " + std::to_string(a) + "-" + std::to_string(b) +
+                            " demoted to " + topo::to_string(c));
+}
+
+void Platform::apply_device_failure(int g) {
+  topo_.set_device_failed(g);
+  if (obs_)
+    obs_->on_fault_mark(engine_.now(), "device_fail",
+                        "GPU " + std::to_string(g) + " failed");
 }
 
 sim::Interval Platform::copy_h2d(int dev, std::size_t bytes,

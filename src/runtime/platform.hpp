@@ -32,6 +32,10 @@ namespace xkb::obs {
 class Observability;
 }
 
+namespace xkb::fault {
+class Injector;
+}
+
 namespace xkb::rt {
 
 struct PlatformOptions {
@@ -67,6 +71,27 @@ class Platform {
   /// (it caches registry series pointers); null detaches all probes.
   void set_obs(obs::Observability* o);
   obs::Observability* obs() const { return obs_; }
+
+  /// Attach the fault injector (owned by the caller, like obs): binds the
+  /// platform-side link hooks so plan events can mutate the live topology
+  /// and channels.  Must run before the Runtime is constructed -- the
+  /// Runtime binds the device-failure hook and arms the plan.  The
+  /// DataManager reaches the injector through here; null when disabled.
+  void set_fault(fault::Injector* f);
+  fault::Injector* fault() const { return fault_; }
+
+  // Fault application (invoked by the injector's silent plan events and,
+  // for device failure, by the Runtime after draining).  Each mutates the
+  // dynamic topology state *and* mirrors the new bandwidth onto the live
+  // channels, so both the heuristics' rank view and the DES cost model
+  // shift at the same virtual instant.
+  void apply_link_brownout(int a, int b, double fraction);
+  void apply_link_heal(int a, int b);
+  void apply_link_down(int a, int b);
+  void apply_device_failure(int g);
+
+  bool device_failed(int g) const { return topo_.device_failed(g); }
+  int num_alive_gpus() const { return topo_.num_alive_gpus(); }
 
   /// Host -> device copy over the GPU's (possibly shared) host link.
   sim::Interval copy_h2d(int dev, std::size_t bytes, sim::Callback done);
@@ -107,6 +132,9 @@ class Platform {
   std::vector<std::unique_ptr<mem::DeviceCache>> caches_;
   check::Checker* checker_ = nullptr;
   obs::Observability* obs_ = nullptr;
+  fault::Injector* fault_ = nullptr;
+
+  void sync_link_bandwidth(int a, int b);
 };
 
 }  // namespace xkb::rt

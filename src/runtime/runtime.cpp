@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <sstream>
+#include <stdexcept>
+#include <string>
 
+#include "fault/injector.hpp"
 #include "obs/obs.hpp"
 
 namespace xkb::rt {
@@ -30,6 +34,24 @@ check::Policy mirror(SourcePolicy p) {
 
 }  // namespace
 
+void RuntimeOptions::validate() const {
+  if (prepare_window <= 0)
+    throw std::invalid_argument(
+        "RuntimeOptions::prepare_window must be >= 1 (got " +
+        std::to_string(prepare_window) +
+        "): a non-positive window never starts preparing any task");
+  if (steal_min_victim < 1)
+    throw std::invalid_argument(
+        "RuntimeOptions::steal_min_victim must be >= 1 (got " +
+        std::to_string(steal_min_victim) +
+        "): a victim cannot be robbed of tasks it does not have");
+  if (!(task_overhead >= 0.0))
+    throw std::invalid_argument(
+        "RuntimeOptions::task_overhead must be a non-negative number of"
+        " seconds (got " +
+        std::to_string(task_overhead) + ")");
+}
+
 Runtime::Runtime(Platform& plat, std::unique_ptr<Scheduler> sched,
                  RuntimeOptions opt)
     : plat_(&plat),
@@ -38,6 +60,7 @@ Runtime::Runtime(Platform& plat, std::unique_ptr<Scheduler> sched,
       registry_(plat.num_gpus()),
       dm_(plat, opt.heuristics),
       devs_(plat.num_gpus()) {
+  opt_.validate();  // before any observer is registered on the engine
   if (opt_.check.enabled) {
     checker_ = std::make_unique<check::Checker>(
         opt_.check, plat.num_gpus(), plat.options().kernel_streams,
@@ -52,6 +75,16 @@ Runtime::Runtime(Platform& plat, std::unique_ptr<Scheduler> sched,
     ready_series_.reserve(static_cast<std::size_t>(plat.num_gpus()));
     for (int g = 0; g < plat.num_gpus(); ++g)
       ready_series_.push_back(o->ready_series(g));
+  }
+  if (fault::Injector* f = plat_->fault()) {
+    fault::Injector::Hooks hk;
+    hk.device_fail = [this](int g) { on_device_failure(g); };
+    f->bind(std::move(hk));
+    f->arm(plat_->engine(), plat.num_gpus());
+    watchdog_ = std::make_unique<sim::Watchdog>(
+        plat_->engine(), sim::Watchdog::Options{},
+        [this] { return static_cast<std::uint64_t>(submitted_ - completed_); },
+        [this](std::uint64_t pending) { on_stuck(pending); });
   }
 }
 
@@ -113,7 +146,50 @@ void Runtime::submit(TaskDesc desc) {
     for (Task* p : preds) pred_ids.push_back(p->id);
     checker_->on_submit(t->id, t->desc.label, acc, std::move(pred_ids));
   }
+  if (watchdog_) watchdog_->ensure_armed();
   if (t->pending_deps == 0) on_ready(t);
+}
+
+Task* Runtime::submit_replay(TaskDesc desc, mem::DataHandle* out) {
+  tasks_.push_back(std::make_unique<Task>(std::move(desc)));
+  Task* t = tasks_.back().get();
+  t->id = next_id_++;
+  ++submitted_;
+
+  std::vector<Task*> preds;
+  for (const TaskAccess& a : t->desc.accesses) {
+    HandleSeq& hs = seq_[a.handle];
+    if (a.handle == out && a.mode != Access::kR) {
+      // Regenerating the lost version in place: pending readers are parked
+      // on the *data* (they re-plan off this write's mark_written), not
+      // ordered before it -- writer-after-reader edges here would deadlock,
+      // since those readers are waiting for this very write.
+      hs.version_writer = nullptr;  // stale until the replay completes
+      if (!hs.last_writer || hs.last_writer->done) hs.last_writer = t;
+      continue;
+    }
+    if (hs.last_writer && !hs.last_writer->done) preds.push_back(hs.last_writer);
+    hs.readers.push_back(t);
+  }
+  std::sort(preds.begin(), preds.end());
+  preds.erase(std::unique(preds.begin(), preds.end()), preds.end());
+  for (Task* p : preds) {
+    p->successors.push_back(t);
+    ++t->pending_deps;
+  }
+  if (checker_) {
+    std::vector<std::pair<const mem::DataHandle*, check::Mode>> acc;
+    acc.reserve(t->desc.accesses.size());
+    for (const TaskAccess& a : t->desc.accesses)
+      acc.emplace_back(a.handle, mirror(a.mode));
+    std::vector<std::uint64_t> pred_ids;
+    pred_ids.reserve(preds.size());
+    for (Task* p : preds) pred_ids.push_back(p->id);
+    checker_->on_submit(t->id, t->desc.label, acc, std::move(pred_ids));
+  }
+  if (watchdog_) watchdog_->ensure_armed();
+  if (t->pending_deps == 0) on_ready(t);
+  return t;
 }
 
 void Runtime::coherent_async(mem::DataHandle* h) {
@@ -129,9 +205,10 @@ void Runtime::on_ready(Task* t) {
     run_host_task(t);
     return;
   }
-  const int dev = t->desc.forced_device >= 0 ? t->desc.forced_device
-                                             : sched_->place(*t, *this);
-  assert(dev >= 0 && dev < num_gpus());
+  int dev = t->desc.forced_device;
+  if (dev >= 0 && plat_->device_failed(dev)) dev = -1;  // owner died: re-place
+  if (dev < 0) dev = sched_->place(*t, *this);
+  assert(dev >= 0 && dev < num_gpus() && !plat_->device_failed(dev));
   t->device = dev;
   devs_[dev].assigned.push_back(t);
   fill_all();
@@ -148,6 +225,7 @@ void Runtime::fill_all() {
 }
 
 void Runtime::fill(int dev) {
+  if (plat_->device_failed(dev)) return;
   DevState& ds = devs_[dev];
   while (ds.preparing < opt_.prepare_window) {
     Task* t = nullptr;
@@ -166,7 +244,7 @@ Task* Runtime::steal_for(int thief) {
   int victim = -1;
   std::size_t most = static_cast<std::size_t>(opt_.steal_min_victim);
   for (int g = 0; g < num_gpus(); ++g) {
-    if (g == thief) continue;
+    if (g == thief || plat_->device_failed(g)) continue;
     if (devs_[g].assigned.size() >= most) {
       most = devs_[g].assigned.size();
       victim = g;
@@ -208,7 +286,11 @@ void Runtime::start_prepare(Task* t, int dev) {
     return;
   }
   for (const TaskAccess& a : t->desc.accesses) {
-    dm_.acquire(a.handle, dev, a.mode, [this, t] {
+    // The epoch guard cancels acquisitions of executions that were migrated
+    // off a failed device: a stale arrival must not tick the re-execution's
+    // operand count.
+    dm_.acquire(a.handle, dev, a.mode, [this, t, e = t->epoch] {
+      if (t->epoch != e || t->done) return;
       if (--t->operands_missing == 0) on_operands_ready(t);
     });
   }
@@ -227,7 +309,11 @@ void Runtime::on_operands_ready(Task* t) {
                            t->desc.single_precision);
     int lane = 0;
     auto iv = plat_->launch_kernel(dev, sec, t->desc.flops, t->desc.label,
-                                   [this, t] { on_kernel_done(t); }, &lane);
+                                   [this, t, e = t->epoch] {
+                                     if (t->epoch != e) return;  // migrated
+                                     on_kernel_done(t);
+                                   },
+                                   &lane);
     if (checker_) checker_->on_kernel_issue(t->id, dev, lane, iv.start, iv.end);
   }
   fill_all();
@@ -242,6 +328,14 @@ void Runtime::on_kernel_done(Task* t) {
   if (checker_) checker_->on_task_finish(t->id, dev, plat_->engine().now());
   for (const TaskAccess& a : t->desc.accesses)
     if (a.mode != Access::kR) dm_.mark_written(a.handle, dev);
+  // Replay bookkeeping: remember what this task produced and what versions
+  // it consumed (a replay is only sound while its inputs are unchanged).
+  t->access_versions.clear();
+  t->access_versions.reserve(t->desc.accesses.size());
+  for (const TaskAccess& a : t->desc.accesses)
+    t->access_versions.push_back(a.handle->version);
+  for (const TaskAccess& a : t->desc.accesses)
+    if (a.mode != Access::kR) seq_[a.handle].version_writer = t;
   for (const TaskAccess& a : t->desc.accesses) dm_.unpin(a.handle, dev);
   if (opt_.drop_inputs_after_use) {
     for (const TaskAccess& a : t->desc.accesses) {
@@ -304,6 +398,147 @@ void Runtime::complete(Task* t) {
   fill_all();
 }
 
+void Runtime::on_device_failure(int g) {
+  if (plat_->device_failed(g)) return;  // idempotent
+  if (plat_->num_alive_gpus() <= 1)
+    throw fault::FaultError("device-fail of gpu" + std::to_string(g) +
+                            ": no surviving GPU to recover onto");
+  plat_->apply_device_failure(g);  // topology blacklist + obs fault mark
+  if (checker_) checker_->on_device_failure(g);
+
+  // Detach g's queued work before replica recovery: the re-planned fetches
+  // and replay submissions below must never land on its queues.
+  std::deque<Task*> queued = std::move(devs_[g].assigned);
+  devs_[g].assigned.clear();
+  std::vector<Task*> inflight;
+  for (const auto& up : tasks_) {
+    Task* t = up.get();
+    if (!t->done && t->prepared && !t->desc.host_task && t->device == g)
+      inflight.push_back(t);
+  }
+  devs_[g].preparing = 0;
+
+  // Replica recovery.  The callback only *validates* producer replays and
+  // queues their descriptions; actual submission happens after the scan, so
+  // every needs-replay handle is registered before any replay task starts
+  // fetching operands (which may themselves be lost tiles that park).
+  pending_replays_.clear();
+  dm_.on_device_failure(g, registry_.all(),
+                        [this](mem::DataHandle* h, std::string& reason) {
+                          return replay_producer(h, reason);
+                        });
+  auto replays = std::move(pending_replays_);
+  pending_replays_.clear();
+  for (auto& [desc, out] : replays) {
+    Task* nt = submit_replay(std::move(desc), out);
+    ++replays_;
+    if (checker_) checker_->on_replay(out, nt->id);
+    if (obs::Observability* o = plat_->obs()) o->count_fault("replay");
+  }
+
+  // Migrate in-flight executions: the epoch bump turns their outstanding
+  // operand-arrival and kernel-completion callbacks into dead letters, and
+  // the task restarts preparation on a live device (at the front of its
+  // queue: it already burned window budget once).
+  for (Task* t : inflight) {
+    t->epoch++;
+    t->prepared = false;
+    t->operands_missing = 0;
+    const int nd = pick_alive_device(t);
+    if (checker_) checker_->on_task_remap(t->id, g, nd);
+    if (obs::Observability* o = plat_->obs()) o->count_fault("task_remap");
+    ++remaps_;
+    t->device = nd;
+    devs_[nd].assigned.push_front(t);
+  }
+  // Queued (never-started) tasks just re-place.
+  for (Task* t : queued) {
+    const int nd = pick_alive_device(t);
+    t->device = nd;
+    devs_[nd].assigned.push_back(t);
+  }
+  if (watchdog_) watchdog_->ensure_armed();
+  fill_all();
+}
+
+bool Runtime::replay_producer(mem::DataHandle* h, std::string& reason) {
+  auto it = seq_.find(h);
+  Task* p = it != seq_.end() ? it->second.version_writer : nullptr;
+  if (!p) {
+    reason = "no completed producer is recorded for the current version";
+    return false;
+  }
+  if (!p->done) return true;  // its in-flight re-execution rewrites the tile
+  int writes = 0;
+  for (std::size_t i = 0; i < p->desc.accesses.size(); ++i) {
+    const TaskAccess& a = p->desc.accesses[i];
+    if (a.mode == Access::kRW) {
+      reason = "producer '" + p->desc.label + "' (task " +
+               std::to_string(p->id) +
+               ") updates the tile in place: its pre-image died with the"
+               " replica";
+      return false;
+    }
+    if (a.mode == Access::kW) ++writes;
+    if (a.mode == Access::kR && i < p->access_versions.size() &&
+        a.handle->version != p->access_versions[i]) {
+      reason = "input tile " + std::to_string(a.handle->id) +
+               " of producer '" + p->desc.label +
+               "' was overwritten after it ran (version " +
+               std::to_string(a.handle->version) + ", consumed " +
+               std::to_string(p->access_versions[i]) + ")";
+      return false;
+    }
+  }
+  if (writes != 1) {
+    reason = "producer '" + p->desc.label + "' writes " +
+             std::to_string(writes) +
+             " tiles: a multi-output replay would clobber live data";
+    return false;
+  }
+  TaskDesc d = p->desc;
+  d.label += "+replay";
+  d.forced_device = -1;  // the original owner may be the dead device
+  d.on_complete = {};    // bookkeeping already ran on the original completion
+  pending_replays_.emplace_back(std::move(d), h);
+  return true;
+}
+
+int Runtime::pick_alive_device(Task* t) {
+  int nd = t->desc.forced_device;
+  if (nd < 0 || plat_->device_failed(nd)) nd = sched_->place(*t, *this);
+  if (nd < 0 || nd >= num_gpus() || plat_->device_failed(nd)) {
+    nd = -1;
+    for (int d = 0; d < num_gpus(); ++d)
+      if (!plat_->device_failed(d)) {
+        nd = d;
+        break;
+      }
+  }
+  assert(nd >= 0 && "no alive device to place on");
+  return nd;
+}
+
+void Runtime::on_stuck(std::uint64_t pending) {
+  std::ostringstream os;
+  os << "no observable progress while " << pending
+     << " tasks are outstanding; first stuck tasks:";
+  int shown = 0;
+  for (const auto& up : tasks_) {
+    const Task* t = up.get();
+    if (t->done) continue;
+    if (++shown > 8) {
+      os << "\n  ...";
+      break;
+    }
+    os << "\n  task " << t->id << " '" << t->desc.label << "' dev "
+       << t->device << " deps=" << t->pending_deps
+       << " operands_missing=" << t->operands_missing
+       << (t->prepared ? " (preparing)" : "");
+  }
+  throw fault::StuckProgress(os.str());
+}
+
 double Runtime::run() {
   plat_->engine().run();
   if (checker_) {
@@ -314,13 +549,16 @@ double Runtime::run() {
     sv.d2d = ts.d2d;
     sv.optimistic_waits = ts.optimistic_waits;
     sv.forced_waits = ts.forced_waits;
+    sv.transfer_aborts = ts.transfer_aborts;
     sv.submitted = submitted_;
     sv.completed = completed_;
     checker_->finalize(sv);
   } else {
     assert(completed_ == submitted_ && "tasks stuck: dependency or data bug");
   }
-  return plat_->engine().now();
+  // Silent events (fault plans, watchdog ticks) may outlive the workload;
+  // the makespan is the instant of the last observable event.
+  return plat_->engine().last_observable_time();
 }
 
 }  // namespace xkb::rt

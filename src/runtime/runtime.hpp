@@ -24,6 +24,7 @@
 #include "runtime/platform.hpp"
 #include "runtime/scheduler.hpp"
 #include "runtime/task.hpp"
+#include "sim/watchdog.hpp"
 
 namespace xkb::obs {
 class Series;
@@ -55,6 +56,11 @@ struct RuntimeOptions {
   /// progress audit, event-stream hash).  Off by default: when disabled the
   /// run pays one null-pointer test per observation point.
   check::CheckConfig check;
+
+  /// Reject nonsensical configurations with an actionable message instead
+  /// of a hang or a silent misbehaviour deep in the run.  Called by the
+  /// Runtime constructor; throws std::invalid_argument.
+  void validate() const;
 };
 
 class Runtime {
@@ -77,9 +83,11 @@ class Runtime {
   /// (the paper's xkblas_memory_coherent_async).
   void coherent_async(mem::DataHandle* h);
 
-  /// Drain the simulation; returns the virtual completion time.  When a
-  /// checker is attached this also runs its end-of-run audit (counter
-  /// reconciliation, completion check, final protocol scan).
+  /// Drain the simulation; returns the virtual completion time (the instant
+  /// of the last *observable* event, so silent fault-plan or watchdog ticks
+  /// never stretch the measured makespan).  When a checker is attached this
+  /// also runs its end-of-run audit (counter reconciliation, completion
+  /// check, final protocol scan).
   double run();
 
   /// The validation layer, or nullptr when RuntimeOptions::check.enabled
@@ -93,6 +101,17 @@ class Runtime {
   std::size_t tasks_submitted() const { return submitted_; }
   std::size_t tasks_completed() const { return completed_; }
   std::size_t steals() const { return steals_; }
+  /// Not-yet-finished tasks migrated off a failed device.
+  std::size_t task_remaps() const { return remaps_; }
+  /// Producer tasks resubmitted to rebuild lost dirty tiles.
+  std::size_t task_replays() const { return replays_; }
+
+  /// Device-failure recovery entry point (bound to the fault injector's
+  /// device_fail hook; exposed for tests): blacklist `g` in the platform,
+  /// recover its replicas through the DataManager (promote survivors,
+  /// replay producers), migrate its queued and in-flight tasks to live
+  /// devices, and refill the prepare windows.
+  void on_device_failure(int g);
 
  private:
   struct DevState {
@@ -102,6 +121,10 @@ class Runtime {
   struct HandleSeq {
     Task* last_writer = nullptr;
     std::vector<Task*> readers;
+    /// The completed task whose write produced the handle's current
+    /// version -- the one a replay must re-execute (last_writer may be a
+    /// later, not-yet-run writer).
+    Task* version_writer = nullptr;
   };
 
   void on_ready(Task* t);
@@ -113,6 +136,19 @@ class Runtime {
   void on_kernel_done(Task* t);
   void complete(Task* t);
   void run_host_task(Task* t);
+
+  /// Validate that `h`'s lost current version can be rebuilt by re-running
+  /// its producer; on success queue the resubmission (flushed after the
+  /// DataManager's recovery scan finishes, so every needs-replay handle is
+  /// registered before any replay fetches operands).  On failure `reason`
+  /// explains why (kRW pre-image destroyed, inputs overwritten, ...).
+  bool replay_producer(mem::DataHandle* h, std::string& reason);
+  /// Submit a replayed producer, bypassing writer-after-reader edges on its
+  /// output: pending readers are data-parked on the regenerated version,
+  /// not ordered before it (ordering them first would deadlock).
+  Task* submit_replay(TaskDesc desc, mem::DataHandle* out);
+  int pick_alive_device(Task* t);
+  [[noreturn]] void on_stuck(std::uint64_t pending);
 
   Platform* plat_;
   std::unique_ptr<Scheduler> sched_;
@@ -130,7 +166,16 @@ class Runtime {
   std::size_t submitted_ = 0;
   std::size_t completed_ = 0;
   std::size_t steals_ = 0;
+  std::size_t remaps_ = 0;
+  std::size_t replays_ = 0;
   std::uint64_t next_id_ = 1;
+
+  /// Armed only when a fault injector is attached: silent ticks that turn a
+  /// drained-queue-with-outstanding-work bug into a StuckProgress throw.
+  std::unique_ptr<sim::Watchdog> watchdog_;
+  /// Producer resubmissions validated during a device-failure scan, flushed
+  /// once the DataManager's recovery pass returns.
+  std::vector<std::pair<TaskDesc, mem::DataHandle*>> pending_replays_;
 };
 
 }  // namespace xkb::rt

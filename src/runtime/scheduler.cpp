@@ -1,5 +1,6 @@
 #include "runtime/scheduler.hpp"
 
+#include <cassert>
 #include <limits>
 
 #include "runtime/runtime.hpp"
@@ -7,21 +8,30 @@
 namespace xkb::rt {
 
 int OwnerComputesScheduler::place(const Task& t, Runtime& rt) {
+  Platform& plat = rt.platform();
   // Owner-computes: run where the output tile lives.  The home (set by the
   // 2D block-cyclic default mapping or an explicit distribution) takes
   // precedence over the current dirty location so that a stolen task does
-  // not permanently migrate its whole dependency chain.
+  // not permanently migrate its whole dependency chain.  A failed device
+  // cannot be an owner any more: fall through to the next locator.
   for (const TaskAccess& a : t.desc.accesses) {
     if (a.mode == Access::kR) continue;
     const mem::DataHandle* h = a.handle;
-    if (h->home_device >= 0) return h->home_device;
+    if (h->home_device >= 0 && !plat.device_failed(h->home_device))
+      return h->home_device;
     const int dirty = h->dirty_device();
-    if (dirty >= 0) return dirty;
-    const auto valid = h->valid_devices();
-    if (!valid.empty()) return valid.front();
+    if (dirty >= 0 && !plat.device_failed(dirty)) return dirty;
+    for (int g : h->valid_devices())
+      if (!plat.device_failed(g)) return g;
   }
-  // No located output (e.g. first touch without a home): spread round-robin.
-  return static_cast<int>(rr_++ % rt.num_gpus());
+  // No located output (e.g. first touch without a home): spread round-robin
+  // over the surviving devices.
+  const int n = rt.num_gpus();
+  for (int i = 0; i < n; ++i) {
+    const int g = static_cast<int>(rr_++ % n);
+    if (!plat.device_failed(g)) return g;
+  }
+  return 0;  // unreachable while at least one device is alive
 }
 
 int DmdasScheduler::place(const Task& t, Runtime& rt) {
@@ -35,9 +45,10 @@ int DmdasScheduler::place(const Task& t, Runtime& rt) {
       plat.perf().kernel_time(t.desc.flops, t.desc.min_dim, t.desc.eff_factor,
                               t.desc.single_precision);
 
-  int best = 0;
+  int best = -1;
   double best_cost = std::numeric_limits<double>::max();
   for (int g = 0; g < n; ++g) {
+    if (plat.device_failed(g)) continue;
     // Estimated cost of moving the operands this device is missing.
     double xfer = 0.0;
     for (const TaskAccess& a : t.desc.accesses) {
@@ -62,12 +73,18 @@ int DmdasScheduler::place(const Task& t, Runtime& rt) {
       best = g;
     }
   }
+  assert(best >= 0 && "dmdas: no alive device to place on");
   eta_[best] = best_cost;
   return best;
 }
 
 int RoundRobinScheduler::place(const Task&, Runtime& rt) {
-  return static_cast<int>(next_++ % rt.num_gpus());
+  const int n = rt.num_gpus();
+  for (int i = 0; i < n; ++i) {
+    const int g = static_cast<int>(next_++ % n);
+    if (!rt.platform().device_failed(g)) return g;
+  }
+  return 0;  // unreachable while at least one device is alive
 }
 
 }  // namespace xkb::rt

@@ -80,6 +80,17 @@ struct Task {
   int operands_missing = 0;
   bool prepared = false;   ///< operand acquisition started (no longer stealable)
   bool done = false;
+
+  /// Bumped when a device failure migrates the task mid-preparation or
+  /// mid-kernel: operand-acquisition and kernel-completion callbacks
+  /// capture the epoch they were issued under and no-op on mismatch, so a
+  /// cancelled execution cannot complete the re-executed task.
+  std::uint32_t epoch = 0;
+
+  /// Version of each operand at completion time (filled by the runtime when
+  /// the task finishes).  A producer replay is only sound while its inputs
+  /// are still at the versions it originally consumed.
+  std::vector<std::uint64_t> access_versions;
 };
 
 }  // namespace xkb::rt

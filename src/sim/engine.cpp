@@ -7,7 +7,25 @@ namespace xkb::sim {
 void Engine::schedule_at(Time t, Callback cb) {
   assert(t >= now_ && "cannot schedule into the past");
   if (t < now_) t = now_;  // release builds: clamp (see header contract)
-  queue_.push(Event{t, seq_++, std::move(cb)});
+  queue_.push(Event{t, seq_++, std::move(cb), /*observable=*/true});
+}
+
+void Engine::schedule_silent_at(Time t, Callback cb) {
+  assert(t >= now_ && "cannot schedule into the past");
+  if (t < now_) t = now_;
+  queue_.push(Event{t, seq_++, std::move(cb), /*observable=*/false});
+}
+
+void Engine::dispatch(Event ev) {
+  now_ = ev.t;
+  ++processed_;
+  if (ev.observable) {
+    ++observable_processed_;
+    last_observable_time_ = ev.t;
+    if (observer_) observer_(ev.t, observable_seq_);
+    ++observable_seq_;
+  }
+  ev.cb();
 }
 
 Time Engine::run() {
@@ -15,11 +33,15 @@ Time Engine::run() {
     // The callback may schedule new events, so move it out before popping.
     Event ev = std::move(const_cast<Event&>(queue_.top()));
     queue_.pop();
-    now_ = ev.t;
-    ++processed_;
-    if (observer_) observer_(ev.t, ev.seq);
-    ev.cb();
+    dispatch(std::move(ev));
   }
+  // The queue may have drained on a *silent* event (a watchdog tick or
+  // fault-plan trigger beyond the last completion).  Rewind to the
+  // observable frontier so that silent machinery leaves no trace once the
+  // queue is empty: work submitted for a subsequent phase resumes from the
+  // instant the previous phase observably ended, keeping multi-phase runs
+  // bit-identical to runs without any silent events.
+  now_ = last_observable_time_;
   return now_;
 }
 
@@ -27,10 +49,7 @@ Time Engine::run_until(Time deadline) {
   while (!queue_.empty() && queue_.top().t <= deadline) {
     Event ev = std::move(const_cast<Event&>(queue_.top()));
     queue_.pop();
-    now_ = ev.t;
-    ++processed_;
-    if (observer_) observer_(ev.t, ev.seq);
-    ev.cb();
+    dispatch(std::move(ev));
   }
   if (now_ < deadline && queue_.empty()) return now_;
   now_ = deadline > now_ ? deadline : now_;
@@ -42,6 +61,9 @@ void Engine::reset() {
   now_ = 0.0;
   seq_ = 0;
   processed_ = 0;
+  observable_seq_ = 0;
+  observable_processed_ = 0;
+  last_observable_time_ = 0.0;
 }
 
 }  // namespace xkb::sim

@@ -38,22 +38,49 @@ class Engine {
   /// Schedule `cb` to run `dt` seconds from now.
   void schedule_after(Time dt, Callback cb) { schedule_at(now_ + dt, std::move(cb)); }
 
-  /// Run events until the queue drains.  Returns the final virtual time.
+  /// Schedule a *silent* event: it executes like any other (ordered by
+  /// (time, global sequence)) but is invisible to the observer, does not
+  /// advance last_observable_time(), and does not consume an observable
+  /// ordinal.  Used by xkb::fault for fault-plan triggers and watchdog
+  /// ticks, so that a fault that ends up affecting nothing leaves the
+  /// observable event stream -- and therefore the xkb::check event-stream
+  /// hash -- bit-identical to a fault-free run.
+  void schedule_silent_at(Time t, Callback cb);
+  void schedule_silent_after(Time dt, Callback cb) {
+    schedule_silent_at(now_ + dt, std::move(cb));
+  }
+
+  /// Run events until the queue drains.  Returns the final virtual time,
+  /// which is the last *observable* instant: if the queue drained on a
+  /// trailing silent event (watchdog tick, fault trigger past the last
+  /// completion), the clock rewinds to the observable frontier so silent
+  /// machinery cannot delay work submitted for a subsequent phase.
   Time run();
 
   /// Run until the queue drains or virtual time would exceed `deadline`.
   Time run_until(Time deadline);
 
   std::uint64_t events_processed() const { return processed_; }
+
+  /// Count and timestamp of observable (non-silent) events only.  The
+  /// timestamp is the makespan as the workload experienced it: silent
+  /// bookkeeping (a watchdog tick beyond the last completion, a fault
+  /// trigger on an idle link) never inflates it.
+  std::uint64_t observable_processed() const { return observable_processed_; }
+  Time last_observable_time() const { return last_observable_time_; }
+
   bool empty() const { return queue_.empty(); }
 
   /// Reset the clock and drop all pending events (for back-to-back runs).
   /// Pending callbacks (and whatever they capture) are destroyed.
   void reset();
 
-  /// Observer invoked for every event, just before its callback runs, with
-  /// the event's (time, insertion sequence).  Used by xkb::check to hash
-  /// the event stream; at most one observer, empty to detach.
+  /// Observer invoked for every *observable* event, just before its
+  /// callback runs, with the event's (time, observable ordinal).  The
+  /// ordinal counts observable events only -- silent events still occupy a
+  /// slot in the global tie-break sequence, but the observer never sees a
+  /// gap, so the xkb::check event-stream hash is unperturbed by silent
+  /// machinery.  At most one observer, empty to detach.
   using Observer = std::function<void(Time, std::uint64_t)>;
   void set_observer(Observer obs) { observer_ = std::move(obs); }
 
@@ -62,6 +89,7 @@ class Engine {
     Time t;
     std::uint64_t seq;
     Callback cb;
+    bool observable;
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
@@ -70,10 +98,15 @@ class Engine {
     }
   };
 
+  void dispatch(Event ev);
+
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   Time now_ = 0.0;
   std::uint64_t seq_ = 0;
   std::uint64_t processed_ = 0;
+  std::uint64_t observable_seq_ = 0;
+  std::uint64_t observable_processed_ = 0;
+  Time last_observable_time_ = 0.0;
   Observer observer_;
 };
 

@@ -72,6 +72,14 @@ class Channel : public FifoResource {
   Interval transfer(std::size_t bytes, Callback on_done);
 
   double bandwidth() const { return bw_; }
+
+  /// Retarget the link's bandwidth (bytes/second).  Transfers submitted
+  /// after the call use the new rate; occupancy intervals already scheduled
+  /// keep their end times (a DMA in flight finishes at the speed it was
+  /// granted -- the brownout applies to what queues behind it).  Used by
+  /// xkb::fault for link brownouts and route demotion.
+  void set_bandwidth(double bytes_per_second) { bw_ = bytes_per_second; }
+
   std::size_t bytes_moved() const { return bytes_; }
 
  private:

@@ -1,0 +1,82 @@
+// Stuck-progress watchdog for the discrete-event engine.
+//
+// Fault recovery introduces, for the first time, code paths where a bug
+// could leave the runtime waiting forever on an arrival that was aborted
+// and never re-planned.  In a discrete-event simulator that does not hang
+// the process -- the queue simply drains with work outstanding -- but a
+// *self-re-arming* silent tick turns the failure mode back into something
+// diagnosable: if the workload reports outstanding work while no
+// observable event has been processed for `stuck_ticks` consecutive
+// ticks, the watchdog invokes `on_stuck` (which typically throws with a
+// stuck-task dump).  Ticks are silent engine events, so an armed watchdog
+// never perturbs the observable event stream, the xkb::check hash, or the
+// measured makespan.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/engine.hpp"
+
+namespace xkb::sim {
+
+class Watchdog {
+ public:
+  struct Options {
+    Time interval = 10e-3;  // virtual seconds between ticks
+    int stuck_ticks = 3;    // progress-free ticks before declaring stuck
+  };
+
+  /// `outstanding` reports how much work is still pending (0 = drained);
+  /// `on_stuck(outstanding)` is invoked once when stuckness is declared.
+  Watchdog(Engine& eng, Options opt, std::function<std::uint64_t()> outstanding,
+           std::function<void(std::uint64_t)> on_stuck)
+      : eng_(&eng),
+        opt_(opt),
+        outstanding_(std::move(outstanding)),
+        on_stuck_(std::move(on_stuck)) {}
+
+  /// Arm (idempotent).  The watchdog disarms itself when `outstanding`
+  /// reports 0 -- otherwise its own ticks would keep the queue alive
+  /// forever -- so callers re-arm whenever new work is submitted.
+  void ensure_armed() {
+    if (armed_) return;
+    armed_ = true;
+    quiet_ticks_ = 0;
+    last_observable_ = eng_->observable_processed();
+    eng_->schedule_silent_after(opt_.interval, [this] { tick(); });
+  }
+
+  bool armed() const { return armed_; }
+  std::uint64_t ticks() const { return ticks_; }
+
+ private:
+  void tick() {
+    ++ticks_;
+    const std::uint64_t pending = outstanding_();
+    if (pending == 0) {  // drained: stop re-arming, queue may empty
+      armed_ = false;
+      return;
+    }
+    const std::uint64_t seen = eng_->observable_processed();
+    quiet_ticks_ = (seen == last_observable_) ? quiet_ticks_ + 1 : 0;
+    last_observable_ = seen;
+    if (quiet_ticks_ >= opt_.stuck_ticks) {
+      armed_ = false;
+      on_stuck_(pending);
+      return;  // on_stuck may not throw; do not re-arm either way
+    }
+    eng_->schedule_silent_after(opt_.interval, [this] { tick(); });
+  }
+
+  Engine* eng_;
+  Options opt_;
+  std::function<std::uint64_t()> outstanding_;
+  std::function<void(std::uint64_t)> on_stuck_;
+  bool armed_ = false;
+  int quiet_ticks_ = 0;
+  std::uint64_t last_observable_ = 0;
+  std::uint64_t ticks_ = 0;
+};
+
+}  // namespace xkb::sim

@@ -46,6 +46,7 @@ double Topology::gpu_bandwidth_gbps(int src, int dst) const {
 }
 
 int Topology::p2p_perf_rank(int src, int dst) const {
+  if (device_failed(src) || device_failed(dst)) return 0;
   switch (link_class(src, dst)) {
     case LinkClass::kSelf: return 4;
     case LinkClass::kNVLink2: return 3;
@@ -65,6 +66,63 @@ std::vector<int> Topology::peers_by_rank(int dst) const {
     return p2p_perf_rank(a, dst) > p2p_perf_rank(b, dst);
   });
   return peers;
+}
+
+void Topology::snapshot_nominal() {
+  if (nominal_link_.empty()) {
+    nominal_link_ = link_;
+    nominal_bw_ = bw_gbps_;
+  }
+}
+
+LinkClass Topology::demote_link(int a, int b) {
+  assert(a != b && a >= 0 && b >= 0 && a < num_gpus_ && b < num_gpus_);
+  snapshot_nominal();
+  LinkClass next = link_[at(a, b)];
+  double bw = bw_gbps_[at(a, b)];
+  switch (link_[at(a, b)]) {
+    case LinkClass::kNVLink2:
+      // One of the two bonded lanes retires: half the nominal pair rate.
+      next = LinkClass::kNVLink1;
+      bw = nominal_bw_[at(a, b)] * 0.5;
+      break;
+    case LinkClass::kNVLink1:
+      next = LinkClass::kPCIeP2P;
+      bw = pcie_fallback_gbps_;
+      break;
+    case LinkClass::kPCIeP2P:  // the floor: the fabric route remains
+    case LinkClass::kSelf:
+    case LinkClass::kNone:
+      return link_[at(a, b)];
+  }
+  set_link(a, b, next, bw);
+  return next;
+}
+
+void Topology::scale_link_bandwidth(int a, int b, double fraction) {
+  assert(a != b && fraction > 0.0);
+  snapshot_nominal();
+  set_link(a, b, link_[at(a, b)], nominal_bw_[at(a, b)] * fraction);
+}
+
+void Topology::restore_link(int a, int b) {
+  assert(a != b);
+  if (nominal_link_.empty()) return;  // never mutated: nothing to heal
+  set_link(a, b, nominal_link_[at(a, b)], nominal_bw_[at(a, b)]);
+}
+
+void Topology::set_device_failed(int gpu) {
+  assert(gpu >= 0 && gpu < num_gpus_);
+  if (failed_.empty()) failed_.assign(static_cast<std::size_t>(num_gpus_), 0);
+  failed_[static_cast<std::size_t>(gpu)] = 1;
+}
+
+int Topology::num_alive_gpus() const {
+  if (failed_.empty()) return num_gpus_;
+  int n = 0;
+  for (int g = 0; g < num_gpus_; ++g)
+    if (!device_failed(g)) ++n;
+  return n;
 }
 
 Topology Topology::dgx1() {
@@ -95,6 +153,7 @@ Topology Topology::dgx1() {
 
 Topology Topology::pcie_only(int num_gpus) {
   Topology t("PCIe-only", num_gpus);
+  t.pcie_fallback_gbps_ = 12.0;
   for (int a = 0; a < num_gpus; ++a)
     for (int b = a + 1; b < num_gpus; ++b)
       t.set_link(a, b, LinkClass::kPCIeP2P, 12.0);

@@ -76,19 +76,58 @@ class Topology {
   /// excluding `dst` itself (helper for the topology-aware heuristic).
   std::vector<int> peers_by_rank(int dst) const;
 
+  // --- dynamic link state (xkb::fault) -------------------------------------
+  //
+  // A topology is immutable hardware description until a fault plan starts
+  // mutating it.  The first mutation snapshots the nominal link table so
+  // brownouts can be healed and demotions expressed as fractions of the
+  // machine's real capability.  Mutations re-shape `p2p_perf_rank` (and
+  // therefore `choose_source` / dmdas ETA estimates) immediately; the
+  // Platform mirrors the bandwidth changes onto the live sim::Channels.
+
+  /// Demote a P2P route one step down the paper's link hierarchy:
+  /// 2xNVLink -> 1xNVLink (half nominal bandwidth) -> PCIe fabric fallback.
+  /// PCIe is the floor -- total disconnection of a *device* is modelled by
+  /// set_device_failed, not by removing routes.  Returns the new class.
+  LinkClass demote_link(int a, int b);
+
+  /// Brownout: scale the link's bandwidth to `fraction` of nominal without
+  /// changing its class (lane error retraining throttles throughput before
+  /// the driver re-routes).  `restore_link` heals class and bandwidth.
+  void scale_link_bandwidth(int a, int b, double fraction);
+  void restore_link(int a, int b);
+
+  /// Blacklist a device: every route touching it reports p2p_perf_rank 0.
+  void set_device_failed(int gpu);
+  bool device_failed(int gpu) const {
+    return !failed_.empty() && failed_[static_cast<std::size_t>(gpu)] != 0;
+  }
+  int num_alive_gpus() const;
+
+  /// Bandwidth of the PCIe fabric a demoted route falls back to, GB/s.
+  double pcie_fallback_gbps() const { return pcie_fallback_gbps_; }
+
  private:
   Topology(std::string name, int n);
 
   void set_link(int a, int b, LinkClass c, double gbps);  // symmetric
+  void snapshot_nominal();
+  std::size_t at(int a, int b) const {
+    return static_cast<std::size_t>(a) * num_gpus_ + b;
+  }
 
   std::string name_;
   int num_gpus_ = 0;
   std::vector<LinkClass> link_;   // n*n
   std::vector<double> bw_gbps_;   // n*n
+  std::vector<LinkClass> nominal_link_;  // empty until first fault mutation
+  std::vector<double> nominal_bw_;
+  std::vector<char> failed_;      // empty until first device failure
   std::vector<int> host_link_of_;
   std::vector<double> host_bw_gbps_;
   int num_host_links_ = 0;
   double latency_s_ = 10e-6;
+  double pcie_fallback_gbps_ = 17.2;
 };
 
 }  // namespace xkb::topo

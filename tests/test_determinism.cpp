@@ -25,12 +25,14 @@ std::vector<Preset> presets() {
   };
 }
 
-BenchResult run_once(const rt::HeuristicConfig& heur, Blas3 routine) {
+BenchResult run_once(const rt::HeuristicConfig& heur, Blas3 routine,
+                     const fault::FaultPlan& plan = {}) {
   BenchConfig cfg;
   cfg.routine = routine;
   cfg.n = 8192;
   cfg.tile = 2048;
   cfg.check.enabled = true;
+  cfg.fault_plan = plan;
   auto model = make_xkblas(heur);
   BenchResult res = model->run(cfg);
   EXPECT_TRUE(res.supported);
@@ -69,6 +71,36 @@ TEST(Determinism, TrsmIsBitIdenticalAcrossRerunsForEveryPreset) {
     EXPECT_TRUE(a.check_ok) << p.name << ": " << a.check_report;
     expect_identical(a, b, p.name);
   }
+}
+
+// Faulted determinism: a seeded fault plan (targeted aborts + probabilistic
+// failures + a brownout) must reproduce the observable event stream bit for
+// bit across reruns -- the xkb::fault design invariant that makes every
+// chaos finding replayable from just (workload, plan).
+TEST(Determinism, SeededFaultPlanIsBitIdenticalAcrossReruns) {
+  const fault::FaultPlan plan = fault::FaultPlan::parse(
+      "seed 1234\n"
+      "fail-prob 0.03\n"
+      "brownout 0.002 0 1 0.2 0.01\n"
+      "xfail 0.001 any -1 -1\n"
+      "xfail 0.004 d2d -1 -1\n");
+  BenchResult a = run_once(rt::HeuristicConfig::xkblas(), Blas3::kGemm, plan);
+  BenchResult b = run_once(rt::HeuristicConfig::xkblas(), Blas3::kGemm, plan);
+  EXPECT_TRUE(a.check_ok) << a.check_report;
+  EXPECT_GT(a.transfers.transfer_aborts, 0u);  // the plan actually bit
+  expect_identical(a, b, "seeded-fault-plan");
+  EXPECT_EQ(a.transfers.transfer_aborts, b.transfers.transfer_aborts);
+  EXPECT_EQ(a.transfers.transfer_retries, b.transfers.transfer_retries);
+}
+
+// A different fault seed drives a different probabilistic failure stream,
+// so the hashes must differ -- otherwise the seed would be vacuous.
+TEST(Determinism, FaultSeedDistinguishesRuns) {
+  fault::FaultPlan p1 = fault::FaultPlan::parse("seed 1\nfail-prob 0.05\n");
+  fault::FaultPlan p2 = fault::FaultPlan::parse("seed 2\nfail-prob 0.05\n");
+  BenchResult a = run_once(rt::HeuristicConfig::xkblas(), Blas3::kGemm, p1);
+  BenchResult b = run_once(rt::HeuristicConfig::xkblas(), Blas3::kGemm, p2);
+  EXPECT_NE(a.event_hash, b.event_hash);
 }
 
 // Different presets drive different transfer schedules, so their event

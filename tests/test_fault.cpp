@@ -1,0 +1,436 @@
+// Tests of the xkb::fault layer: plan parsing, deterministic injection,
+// degraded-topology re-routing, transient-transfer retry, waiter
+// re-planning, device-failure recovery (remap / promote / replay), the
+// watchdog, and the two recovery-equivalence properties the design
+// promises:
+//
+//   1. a fault that heals before any transfer uses it leaves the observable
+//      event stream -- and therefore the xkb::check hash -- bit-identical
+//      to a fault-free run;
+//   2. a permanently demoted link produces the same makespan as running on
+//      a statically-degraded topology from the start.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/library_model.hpp"
+#include "fault/injector.hpp"
+#include "runtime/runtime.hpp"
+#include "sim/watchdog.hpp"
+
+namespace xkb::rt {
+namespace {
+
+// ---------------------------------------------------------------- plans --
+
+TEST(FaultPlan, TextFormatRoundTrips) {
+  const std::string text =
+      "seed 77\n"
+      "fail-prob 0.125\n"
+      "brownout 0.001 0 1 0.25 0.002\n"
+      "brownout 0.003 2 3 0.5\n"
+      "link-down 0.004 0 4\n"
+      "xfail 0.005 d2d 1 2\n"
+      "xfail 0.006 h2d -1 3\n"
+      "xfail 0.007 any -1 -1\n"
+      "device-fail 0.01 5\n";
+  const fault::FaultPlan p = fault::FaultPlan::parse(text);
+  EXPECT_EQ(p.seed, 77u);
+  EXPECT_DOUBLE_EQ(p.fail_prob, 0.125);
+  ASSERT_EQ(p.events.size(), 7u);
+  EXPECT_EQ(p.events[0].kind, fault::FaultKind::kBrownout);
+  EXPECT_DOUBLE_EQ(p.events[0].fraction, 0.25);
+  EXPECT_DOUBLE_EQ(p.events[0].duration, 0.002);
+  EXPECT_EQ(p.events[3].kind, fault::FaultKind::kTransferFail);
+  EXPECT_EQ(p.events[3].xfer, fault::TransferKind::kD2D);
+  EXPECT_EQ(p.events[6].kind, fault::FaultKind::kDeviceFail);
+  EXPECT_EQ(p.events[6].a, 5);
+  // to_text -> parse is the identity on the parsed representation.
+  const fault::FaultPlan q = fault::FaultPlan::parse(p.to_text());
+  EXPECT_EQ(q.seed, p.seed);
+  ASSERT_EQ(q.events.size(), p.events.size());
+  for (std::size_t i = 0; i < p.events.size(); ++i) {
+    EXPECT_EQ(q.events[i].kind, p.events[i].kind);
+    EXPECT_DOUBLE_EQ(q.events[i].t, p.events[i].t);
+    EXPECT_EQ(q.events[i].a, p.events[i].a);
+    EXPECT_EQ(q.events[i].b, p.events[i].b);
+  }
+}
+
+TEST(FaultPlan, MalformedInputNamesTheOffendingLine) {
+  EXPECT_THROW(fault::FaultPlan::parse("brownout nope 0 1 0.5\n"),
+               std::invalid_argument);
+  EXPECT_THROW(fault::FaultPlan::parse("frobnicate 1 2 3\n"),
+               std::invalid_argument);
+  EXPECT_THROW(fault::FaultPlan::parse("xfail 0.1 warp 0 1\n"),
+               std::invalid_argument);
+  try {
+    fault::FaultPlan::parse("seed 1\n\nlink-down 0.1 0\n");
+    FAIL() << "short link-down accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+}
+
+// ------------------------------------------------------------- fixtures --
+
+baselines::BenchResult bench(Blas3 routine, bool dod,
+                             const fault::FaultPlan& plan = {},
+                             std::size_t n = 8192,
+                             topo::Topology topo = topo::Topology::dgx1()) {
+  baselines::BenchConfig cfg;
+  cfg.routine = routine;
+  cfg.n = n;
+  cfg.tile = 2048;
+  cfg.data_on_device = dod;
+  cfg.topology = std::move(topo);
+  cfg.check.enabled = true;
+  cfg.fault_plan = plan;
+  auto model = baselines::make_xkblas(HeuristicConfig::xkblas());
+  return model->run(cfg);
+}
+
+// ----------------------------------------------------------- equivalence --
+
+// Property 1: faults that heal before any transfer could use them are
+// invisible.  The brownout sits on a link the workload has not touched yet
+// (t before any work) and heals instantly; the xfail targets a d2h at time
+// 0 when no flush is in flight and is never consumed (probabilistic stream
+// off).  Observable stream must hash identically to the fault-free run.
+TEST(FaultEquivalence, HealedBeforeUseIsBitIdenticalToFaultFree) {
+  const baselines::BenchResult clean = bench(Blas3::kGemm, false);
+  ASSERT_FALSE(clean.failed) << clean.error;
+  ASSERT_TRUE(clean.check_ok) << clean.check_report;
+
+  fault::FaultPlan plan;
+  plan.seed = 9;
+  fault::FaultEvent e;
+  e.kind = fault::FaultKind::kBrownout;
+  e.t = 0.0;
+  e.a = 0;
+  e.b = 1;
+  e.fraction = 0.01;
+  e.duration = 1e-9;  // heals within the transfer latency floor
+  plan.events.push_back(e);
+  const baselines::BenchResult faulted = bench(Blas3::kGemm, false, plan);
+  ASSERT_FALSE(faulted.failed) << faulted.error;
+  EXPECT_TRUE(faulted.check_ok) << faulted.check_report;
+  EXPECT_EQ(faulted.event_hash, clean.event_hash);
+  EXPECT_DOUBLE_EQ(faulted.seconds, clean.seconds);
+}
+
+// Property 2: a link permanently demoted at t=0 behaves exactly like a
+// topology that was built degraded: same makespan, same transfer counts.
+TEST(FaultEquivalence, PermanentDemotionMatchesStaticallyDegradedTopology) {
+  fault::FaultPlan plan;
+  plan.seed = 3;
+  fault::FaultEvent e;
+  e.kind = fault::FaultKind::kLinkDown;
+  e.t = 0.0;
+  e.a = 0;
+  e.b = 1;
+  plan.events.push_back(e);
+  e.a = 1;
+  e.b = 0;
+  plan.events.push_back(e);
+  const baselines::BenchResult dynamic = bench(Blas3::kGemm, true, plan);
+  ASSERT_FALSE(dynamic.failed) << dynamic.error;
+  EXPECT_TRUE(dynamic.check_ok) << dynamic.check_report;
+
+  topo::Topology degraded = topo::Topology::dgx1();
+  degraded.demote_link(0, 1);
+  degraded.demote_link(1, 0);
+  const baselines::BenchResult statically =
+      bench(Blas3::kGemm, true, {}, 8192, std::move(degraded));
+  ASSERT_FALSE(statically.failed) << statically.error;
+  EXPECT_DOUBLE_EQ(dynamic.seconds, statically.seconds);
+  EXPECT_EQ(dynamic.transfers.d2d, statically.transfers.d2d);
+  EXPECT_EQ(dynamic.transfers.h2d, statically.transfers.h2d);
+}
+
+// A brownout that *is* used must slow the run down: same work, less
+// bandwidth on a busy link, strictly more virtual time.
+TEST(FaultEffects, UsedBrownoutSlowsTheRun) {
+  const baselines::BenchResult clean = bench(Blas3::kGemm, false);
+  fault::FaultPlan plan;
+  fault::FaultEvent e;
+  e.kind = fault::FaultKind::kBrownout;
+  e.t = 0.0;
+  e.fraction = 0.05;  // 5% of nominal for the whole run
+  for (int a = 0; a < 8; ++a)
+    for (int b = 0; b < 8; ++b)
+      if (a != b) {
+        e.a = a;
+        e.b = b;
+        plan.events.push_back(e);
+      }
+  const baselines::BenchResult slow = bench(Blas3::kGemm, false, plan);
+  ASSERT_FALSE(slow.failed) << slow.error;
+  EXPECT_TRUE(slow.check_ok) << slow.check_report;
+  EXPECT_GT(slow.seconds, clean.seconds * 1.05);
+  EXPECT_EQ(slow.tasks, clean.tasks);  // degraded, not dropped
+}
+
+// ------------------------------------------------------ transient faults --
+
+TEST(FaultEffects, TransientTransferFailuresRetryAndComplete) {
+  fault::FaultPlan plan;
+  plan.seed = 11;
+  plan.fail_prob = 0.05;
+  fault::FaultEvent e;
+  e.kind = fault::FaultKind::kTransferFail;
+  e.xfer = fault::TransferKind::kAny;
+  for (double t : {0.0, 0.001, 0.002, 0.003}) {
+    e.t = t;
+    plan.events.push_back(e);
+  }
+  const baselines::BenchResult r = bench(Blas3::kGemm, false, plan);
+  ASSERT_FALSE(r.failed) << r.error;
+  EXPECT_TRUE(r.check_ok) << r.check_report;
+  EXPECT_GT(r.transfers.transfer_aborts, 0u);
+  EXPECT_EQ(r.transfers.transfer_retries, r.transfers.transfer_aborts);
+}
+
+// A certain-failure probability exhausts the retry budget and surfaces a
+// diagnostic naming the cap, instead of looping forever.
+TEST(FaultEffects, RetriesExhaustedIsDiagnosed) {
+  fault::FaultPlan plan;
+  plan.seed = 5;
+  plan.fail_prob = 1.0;
+  const baselines::BenchResult r = bench(Blas3::kGemm, false, plan);
+  EXPECT_TRUE(r.failed);
+  EXPECT_NE(r.error.find("retr"), std::string::npos) << r.error;
+}
+
+// -------------------------------------------------------- device failure --
+
+// Low-level scenario: a task is bound to gpu1 while gpu1 dies; the task
+// must remap to a live device and the run must complete with the checker
+// clean.  The lost clean replica is reconstructed from the host copy.
+struct FaultFixture {
+  FaultFixture() : plat(make_platform()), runtime(make_runtime()) {}
+
+  static Platform make_platform() {
+    PlatformOptions po;
+    po.functional = true;
+    return Platform(topo::Topology::dgx1(), PerfModel{}, po);
+  }
+  Runtime make_runtime() {
+    RuntimeOptions ro;
+    ro.check.enabled = true;
+    return Runtime(plat, std::make_unique<OwnerComputesScheduler>(), ro);
+  }
+
+  mem::DataHandle* tile(void* origin, std::size_t n = 8) {
+    return runtime.registry().intern(origin, n, n, n, sizeof(double));
+  }
+
+  Platform plat;
+  Runtime runtime;
+};
+
+double bufA[64], bufB[64], bufC[64];
+
+TaskDesc work(mem::DataHandle* h, Access mode, int dev, const char* label) {
+  TaskDesc d;
+  d.label = label;
+  d.accesses.push_back({h, mode});
+  d.flops = 1e10;
+  d.min_dim = 2048;
+  d.forced_device = dev;
+  return d;
+}
+
+TEST(DeviceFailure, QueuedTasksRemapAndRunCompletes) {
+  FaultFixture f;
+  mem::DataHandle* a = f.tile(bufA);
+  // A chain on gpu1, with the failure injected (silently) before the chain
+  // can finish.
+  for (int i = 0; i < 4; ++i)
+    f.runtime.submit(work(a, Access::kRW, 1, "chain"));
+  f.plat.engine().schedule_silent_at(
+      1e-6, [&f] { f.runtime.on_device_failure(1); });
+  f.runtime.run();
+  EXPECT_EQ(f.runtime.tasks_completed(), 4u);
+  EXPECT_TRUE(f.plat.device_failed(1));
+  EXPECT_GT(f.runtime.task_remaps() + f.runtime.task_replays(), 0u);
+  ASSERT_NE(f.runtime.checker(), nullptr);
+  EXPECT_TRUE(f.runtime.checker()->ok()) << f.runtime.checker()->report();
+  // The surviving copy is authoritative somewhere alive.
+  EXPECT_NE(a->dev[1].state, mem::ReplicaState::kValid);
+}
+
+TEST(DeviceFailure, LostDirtyReplicaIsRebuiltByReplay) {
+  FaultFixture f;
+  mem::DataHandle* a = f.tile(bufA);
+  mem::DataHandle* c = f.tile(bufC);
+  // Producer writes c on gpu1 (pure W: replayable); a consumer on gpu0
+  // will need c *after* gpu1 died with the only (dirty) copy.
+  f.runtime.submit(work(c, Access::kW, 1, "produce"));
+  f.runtime.run();
+  EXPECT_TRUE(c->dev[1].dirty);
+  f.runtime.submit(work(a, Access::kW, 0, "warmup"));
+  f.runtime.on_device_failure(1);
+  TaskDesc consume = work(c, Access::kR, 0, "consume");
+  f.runtime.submit(std::move(consume));
+  f.runtime.run();
+  EXPECT_GE(f.runtime.task_replays(), 1u);
+  EXPECT_TRUE(f.runtime.checker()->ok()) << f.runtime.checker()->report();
+  // The regenerated version is valid somewhere that is not gpu1.
+  bool valid_elsewhere = c->host.state == mem::ReplicaState::kValid;
+  for (int g = 0; g < 8; ++g)
+    if (g != 1 && c->dev[g].state == mem::ReplicaState::kValid)
+      valid_elsewhere = true;
+  EXPECT_TRUE(valid_elsewhere);
+}
+
+TEST(DeviceFailure, UnreplayableDirtyLossIsPreciselyDiagnosed) {
+  FaultFixture f;
+  mem::DataHandle* c = f.tile(bufC);
+  // kRW producer: the pre-image died with the replica, replay is unsound.
+  f.runtime.submit(work(c, Access::kRW, 1, "accumulate"));
+  f.runtime.run();
+  EXPECT_TRUE(c->dev[1].dirty);
+  try {
+    f.runtime.on_device_failure(1);
+    FAIL() << "kRW dirty loss was not diagnosed";
+  } catch (const fault::UnrecoverableDataLoss& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("accumulate"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("in place"), std::string::npos) << msg;
+  }
+}
+
+TEST(DeviceFailure, CleanReplicaPromotionKeepsSurvivorAuthoritative) {
+  FaultFixture f;
+  mem::DataHandle* a = f.tile(bufA);
+  // Write on gpu1, then read on gpu2: gpu2 now holds a *clean* copy while
+  // gpu1 holds the dirty one.  When gpu1 dies the survivor on gpu2 must be
+  // promoted to authoritative (dirty), not dropped.
+  f.runtime.submit(work(a, Access::kW, 1, "w"));
+  f.runtime.submit(work(a, Access::kR, 2, "r"));
+  f.runtime.run();
+  ASSERT_EQ(a->dev[2].state, mem::ReplicaState::kValid);
+  ASSERT_TRUE(a->dev[1].dirty);
+  f.runtime.on_device_failure(1);
+  EXPECT_EQ(a->dev[2].state, mem::ReplicaState::kValid);
+  EXPECT_TRUE(a->dev[2].dirty);  // promoted
+  EXPECT_EQ(f.runtime.task_replays(), 0u);  // no replay needed
+  f.runtime.submit(work(a, Access::kR, 0, "after"));
+  f.runtime.run();
+  EXPECT_TRUE(f.runtime.checker()->ok()) << f.runtime.checker()->report();
+}
+
+// End-to-end acceptance shape: an early device failure on a data-on-host
+// GEMM (hundreds of chained optimistic receptions) re-plans every waiter
+// whose source died and still completes with zero violations.
+TEST(DeviceFailure, WaiterWhoseSourceDiesMidTransferReplansAndCompletes) {
+  const baselines::BenchResult probe = bench(Blas3::kGemm, false);
+  ASSERT_FALSE(probe.failed);
+  bool hit = false;
+  for (double frac : {0.02, 0.04, 0.06, 0.08, 0.10, 0.14, 0.18, 0.25}) {
+    fault::FaultPlan plan;
+    plan.seed = 42;
+    fault::FaultEvent e;
+    e.kind = fault::FaultKind::kDeviceFail;
+    e.t = frac * probe.seconds;
+    e.a = 1;
+    plan.events.push_back(e);
+    const baselines::BenchResult r = bench(Blas3::kGemm, false, plan);
+    if (r.failed) continue;  // diagnosed loss: legal, try another instant
+    EXPECT_TRUE(r.check_ok) << r.check_report;
+    if (r.transfers.waiter_replans > 0) {
+      hit = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(hit) << "no instant caught a waiter mid-chain";
+}
+
+// ---------------------------------------------------------------- misc --
+
+TEST(Watchdog, FiresOnceWhenNoProgressHappens) {
+  sim::Engine eng;
+  int fired = 0;
+  sim::Watchdog::Options wo;
+  wo.interval = 1e-3;
+  wo.stuck_ticks = 3;
+  sim::Watchdog wd(
+      eng, wo, [] { return std::uint64_t{7}; },
+      [&fired](std::uint64_t pending) {
+        fired++;
+        EXPECT_EQ(pending, 7u);
+      });
+  wd.ensure_armed();
+  eng.run();
+  EXPECT_EQ(fired, 1);
+  // No observable events: the watchdog is silent machinery.
+  EXPECT_EQ(eng.observable_processed(), 0u);
+}
+
+TEST(Watchdog, DisarmsWhenWorkDrains) {
+  sim::Engine eng;
+  int fired = 0;
+  std::uint64_t outstanding = 3;
+  sim::Watchdog::Options wo;
+  wo.interval = 1e-3;
+  wo.stuck_ticks = 3;
+  sim::Watchdog wd(
+      eng, wo, [&outstanding] { return outstanding; },
+      [&fired](std::uint64_t) { fired++; });
+  wd.ensure_armed();
+  eng.schedule_at(1.5e-3, [&outstanding] { outstanding = 0; });
+  eng.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Options, NonsensicalRuntimeOptionsAreRejected) {
+  PlatformOptions po;
+  Platform plat(topo::Topology::dgx1(), PerfModel{}, po);
+  RuntimeOptions bad;
+  bad.prepare_window = 0;
+  EXPECT_THROW(
+      Runtime(plat, std::make_unique<OwnerComputesScheduler>(), bad),
+      std::invalid_argument);
+  bad = {};
+  bad.steal_min_victim = 0;
+  EXPECT_THROW(
+      Runtime(plat, std::make_unique<OwnerComputesScheduler>(), bad),
+      std::invalid_argument);
+  bad = {};
+  bad.task_overhead = -1e-6;
+  EXPECT_THROW(
+      Runtime(plat, std::make_unique<OwnerComputesScheduler>(), bad),
+      std::invalid_argument);
+}
+
+TEST(Options, NonsensicalBenchConfigIsRejected) {
+  baselines::BenchConfig cfg;
+  cfg.tile = 0;
+  EXPECT_THROW(baselines::make_xkblas(HeuristicConfig::xkblas())->run(cfg),
+               std::invalid_argument);
+  cfg = {};
+  cfg.n = 1024;
+  cfg.tile = 2048;  // tile > n
+  EXPECT_THROW(baselines::make_xkblas(HeuristicConfig::xkblas())->run(cfg),
+               std::invalid_argument);
+}
+
+TEST(Injector, UnconsumedTargetedFaultsAreSurfaced) {
+  fault::FaultPlan plan;
+  fault::FaultEvent e;
+  e.kind = fault::FaultKind::kTransferFail;
+  e.t = 1e9;  // long after the run ends: nobody consumes it
+  e.xfer = fault::TransferKind::kD2H;
+  plan.events.push_back(e);
+  const baselines::BenchResult r = bench(Blas3::kGemm, false, plan);
+  ASSERT_FALSE(r.failed) << r.error;
+  EXPECT_NE(r.fault_json.find("\"unconsumed_xfail\":1"), std::string::npos)
+      << r.fault_json;
+}
+
+}  // namespace
+}  // namespace xkb::rt

@@ -392,23 +392,23 @@ TEST(Heuristics, ForcedWaitCountedSeparatelyFromOptimistic) {
   // optimistic-heuristic decision, and fires even with the heuristic off.
   Fixture f{HeuristicConfig::no_heuristic(), false};
   mem::DataHandle* h = f.tile(bufA);
-  f.plat.cache(0).reserve(h);
-  h->host.state = mem::ReplicaState::kInvalid;
-  h->dev[0].state = mem::ReplicaState::kInFlight;
-  h->dev[0].eta = 1e-3;
 
-  bool done = false;
+  // Start a real H2D to GPU 0, then invalidate the host while the copy is
+  // airborne: GPU 1's fetch finds the in-flight reception as the only
+  // (future) copy anywhere and must chain on it.
+  bool first = false, done = false;
+  f.runtime.data_manager().acquire(h, 0, Access::kR, [&] { first = true; });
+  ASSERT_EQ(h->dev[0].state, mem::ReplicaState::kInFlight);
+  h->host.state = mem::ReplicaState::kInvalid;
+
   f.runtime.data_manager().acquire(h, 1, Access::kR, [&] { done = true; });
   EXPECT_EQ(f.runtime.data_manager().stats().optimistic_waits, 0u);
   EXPECT_EQ(f.runtime.data_manager().stats().forced_waits, 1u);
 
-  // Simulate the reception completing on GPU 0: running its waiters issues
-  // the forwarding copy to GPU 1.
-  h->dev[0].state = mem::ReplicaState::kValid;
-  auto waiters = std::move(h->dev[0].waiters);
-  h->dev[0].waiters.clear();
-  for (auto& w : waiters) w();
+  // When the reception lands on GPU 0, the chained forwarding copy to
+  // GPU 1 is issued automatically.
   f.plat.engine().run();
+  EXPECT_TRUE(first);
   EXPECT_TRUE(done);
   EXPECT_EQ(f.runtime.data_manager().stats().d2d, 1u);
 }

@@ -227,11 +227,60 @@ TEST(EngineEdge, ObserverSeesEveryEventInOrder) {
   e.schedule_at(2.0, [] {});
   e.schedule_at(1.0, [] {});
   e.run();
-  EXPECT_EQ(seqs, (std::vector<std::uint64_t>{1, 0}));  // time order wins
+  // The observer receives *observable ordinals* -- the position in the
+  // dispatched observable stream, not the insertion sequence -- so it can
+  // never see a gap even when silent events interleave.
+  EXPECT_EQ(seqs, (std::vector<std::uint64_t>{0, 1}));
   e.set_observer({});  // detaching must be safe
   e.schedule_at(3.0, [] {});
   e.run();
   EXPECT_EQ(seqs.size(), 2u);
+}
+
+TEST(EngineEdge, SilentEventsInvisibleToObserverAndMakespan) {
+  Engine e;
+  std::vector<std::uint64_t> seqs;
+  std::vector<Time> times;
+  e.set_observer([&](Time t, std::uint64_t seq) {
+    times.push_back(t);
+    seqs.push_back(seq);
+  });
+  int silent_ran = 0;
+  e.schedule_silent_at(0.5, [&] { silent_ran++; });
+  e.schedule_at(1.0, [] {});
+  e.schedule_silent_at(1.5, [&] { silent_ran++; });
+  e.schedule_at(2.0, [] {});
+  e.schedule_silent_at(9.0, [&] { silent_ran++; });  // beyond the last
+  e.run();
+  // Silent events executed...
+  EXPECT_EQ(silent_ran, 3);
+  EXPECT_EQ(e.events_processed(), 5u);
+  // ...but the observable stream has no gaps and no silent entries,
+  EXPECT_EQ(seqs, (std::vector<std::uint64_t>{0, 1}));
+  EXPECT_EQ(times, (std::vector<Time>{1.0, 2.0}));
+  EXPECT_EQ(e.observable_processed(), 2u);
+  // ...and the trailing silent tick does not stretch the makespan: once
+  // the queue drains, the clock rewinds to the observable frontier so a
+  // next phase starts exactly where the workload observably ended.
+  EXPECT_DOUBLE_EQ(e.last_observable_time(), 2.0);
+  EXPECT_DOUBLE_EQ(e.now(), 2.0);
+}
+
+TEST(EngineEdge, SilentAndObservableShareTheTieBreakSequence) {
+  // A silent event scheduled before an observable one at the same instant
+  // runs first (global insertion order), but the observable ordinal stream
+  // is still dense.
+  Engine e;
+  std::vector<int> order;
+  std::vector<std::uint64_t> seqs;
+  e.set_observer([&](Time, std::uint64_t seq) { seqs.push_back(seq); });
+  e.schedule_silent_at(1.0, [&] { order.push_back(0); });
+  e.schedule_at(1.0, [&] { order.push_back(1); });
+  e.schedule_silent_at(1.0, [&] { order.push_back(2); });
+  e.schedule_at(1.0, [&] { order.push_back(3); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(seqs, (std::vector<std::uint64_t>{0, 1}));
 }
 
 TEST(ChannelStress, ThousandsOfTransfersConserveBytes) {

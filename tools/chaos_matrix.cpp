@@ -1,0 +1,298 @@
+// chaos_matrix: run a library x routine x scenario matrix under seeded
+// fault plans with xkb::check on, and fail on any checker violation or
+// undiagnosed crash.  This is the CI gate for the xkb::fault layer: every
+// recovery path (brownout re-ranking, route demotion, transient-transfer
+// retry, waiter re-planning, device blacklisting + task remap + replica
+// reconstruction) is exercised on every push, and every surviving run must
+// still satisfy the full coherence/race/progress audit.
+//
+// For each configuration the driver first runs fault-free to learn the
+// makespan T and the reference event hash, then replays the same workload
+// under plans whose events land at fixed fractions of T:
+//
+//   brownout       both NVLink directions of a busy pair drop to 15%
+//   link-down      a route is demoted one step (2xNVLink -> 1xNVLink -> PCIe)
+//   transfer-fail  targeted + probabilistic in-flight aborts, retried with
+//                  capped backoff
+//   device-fail    a GPU dies mid-run: tasks remap, replicas rebuild
+//
+// Transient scenarios (brownout, link-down, transfer-fail) must complete
+// cleanly.  device-fail must either complete cleanly or fail with a precise
+// UnrecoverableDataLoss diagnostic; at least one device-fail run must
+// complete AND have re-planned a waiting reception whose source died
+// mid-transfer (the acceptance scenario).  Finally one faulted
+// configuration is re-run under the identical plan and must reproduce the
+// event-stream hash bit for bit.
+//
+//   chaos_matrix                     default matrix (GEMM/TRSM, n=8192)
+//   chaos_matrix --n 16384           larger sweep
+//   chaos_matrix --report chaos.json JSON fault report per run
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "baselines/library_model.hpp"
+#include "fault/fault.hpp"
+#include "util/flops.hpp"
+
+using namespace xkb;
+using namespace xkb::baselines;
+
+namespace {
+
+struct Outcome {
+  std::string lib, routine, scenario, fault;
+  bool completed = false;
+  bool check_ok = false;
+  bool diagnosed = false;  ///< failed with a FaultError diagnostic
+  std::string error;
+  double seconds = 0.0;
+  std::uint64_t event_hash = 0;
+  std::string fault_json;
+  std::size_t waiter_replans = 0;
+  std::size_t task_remaps = 0;
+  std::size_t task_replays = 0;
+};
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (c == '\n') { out += "\\n"; continue; }
+    out += c;
+  }
+  return out;
+}
+
+fault::FaultPlan make_plan(const std::string& kind, double T, int gpus) {
+  fault::FaultPlan plan;
+  plan.seed = 42;
+  fault::FaultEvent e;
+  if (kind == "brownout") {
+    // Both directions of a busy NVLink pair sag to 15% for half the run.
+    e.kind = fault::FaultKind::kBrownout;
+    e.t = 0.2 * T;
+    e.a = 0;
+    e.b = 1 % gpus;
+    e.fraction = 0.15;
+    e.duration = 0.5 * T;
+    plan.events.push_back(e);
+    e.a = 1 % gpus;
+    e.b = 0;
+    plan.events.push_back(e);
+  } else if (kind == "link-down") {
+    // Permanent one-step route demotion (2xNVLink -> 1xNVLink -> PCIe).
+    e.kind = fault::FaultKind::kLinkDown;
+    e.t = 0.25 * T;
+    e.a = 0;
+    e.b = 1 % gpus;
+    plan.events.push_back(e);
+    e.a = 1 % gpus;
+    e.b = 0;
+    plan.events.push_back(e);
+  } else if (kind == "transfer-fail") {
+    // A handful of targeted aborts plus a light probabilistic drizzle; the
+    // retry machinery must absorb all of it.
+    plan.fail_prob = 0.02;
+    e.kind = fault::FaultKind::kTransferFail;
+    e.xfer = fault::TransferKind::kAny;
+    for (double f : {0.1, 0.3, 0.5, 0.7}) {
+      e.t = f * T;
+      plan.events.push_back(e);
+    }
+  } else {  // device-fail
+    e.kind = fault::FaultKind::kDeviceFail;
+    e.t = 0.35 * T;
+    e.a = 1 % gpus;
+    plan.events.push_back(e);
+  }
+  return plan;
+}
+
+Outcome run_one(const std::string& lib, Blas3 routine, bool dod,
+                std::size_t n, std::size_t tile,
+                const fault::FaultPlan& plan, const std::string& fault_name) {
+  Outcome o;
+  o.lib = lib;
+  o.routine = blas3_name(routine);
+  o.scenario = dod ? "data-on-device" : "data-on-host";
+  o.fault = fault_name;
+
+  BenchConfig cfg;
+  cfg.routine = routine;
+  cfg.n = n;
+  cfg.tile = tile;
+  cfg.data_on_device = dod;
+  cfg.check.enabled = true;
+  cfg.fault_plan = plan;
+
+  auto model = lib == "xkblas" ? make_xkblas(rt::HeuristicConfig::xkblas())
+                               : make_chameleon(/*tile_layout=*/true);
+  const BenchResult r = model->run(cfg);
+  o.completed = !r.failed;
+  o.check_ok = r.check_ok;
+  o.diagnosed = r.failed && !r.error.empty();
+  o.error = r.error;
+  o.seconds = r.seconds;
+  o.event_hash = r.event_hash;
+  o.fault_json = r.fault_json;
+  o.waiter_replans = r.transfers.waiter_replans;
+  o.task_remaps = r.task_remaps;
+  o.task_replays = r.task_replays;
+  return o;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t n = 8192, tile = 2048;
+  std::string report_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--n" && i + 1 < argc) n = std::stoul(argv[++i]);
+    else if (arg == "--tile" && i + 1 < argc) tile = std::stoul(argv[++i]);
+    else if (arg == "--report" && i + 1 < argc) report_path = argv[++i];
+    else {
+      std::fprintf(stderr,
+                   "usage: chaos_matrix [--n N] [--tile T] [--report F]\n");
+      return 2;
+    }
+  }
+
+  const Blas3 routines[] = {Blas3::kGemm, Blas3::kTrsm};
+  const char* libs[] = {"xkblas", "chameleon-tile"};
+  const char* faults[] = {"brownout", "link-down", "transfer-fail",
+                          "device-fail"};
+
+  std::vector<Outcome> outcomes;
+  std::size_t failures = 0;
+  bool acceptance_hit = false;  // waiter re-planned off a dead source + clean
+  bool determinism_ok = true;
+
+  for (const char* lib : libs) {
+    for (Blas3 routine : routines) {
+      for (bool dod : {false, true}) {
+        // Fault-free reference run: makespan + hash baseline.
+        const Outcome base = run_one(lib, routine, dod, n, tile, {}, "none");
+        if (!base.completed || !base.check_ok) {
+          std::fprintf(stderr, "FAIL %s %s %s: fault-free reference run "
+                       "broken: %s\n", lib, base.routine.c_str(),
+                       base.scenario.c_str(), base.error.c_str());
+          ++failures;
+          continue;
+        }
+        const double T = base.seconds;
+
+        for (const char* fname : faults) {
+          const fault::FaultPlan plan =
+              make_plan(fname, T, topo::Topology::dgx1().num_gpus());
+          Outcome o = run_one(lib, routine, dod, n, tile, plan, fname);
+          const bool transient = std::string(fname) != "device-fail";
+          bool ok;
+          if (transient) {
+            // Degraded-but-alive faults must always complete cleanly.
+            ok = o.completed && o.check_ok;
+          } else {
+            // Whole-GPU loss: clean completion or a precise diagnostic.
+            ok = (o.completed && o.check_ok) || (!o.completed && o.diagnosed);
+            if (o.completed && o.check_ok && o.waiter_replans > 0)
+              acceptance_hit = true;
+          }
+          if (!ok) {
+            ++failures;
+            std::fprintf(stderr, "FAIL %s %s %s under %s: %s\n", lib,
+                         o.routine.c_str(), o.scenario.c_str(), fname,
+                         o.completed ? "checker violations" : o.error.c_str());
+          }
+          std::printf("%-14s %-5s %-14s %-13s %s%s\n", lib, o.routine.c_str(),
+                      o.scenario.c_str(), fname,
+                      o.completed ? (o.check_ok ? "clean" : "VIOLATIONS")
+                                  : (o.diagnosed ? "diagnosed" : "CRASH"),
+                      (!transient && o.completed && o.waiter_replans > 0)
+                          ? " [waiter-replan]" : "");
+          outcomes.push_back(std::move(o));
+        }
+
+        // Determinism: the same plan must reproduce the same event stream.
+        if (std::string(lib) == "xkblas" && routine == Blas3::kGemm) {
+          const fault::FaultPlan plan =
+              make_plan("transfer-fail", T, topo::Topology::dgx1().num_gpus());
+          const Outcome a = run_one(lib, routine, dod, n, tile, plan, "det");
+          const Outcome b = run_one(lib, routine, dod, n, tile, plan, "det");
+          if (a.event_hash != b.event_hash || a.event_hash == 0) {
+            determinism_ok = false;
+            std::fprintf(stderr,
+                         "FAIL determinism: %016llx != %016llx (%s %s)\n",
+                         static_cast<unsigned long long>(a.event_hash),
+                         static_cast<unsigned long long>(b.event_hash),
+                         base.routine.c_str(), base.scenario.c_str());
+          }
+        }
+      }
+    }
+  }
+
+  if (!acceptance_hit) {
+    // The standing device-fail plan did not catch a waiter mid-chain for
+    // any configuration.  Probe the optimistic-wait-heavy configuration --
+    // data-on-host GEMM chains hundreds of peer receptions on in-flight
+    // H2D arrivals -- and sweep the fail instant over the early part of
+    // the run, where the chains are dense and the victim's tiles are not
+    // yet dirty (so recovery can complete, not just diagnose).
+    const Outcome probe =
+        run_one("xkblas", Blas3::kGemm, false, n, tile, {}, "none");
+    for (double f = 0.02; f <= 0.6 && !acceptance_hit; f += 0.02) {
+      fault::FaultPlan plan;
+      plan.seed = 42;
+      fault::FaultEvent e;
+      e.kind = fault::FaultKind::kDeviceFail;
+      e.t = f * probe.seconds;
+      e.a = 1;
+      plan.events.push_back(e);
+      const Outcome o =
+          run_one("xkblas", Blas3::kGemm, false, n, tile, plan,
+                  "device-fail");
+      if (o.completed && o.check_ok && o.waiter_replans > 0)
+        acceptance_hit = true;
+      outcomes.push_back(o);
+    }
+  }
+  if (!acceptance_hit) {
+    std::fprintf(stderr,
+                 "FAIL acceptance: no run re-planned a waiting reception "
+                 "off a failed source and completed\n");
+    ++failures;
+  }
+
+  if (!report_path.empty()) {
+    std::ofstream out(report_path);
+    out << "{\"n\":" << n << ",\"tile\":" << tile << ",\"runs\":[";
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      const Outcome& o = outcomes[i];
+      if (i) out << ",";
+      out << "{\"lib\":\"" << o.lib << "\",\"routine\":\"" << o.routine
+          << "\",\"scenario\":\"" << o.scenario << "\",\"fault\":\""
+          << o.fault << "\",\"completed\":" << (o.completed ? "true" : "false")
+          << ",\"check_ok\":" << (o.check_ok ? "true" : "false")
+          << ",\"seconds\":" << o.seconds << ",\"waiter_replans\":"
+          << o.waiter_replans << ",\"task_remaps\":" << o.task_remaps
+          << ",\"task_replays\":" << o.task_replays << ",\"error\":\""
+          << json_escape(o.error) << "\",\"fault\":"
+          << (o.fault_json.empty() ? "null" : o.fault_json) << "}";
+    }
+    out << "],\"acceptance_waiter_replan\":"
+        << (acceptance_hit ? "true" : "false")
+        << ",\"determinism_ok\":" << (determinism_ok ? "true" : "false")
+        << ",\"failures\":" << failures << "}\n";
+    std::printf("fault report -> %s\n", report_path.c_str());
+  }
+
+  std::printf("chaos_matrix: %zu runs, %zu failures, acceptance %s, "
+              "determinism %s\n",
+              outcomes.size(), failures, acceptance_hit ? "hit" : "MISSED",
+              determinism_ok ? "ok" : "BROKEN");
+  if (failures || !determinism_ok) return 3;
+  return 0;
+}

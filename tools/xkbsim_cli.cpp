@@ -15,6 +15,7 @@
 #include "baselines/library_model.hpp"
 #include <fstream>
 
+#include "fault/fault.hpp"
 #include "obs/report.hpp"
 #include "trace/export.hpp"
 #include "trace/gantt.hpp"
@@ -48,7 +49,42 @@ void usage() {
       "  --csv          print one machine-readable CSV row\n"
       "  --check        run under xkb::check (races, coherence, progress);\n"
       "                 exit 3 and print the report on any violation\n"
-      "  --hash         print the FNV-1a event-stream hash (implies --check)\n");
+      "  --hash         print the FNV-1a event-stream hash (implies --check)\n"
+      "  --fault-plan F run under the xkb::fault plan in file F\n"
+      "  --fault-seed S run under a random seeded fault plan (brownouts, a\n"
+      "                 route demotion, transfer failures)\n"
+      "  --fault-horizon T  spread the seeded plan over [0, T) virtual\n"
+      "                 seconds (default 0.1)\n");
+}
+
+/// Strict full-string unsigned parse: "12abc", "-3" and "" all reject with
+/// an actionable message naming the flag (std::stoul would accept the first
+/// silently and wrap the second).
+std::size_t parse_size(const std::string& flag, const std::string& v) {
+  std::size_t pos = 0;
+  unsigned long long x = 0;
+  try {
+    x = std::stoull(v, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  if (v.empty() || v[0] == '-' || pos != v.size())
+    throw std::invalid_argument(flag + ": '" + v +
+                                "' is not a non-negative integer");
+  return static_cast<std::size_t>(x);
+}
+
+double parse_double(const std::string& flag, const std::string& v) {
+  std::size_t pos = 0;
+  double x = 0.0;
+  try {
+    x = std::stod(v, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  if (v.empty() || pos != v.size())
+    throw std::invalid_argument(flag + ": '" + v + "' is not a number");
+  return x;
 }
 
 Blas3 parse_routine(const std::string& r) {
@@ -92,34 +128,50 @@ int main(int argc, char** argv) {
   std::size_t n = 32768, tile = 2048;
   bool no_heur = false, no_topo = false, dod = false, gantt = false,
        csv = false, check = false, hash = false;
-  std::string trace_json, metrics_out;
+  std::string trace_json, metrics_out, fault_plan_file;
+  std::uint64_t fault_seed = 0;
+  bool have_fault_seed = false;
+  double fault_horizon = 0.1;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&]() -> std::string {
-      if (i + 1 >= argc) throw std::invalid_argument(arg + " needs a value");
-      return argv[++i];
-    };
-    if (arg == "--routine") routine = next();
-    else if (arg == "--n") n = std::stoul(next());
-    else if (arg == "--tile") tile = std::stoul(next());
-    else if (arg == "--lib") lib = next();
-    else if (arg == "--topo") topo_name = next();
-    else if (arg == "--no-heur") no_heur = true;
-    else if (arg == "--no-topo") no_topo = true;
-    else if (arg == "--data-on-device") dod = true;
-    else if (arg == "--gantt") gantt = true;
-    else if (arg == "--trace-json" || arg == "--trace-out") trace_json = next();
-    else if (arg == "--metrics-out") metrics_out = next();
-    else if (arg == "--csv") csv = true;
-    else if (arg == "--check") check = true;
-    else if (arg == "--hash") { hash = true; check = true; }
-    else if (arg == "--help" || arg == "-h") { usage(); return 0; }
-    else {
-      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
-      usage();
-      return 2;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto next = [&]() -> std::string {
+        if (i + 1 >= argc) throw std::invalid_argument(arg + " needs a value");
+        return argv[++i];
+      };
+      if (arg == "--routine") routine = next();
+      else if (arg == "--n") n = parse_size(arg, next());
+      else if (arg == "--tile") tile = parse_size(arg, next());
+      else if (arg == "--lib") lib = next();
+      else if (arg == "--topo") topo_name = next();
+      else if (arg == "--no-heur") no_heur = true;
+      else if (arg == "--no-topo") no_topo = true;
+      else if (arg == "--data-on-device") dod = true;
+      else if (arg == "--gantt") gantt = true;
+      else if (arg == "--trace-json" || arg == "--trace-out")
+        trace_json = next();
+      else if (arg == "--metrics-out") metrics_out = next();
+      else if (arg == "--csv") csv = true;
+      else if (arg == "--check") check = true;
+      else if (arg == "--hash") { hash = true; check = true; }
+      else if (arg == "--fault-plan") fault_plan_file = next();
+      else if (arg == "--fault-seed") {
+        fault_seed = parse_size(arg, next());
+        have_fault_seed = true;
+      } else if (arg == "--fault-horizon")
+        fault_horizon = parse_double(arg, next());
+      else if (arg == "--help" || arg == "-h") { usage(); return 0; }
+      else {
+        std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+        usage();
+        return 2;
+      }
     }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    usage();
+    return 2;
   }
 
   try {
@@ -135,6 +187,11 @@ int main(int argc, char** argv) {
     cfg.data_on_device = dod;
     cfg.check.enabled = check;
     cfg.obs.enabled = !metrics_out.empty();
+    if (!fault_plan_file.empty())
+      cfg.fault_plan = fault::FaultPlan::parse_file(fault_plan_file);
+    else if (have_fault_seed)
+      cfg.fault_plan = fault::FaultPlan::random(
+          fault_seed, cfg.topology.num_gpus(), fault_horizon);
 
     if (!trace_json.empty()) {
       // Direct run with the trace retained, exported for chrome://tracing.
@@ -237,6 +294,11 @@ int main(int argc, char** argv) {
                 "(%zu duplicate H2D avoided, %zu forced waits)\n",
                 r.transfers.h2d, r.transfers.d2d, r.transfers.d2h,
                 r.transfers.optimistic_waits, r.transfers.forced_waits);
+    if (!r.fault_json.empty())
+      std::printf("  faults   : %zu transfer aborts, %zu retries, "
+                  "%zu task remaps, %zu replays\n     %s\n",
+                  r.transfers.transfer_aborts, r.transfers.transfer_retries,
+                  r.task_remaps, r.task_replays, r.fault_json.c_str());
     const auto& b = r.breakdown;
     std::printf("  GPU time : %.2fs kernel, %.2fs HtoD, %.2fs PtoP, "
                 "%.2fs DtoH (%.1f%% transfers)\n",
