@@ -86,6 +86,8 @@ class SpecModel : public LibraryModel {
   std::string name() const override { return spec_.name; }
   bool supports(Blas3 r) const override;
   BenchResult run(const BenchConfig& cfg) override;
+  /// The policy knobs, exposed for non-BLAS entry points (workloads).
+  const ModelSpec& spec() const { return spec_; }
 
  protected:
   ModelSpec spec_;

@@ -6,7 +6,8 @@ namespace xkb::baselines {
 
 CompositionResult run_trsm_gemm(const ModelSpec& spec, std::size_t n,
                                 std::size_t tile, bool sync_between_calls,
-                                bool want_gantt, int gantt_width) {
+                                bool want_gantt, int gantt_width,
+                                bool with_check) {
   CompositionResult out;
 
   rt::PerfModel perf;
@@ -18,6 +19,7 @@ CompositionResult run_trsm_gemm(const ModelSpec& spec, std::size_t n,
   ropt.drop_inputs_after_use = spec.drop_inputs;
   ropt.task_overhead = spec.task_overhead;
   ropt.prepare_window = spec.prepare_window;
+  ropt.check.enabled = with_check;
   std::unique_ptr<rt::Scheduler> sched;
   if (spec.dmdas)
     sched = std::make_unique<rt::DmdasScheduler>();
@@ -68,6 +70,10 @@ CompositionResult run_trsm_gemm(const ModelSpec& spec, std::size_t n,
   out.seconds = t + spec.call_overhead * (sync_between_calls ? 2.0 : 1.0);
   out.tflops = flops / out.seconds / 1e12;
   out.breakdown = plat.trace().breakdown();
+  if (const check::Checker* c = runtime.checker()) {
+    out.check_ok = c->ok();
+    out.event_hash = c->event_hash();
+  }
   if (want_gantt)
     out.gantt = trace::gantt_ascii(plat.trace(), plat.num_gpus(), gantt_width);
   return out;

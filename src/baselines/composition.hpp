@@ -18,14 +18,20 @@ struct CompositionResult {
   double tflops = 0.0;
   trace::Breakdown breakdown;
   std::string gantt;  ///< ASCII Gantt chart (filled when requested)
+  // Populated only when run_trsm_gemm was asked to run under xkb::check.
+  bool check_ok = true;
+  std::uint64_t event_hash = 0;  ///< FNV-1a over the simulated event stream
 };
 
 /// Run  B := A^-1 B  (TRSM)  then  C := B D + C  (GEMM) under `spec`.
 /// `sync_between_calls` inserts a full drain between the two routines
-/// (Chameleon-style); XKBlas runs them as one composed graph.
+/// (Chameleon-style); XKBlas runs them as one composed graph.  `with_check`
+/// attaches the validation layer and captures the event-stream hash (the
+/// reference the workload-bridge replay of this graph is compared against).
 CompositionResult run_trsm_gemm(const ModelSpec& spec, std::size_t n,
                                 std::size_t tile, bool sync_between_calls,
                                 bool want_gantt = false,
-                                int gantt_width = 100);
+                                int gantt_width = 100,
+                                bool with_check = false);
 
 }  // namespace xkb::baselines

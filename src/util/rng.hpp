@@ -8,6 +8,7 @@
 
 #include <complex>
 #include <cstdint>
+#include <string_view>
 
 #include "util/matrix.hpp"
 
@@ -17,6 +18,28 @@ namespace xkb {
 class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed) {}
+
+  /// FNV-1a of a name, for labelled sub-streams (`substream(Rng::key("dnn"))`).
+  static constexpr std::uint64_t key(std::string_view name) {
+    std::uint64_t h = 14695981039346656037ull;
+    for (char c : name)
+      h = (h ^ static_cast<unsigned char>(c)) * 1099511628211ull;
+    return h;
+  }
+
+  /// Derive an independent child stream keyed by `key`, without advancing
+  /// this generator.  The child seed is a SplitMix64 finalize of
+  /// (state, key), so distinct keys give uncorrelated streams and drawing
+  /// from one sub-stream never perturbs another -- the property the
+  /// workload generators rely on: adding a `dnn` graph to an experiment
+  /// must not change the edges of its `random` graph.
+  Rng substream(std::uint64_t key) const {
+    std::uint64_t z = state_ + (key + 1) * 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return Rng(z ^ (z >> 31));
+  }
+  Rng substream(std::string_view name) const { return substream(key(name)); }
 
   std::uint64_t next_u64() {
     std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "baselines/library_model.hpp"
+#include "baselines/workload_entry.hpp"
 
 namespace xkb::baselines {
 namespace {
@@ -100,6 +101,53 @@ TEST(Determinism, FaultSeedDistinguishesRuns) {
   fault::FaultPlan p2 = fault::FaultPlan::parse("seed 2\nfail-prob 0.05\n");
   BenchResult a = run_once(rt::HeuristicConfig::xkblas(), Blas3::kGemm, p1);
   BenchResult b = run_once(rt::HeuristicConfig::xkblas(), Blas3::kGemm, p2);
+  EXPECT_NE(a.event_hash, b.event_hash);
+}
+
+// Generic workloads (xkb::wl) through the submission bridge: a seeded
+// `random` and a `dnn` graph rerun must be bit-identical, for every
+// heuristic preset and both placements -- the workload analogue of the BLAS
+// reruns above.
+BenchResult run_workload_once(const std::string& spec_text,
+                              const rt::HeuristicConfig& heur, bool dod) {
+  const wl::WorkloadGraph g = wl::build(wl::WorkloadSpec::parse(spec_text));
+  const ModelSpec spec = spec_for_library("xkblas", heur);
+  WorkloadBenchConfig cfg;
+  cfg.data_on_device = dod;
+  cfg.check.enabled = true;
+  BenchResult res = run_workload(spec, g, cfg);
+  EXPECT_FALSE(res.failed) << res.error;
+  EXPECT_TRUE(res.check_ok) << res.check_report;
+  return res;
+}
+
+TEST(Determinism, SeededRandomWorkloadIsBitIdenticalAcrossReruns) {
+  const std::string spec = "random:width=12,depth=10,seed=7,prob=0.2";
+  for (const Preset& p : presets())
+    for (const bool dod : {false, true}) {
+      BenchResult a = run_workload_once(spec, p.heur, dod);
+      BenchResult b = run_workload_once(spec, p.heur, dod);
+      expect_identical(a, b, p.name);
+    }
+}
+
+TEST(Determinism, DnnWorkloadIsBitIdenticalAcrossReruns) {
+  const std::string spec = "dnn:width=8,depth=6,seed=11";
+  for (const Preset& p : presets())
+    for (const bool dod : {false, true}) {
+      BenchResult a = run_workload_once(spec, p.heur, dod);
+      BenchResult b = run_workload_once(spec, p.heur, dod);
+      expect_identical(a, b, p.name);
+    }
+}
+
+// A different master seed must drive a different random graph, hence a
+// different event stream -- otherwise the seed would be vacuous.
+TEST(Determinism, WorkloadSeedDistinguishesRuns) {
+  BenchResult a = run_workload_once("random:width=12,depth=10,seed=1,prob=0.2",
+                                    rt::HeuristicConfig::xkblas(), false);
+  BenchResult b = run_workload_once("random:width=12,depth=10,seed=2,prob=0.2",
+                                    rt::HeuristicConfig::xkblas(), false);
   EXPECT_NE(a.event_hash, b.event_hash);
 }
 

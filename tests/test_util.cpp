@@ -74,6 +74,47 @@ TEST(Rng, FillRandomCoversMatrix) {
   EXPECT_GT(nonzero, 20);
 }
 
+TEST(Rng, SubstreamIsDeterministicAndKeyed) {
+  Rng master(42);
+  Rng a = master.substream("random");
+  Rng b = Rng(42).substream("random");
+  Rng c = Rng(42).substream("dnn");
+  EXPECT_EQ(a.next_u64(), b.next_u64());   // same master + key -> same stream
+  EXPECT_NE(Rng(42).substream("random").next_u64(), c.next_u64());
+  EXPECT_NE(Rng(42).substream("random").next_u64(), Rng(42).next_u64());
+}
+
+// Deriving (or drawing from) one sub-stream must not advance the master or
+// perturb a sibling -- the property that lets the `random` and `dnn`
+// generators share one experiment seed without their graphs depending on
+// build order.
+TEST(Rng, SubstreamsAreIndependentOfDerivationAndDrawOrder) {
+  Rng m1(7);
+  Rng r1 = m1.substream("random");
+  Rng d1 = m1.substream("dnn");
+  const std::uint64_t r_first = r1.next_u64();
+  const std::uint64_t d_first = d1.next_u64();
+
+  // Opposite derivation order, and a burned draw in between.
+  Rng m2(7);
+  Rng d2 = m2.substream("dnn");
+  for (int i = 0; i < 100; ++i) d2.next_u64();
+  Rng r2 = m2.substream("random");
+  EXPECT_EQ(r2.next_u64(), r_first);
+  EXPECT_EQ(Rng(7).substream("dnn").next_u64(), d_first);
+
+  // substream() is const: the master still produces its own sequence.
+  EXPECT_EQ(m1.next_u64(), Rng(7).next_u64());
+}
+
+TEST(Rng, SubstreamKeysAreFnv1aOfTheName) {
+  EXPECT_EQ(Rng::key(""), 14695981039346656037ull);
+  EXPECT_NE(Rng::key("random"), Rng::key("dnn"));
+  // Same key, by name or by value, selects the same stream.
+  EXPECT_EQ(Rng(9).substream("dnn").next_u64(),
+            Rng(9).substream(Rng::key("dnn")).next_u64());
+}
+
 TEST(Rng, DiagDominantMakesSolvable) {
   Matrix<double> a(4, 4);
   Rng r(3);

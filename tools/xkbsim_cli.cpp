@@ -1,18 +1,22 @@
 // xkbsim_cli: run any single experiment of the reproduction from the
 // command line -- routine, size, tile, library model, topology, heuristics,
-// scenario -- and print TFlop/s, transfer statistics, the per-class time
-// breakdown and (optionally) a Gantt chart or CSV row.
+// scenario, or a generic xkb::wl workload -- and print TFlop/s, transfer
+// statistics, the per-class time breakdown and (optionally) a Gantt chart
+// or CSV row.
 //
 //   xkbsim_cli --routine gemm --n 32768 --tile 2048 --lib xkblas
 //   xkbsim_cli --routine syr2k --n 49152 --lib chameleon-tile --gantt
 //   xkbsim_cli --routine gemm --n 16384 --lib xkblas --no-heur --no-topo
 //   xkbsim_cli --routine trsm --n 24576 --data-on-device --csv
+//   xkbsim_cli --workload stencil_1d:width=16,depth=32 --check
+//   xkbsim_cli --workload-file traces/pipeline.wlg --lib xkblas --csv
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 #include "baselines/common.hpp"
 #include "baselines/library_model.hpp"
+#include "baselines/workload_entry.hpp"
 #include <fstream>
 
 #include "fault/fault.hpp"
@@ -20,41 +24,68 @@
 #include "trace/export.hpp"
 #include "trace/gantt.hpp"
 #include "util/table.hpp"
+#include "workload/workload.hpp"
 
 using namespace xkb;
 using namespace xkb::baselines;
 
 namespace {
 
+constexpr const char* kRoutines =
+    "gemm|symm|syrk|syr2k|trmm|trsm|hemm|herk|her2k";
+constexpr const char* kTopos = "dgx1|pcie|nvswitch|summit";
+constexpr const char* kScenarios = "data-on-host|data-on-device";
+
+std::string lib_list() {
+  std::string all;
+  for (const std::string& n : library_names())
+    all += (all.empty() ? "" : "|") + n;
+  return all;
+}
+
 void usage() {
   std::printf(
       "usage: xkbsim_cli [options]\n"
-      "  --routine R    gemm|symm|syrk|syr2k|trmm|trsm|hemm|herk|her2k "
-      "(default gemm)\n"
+      "\n"
+      "experiment selection:\n"
+      "  --routine R    %s (default gemm)\n"
       "  --n N          matrix dimension (default 32768)\n"
       "  --tile T       tile size (default 2048)\n"
-      "  --lib L        xkblas|blasx|chameleon-tile|chameleon-lapack|\n"
-      "                 cublas-xt|cublas-mg|dplasma|slate (default xkblas)\n"
-      "  --topo T       dgx1|pcie|nvswitch|summit (default dgx1)\n"
+      "  --lib L        %s (default xkblas)\n"
+      "  --topo T       %s (default dgx1)\n"
       "  --no-heur      disable the optimistic D2D heuristic (xkblas)\n"
       "  --no-topo      disable topology-aware source selection (xkblas)\n"
-      "  --data-on-device   2D block-cyclic pre-distribution scenario\n"
-      "  --gantt        print an ASCII Gantt chart of the run\n"
-      "  --trace-out F  own XKBlas run, Chrome trace-event JSON to file F,\n"
-      "                 enriched with decision/flow/counter tracks\n"
-      "                 (--trace-json is an alias)\n"
-      "  --metrics-out F  xkb::obs metrics + link-utilization + critical-path\n"
-      "                 JSON to file F (any --lib; with --trace-out the same\n"
-      "                 direct run feeds both files)\n"
-      "  --csv          print one machine-readable CSV row\n"
+      "  --scenario S   %s (default data-on-host)\n"
+      "  --data-on-device   shorthand for --scenario data-on-device\n"
+      "\n"
+      "generic workloads (xkb::wl; replaces --routine/--n/--tile):\n"
+      "  --workload W   generator spec, e.g. stencil_1d:width=16,depth=32\n"
+      "                 (generators: trivial|stencil_1d|nearest|fft|tree|\n"
+      "                 random|dnn|composition)\n"
+      "  --workload-file F  replay a .wlg task-graph file\n"
+      "\n"
+      "validation and observability:\n"
       "  --check        run under xkb::check (races, coherence, progress);\n"
       "                 exit 3 and print the report on any violation\n"
       "  --hash         print the FNV-1a event-stream hash (implies --check)\n"
+      "  --metrics-out F  xkb::obs metrics + link-utilization + critical-path\n"
+      "                 JSON to file F (any --lib; with --trace-out the same\n"
+      "                 direct run feeds both files)\n"
+      "  --trace-out F  own XKBlas run, Chrome trace-event JSON to file F,\n"
+      "                 enriched with decision/flow/counter tracks\n"
+      "                 (--trace-json is an alias; BLAS routines only)\n"
+      "\n"
+      "fault injection (xkb::fault):\n"
       "  --fault-plan F run under the xkb::fault plan in file F\n"
       "  --fault-seed S run under a random seeded fault plan (brownouts, a\n"
       "                 route demotion, transfer failures)\n"
       "  --fault-horizon T  spread the seeded plan over [0, T) virtual\n"
-      "                 seconds (default 0.1)\n");
+      "                 seconds (default 0.1)\n"
+      "\n"
+      "output:\n"
+      "  --gantt        print per-GPU busy-time table\n"
+      "  --csv          print one machine-readable CSV row\n",
+      kRoutines, lib_list().c_str(), kTopos, kScenarios);
 }
 
 /// Strict full-string unsigned parse: "12abc", "-3" and "" all reject with
@@ -97,7 +128,8 @@ Blas3 parse_routine(const std::string& r) {
   if (r == "hemm") return Blas3::kHemm;
   if (r == "herk") return Blas3::kHerk;
   if (r == "her2k") return Blas3::kHer2k;
-  throw std::invalid_argument("unknown routine: " + r);
+  throw std::invalid_argument("unknown routine '" + r +
+                              "' (accepted: " + kRoutines + ")");
 }
 
 std::unique_ptr<LibraryModel> parse_lib(const std::string& l,
@@ -110,7 +142,8 @@ std::unique_ptr<LibraryModel> parse_lib(const std::string& l,
   if (l == "cublas-mg") return make_cublasmg();
   if (l == "dplasma") return make_dplasma();
   if (l == "slate") return make_slate();
-  throw std::invalid_argument("unknown library: " + l);
+  throw std::invalid_argument("unknown library '" + l +
+                              "' (accepted: " + lib_list() + ")");
 }
 
 topo::Topology parse_topo(const std::string& t) {
@@ -118,7 +151,15 @@ topo::Topology parse_topo(const std::string& t) {
   if (t == "pcie") return topo::Topology::pcie_only(8);
   if (t == "nvswitch") return topo::Topology::nvswitch(8);
   if (t == "summit") return topo::Topology::summit_like();
-  throw std::invalid_argument("unknown topology: " + t);
+  throw std::invalid_argument("unknown topology '" + t +
+                              "' (accepted: " + kTopos + ")");
+}
+
+bool parse_scenario(const std::string& s) {
+  if (s == "data-on-host") return false;
+  if (s == "data-on-device") return true;
+  throw std::invalid_argument("unknown scenario '" + s +
+                              "' (accepted: " + kScenarios + ")");
 }
 
 }  // namespace
@@ -129,6 +170,7 @@ int main(int argc, char** argv) {
   bool no_heur = false, no_topo = false, dod = false, gantt = false,
        csv = false, check = false, hash = false;
   std::string trace_json, metrics_out, fault_plan_file;
+  std::string workload, workload_file;
   std::uint64_t fault_seed = 0;
   bool have_fault_seed = false;
   double fault_horizon = 0.1;
@@ -148,6 +190,9 @@ int main(int argc, char** argv) {
       else if (arg == "--no-heur") no_heur = true;
       else if (arg == "--no-topo") no_topo = true;
       else if (arg == "--data-on-device") dod = true;
+      else if (arg == "--scenario") dod = parse_scenario(next());
+      else if (arg == "--workload") workload = next();
+      else if (arg == "--workload-file") workload_file = next();
       else if (arg == "--gantt") gantt = true;
       else if (arg == "--trace-json" || arg == "--trace-out")
         trace_json = next();
@@ -179,22 +224,22 @@ int main(int argc, char** argv) {
     if (no_heur) heur.optimistic_d2d = false;
     if (no_topo) heur.source = rt::SourcePolicy::kFirstValid;
 
-    BenchConfig cfg;
-    cfg.routine = parse_routine(routine);
-    cfg.n = n;
-    cfg.tile = tile;
-    cfg.topology = parse_topo(topo_name);
-    cfg.data_on_device = dod;
-    cfg.check.enabled = check;
-    cfg.obs.enabled = !metrics_out.empty();
+    const topo::Topology topology = parse_topo(topo_name);
+    fault::FaultPlan fault_plan;
     if (!fault_plan_file.empty())
-      cfg.fault_plan = fault::FaultPlan::parse_file(fault_plan_file);
+      fault_plan = fault::FaultPlan::parse_file(fault_plan_file);
     else if (have_fault_seed)
-      cfg.fault_plan = fault::FaultPlan::random(
-          fault_seed, cfg.topology.num_gpus(), fault_horizon);
+      fault_plan =
+          fault::FaultPlan::random(fault_seed, topology.num_gpus(),
+                                   fault_horizon);
 
     if (!trace_json.empty()) {
       // Direct run with the trace retained, exported for chrome://tracing.
+      BenchConfig cfg;
+      cfg.routine = parse_routine(routine);
+      cfg.n = n;
+      cfg.tile = tile;
+      cfg.topology = topology;
       rt::Platform plat(cfg.topology, cfg.perf, {});
       obs::Observability o(plat.num_gpus());
       plat.set_obs(&o);  // before the Runtime: it caches series pointers
@@ -245,13 +290,50 @@ int main(int argc, char** argv) {
       return 0;
     }
 
-    auto model = parse_lib(lib, heur);
-    if (!model->supports(cfg.routine)) {
-      std::fprintf(stderr, "%s does not implement %s\n", lib.c_str(),
-                   blas3_name(cfg.routine));
-      return 1;
+    BenchResult r;
+    std::string experiment;  // header / CSV experiment column
+    char header[256];
+    if (!workload.empty() || !workload_file.empty()) {
+      const wl::WorkloadGraph g =
+          workload_file.empty()
+              ? wl::build(wl::WorkloadSpec::parse(workload))
+              : wl::parse_wlg_file(workload_file);
+      const ModelSpec spec = spec_for_library(lib, heur);
+      WorkloadBenchConfig wcfg;
+      wcfg.data_on_device = dod;
+      wcfg.topology = topology;
+      wcfg.check.enabled = check;
+      wcfg.obs.enabled = !metrics_out.empty();
+      wcfg.fault_plan = fault_plan;
+      r = run_workload(spec, g, wcfg);
+      experiment = g.name;
+      std::snprintf(header, sizeof header, "%s workload %s on %s%s\n",
+                    lib.c_str(), g.name.c_str(), topology.name().c_str(),
+                    dod ? " (data-on-device)" : " (data-on-host)");
+    } else {
+      BenchConfig cfg;
+      cfg.routine = parse_routine(routine);
+      cfg.n = n;
+      cfg.tile = tile;
+      cfg.topology = topology;
+      cfg.data_on_device = dod;
+      cfg.check.enabled = check;
+      cfg.obs.enabled = !metrics_out.empty();
+      cfg.fault_plan = fault_plan;
+      auto model = parse_lib(lib, heur);
+      if (!model->supports(cfg.routine)) {
+        std::fprintf(stderr, "%s does not implement %s\n", lib.c_str(),
+                     blas3_name(cfg.routine));
+        return 1;
+      }
+      r = model->run(cfg);
+      experiment = routine;
+      std::snprintf(header, sizeof header, "%s %s N=%zu tile=%zu on %s%s\n",
+                    lib.c_str(), blas3_name(cfg.routine), n, tile,
+                    topology.name().c_str(),
+                    dod ? " (data-on-device)" : " (data-on-host)");
     }
-    const BenchResult r = model->run(cfg);
+
     if (r.failed) {
       std::fprintf(stderr, "run failed: %s\n", r.error.c_str());
       return 1;
@@ -271,11 +353,11 @@ int main(int argc, char** argv) {
     }
 
     if (csv) {
-      std::printf("lib,routine,n,tile,topo,dod,seconds,tflops,h2d,d2d,d2h,"
-                  "optimistic_waits,forced_waits,steals,tasks\n");
+      std::printf("lib,experiment,n,tile,topo,dod,seconds,tflops,h2d,d2d,"
+                  "d2h,optimistic_waits,forced_waits,steals,tasks\n");
       std::printf("%s,%s,%zu,%zu,%s,%d,%.6f,%.3f,%zu,%zu,%zu,%zu,%zu,%zu,"
                   "%zu\n",
-                  lib.c_str(), routine.c_str(), n, tile, topo_name.c_str(),
+                  lib.c_str(), experiment.c_str(), n, tile, topo_name.c_str(),
                   dod ? 1 : 0, r.seconds, r.tflops, r.transfers.h2d,
                   r.transfers.d2d, r.transfers.d2h,
                   r.transfers.optimistic_waits, r.transfers.forced_waits,
@@ -283,10 +365,7 @@ int main(int argc, char** argv) {
       return 0;
     }
 
-    std::printf("%s %s N=%zu tile=%zu on %s%s\n", lib.c_str(),
-                blas3_name(cfg.routine), n, tile,
-                cfg.topology.name().c_str(),
-                dod ? " (data-on-device)" : " (data-on-host)");
+    std::printf("%s", header);
     std::printf("  time     : %.4f s (virtual)\n", r.seconds);
     std::printf("  rate     : %.2f TFlop/s\n", r.tflops);
     std::printf("  tasks    : %zu (%zu steals)\n", r.tasks, r.steals);
@@ -305,8 +384,6 @@ int main(int argc, char** argv) {
                 b.kernel, b.htod, b.ptop, b.dtoh,
                 100.0 * b.transfers() / b.total());
     if (gantt) {
-      // Re-run with trace retained for rendering (models keep their own
-      // platform; the breakdown above is from the same deterministic run).
       std::printf("\nPer-GPU busy time:\n");
       Table t({"GPU", "kernel(s)", "transfers(s)"});
       for (std::size_t g = 0; g < r.per_gpu.size(); ++g)
