@@ -73,6 +73,13 @@ struct BenchResult {
   rt::TransferStats transfers;
   std::size_t steals = 0;
   std::size_t tasks = 0;
+  // Engine event counters for the whole run (distribution + measured
+  // phases): total dispatched events incl. silent machinery, and the
+  // observable subset (the event-stream length the hash covers).  Feeds the
+  // BENCH_e2e.json events/sec trajectory.
+  std::uint64_t events_processed = 0;
+  std::uint64_t events_observable = 0;
+  std::uint64_t events_peak_pending = 0;
   // Populated only when BenchConfig::check.enabled was set.
   bool check_ok = true;
   std::size_t check_violations = 0;

@@ -107,6 +107,9 @@ BenchResult run_workload(const ModelSpec& spec, const wl::WorkloadGraph& graph,
   res.transfers = runtime.data_manager().stats();
   res.steals = runtime.steals();
   res.tasks = runtime.tasks_completed();
+  res.events_processed = plat.engine().events_processed();
+  res.events_observable = plat.engine().observable_processed();
+  res.events_peak_pending = plat.engine().peak_pending();
   if (inj) {
     res.task_remaps = runtime.task_remaps();
     res.task_replays = runtime.task_replays();

@@ -19,10 +19,10 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "sim/engine.hpp"
+#include "sim/small_fn.hpp"
 
 namespace xkb::mem {
 
@@ -57,7 +57,7 @@ struct Replica {
   int pins = 0;              ///< active users (unpinned replicas are evictable)
   sim::Time eta = 0.0;       ///< arrival time when kInFlight
   sim::Time last_use = 0.0;  ///< LRU stamp (kept for trace/debug output)
-  std::vector<std::function<void()>> waiters;  ///< run when kInFlight -> kValid
+  std::vector<sim::Callback> waiters;  ///< run when kInFlight -> kValid
 
   // Fetch provenance (xkb::fault recovery).  Pre-fault, an in-flight
   // reception was an opaque promise: a completion lambda somewhere in the

@@ -51,15 +51,12 @@ void DataManager::acquire(mem::DataHandle* h, int dev, Access mode,
 
 void DataManager::acquire_write(mem::DataHandle* h, int dev,
                                 sim::Callback done) {
-  auto retry = [this, h, dev, done]() mutable {
-    acquire_write(h, dev, std::move(done));
-  };
-  if (!try_reserve_or_defer(h, dev, std::move(retry))) return;
+  if (!try_reserve_or_defer(h, dev, done, &DataManager::acquire_write)) return;
   plat_->engine().schedule_after(0.0, std::move(done));
 }
 
 bool DataManager::try_reserve_or_defer(mem::DataHandle* h, int dev,
-                                       std::function<void()> retry) {
+                                       sim::Callback& done, RetryFn retry) {
   try {
     reserve_with_flushes(h, dev);
     consecutive_oom_ = 0;
@@ -70,7 +67,10 @@ bool DataManager::try_reserve_or_defer(mem::DataHandle* h, int dev,
     // anywhere means the working set genuinely exceeds device memory.
     if (++consecutive_oom_ > 100000) throw;
     stats_.oom_deferrals++;
-    plat_->engine().schedule_after(50e-6, std::move(retry));
+    plat_->engine().schedule_after(
+        50e-6, [this, h, dev, retry, done = std::move(done)]() mutable {
+          (this->*retry)(h, dev, std::move(done));
+        });
     return false;
   }
 }
@@ -102,10 +102,7 @@ void DataManager::ensure_valid(mem::DataHandle* h, int dev,
     return;
   }
 
-  auto retry = [this, h, dev, done]() mutable {
-    ensure_valid(h, dev, std::move(done));
-  };
-  if (!try_reserve_or_defer(h, dev, std::move(retry))) return;
+  if (!try_reserve_or_defer(h, dev, done, &DataManager::ensure_valid)) return;
 
   if (obs::Observability* o = plat_->obs())
     o->on_cache_ref(dev, obs::CacheRef::kMiss);

@@ -198,8 +198,16 @@ class DataManager {
   /// working set (window x task footprint + one eviction-flush slot);
   /// below that the deferral loop is bounded and ends in
   /// OutOfDeviceMemory.
-  bool try_reserve_or_defer(mem::DataHandle* h, int dev,
-                            std::function<void()> retry);
+  ///
+  /// `done` is the caller's completion callback; it is consumed (moved into
+  /// the scheduled `(this->*retry)(h, dev, done)` continuation) only on the
+  /// deferral path, so on success the caller still owns it.  Taking it by
+  /// reference plus a member-pointer retry keeps `done` move-only: the old
+  /// shape (a retry lambda capturing `done` by copy) forced a copyable
+  /// callback and an extra closure copy per deferral.
+  using RetryFn = void (DataManager::*)(mem::DataHandle*, int, sim::Callback);
+  bool try_reserve_or_defer(mem::DataHandle* h, int dev, sim::Callback& done,
+                            RetryFn retry);
 
   Platform* plat_;
   HeuristicConfig cfg_;

@@ -1,40 +1,57 @@
 #include "sim/engine.hpp"
 
-#include <cassert>
+#include <cstdlib>
+#include <cstring>
 
 namespace xkb::sim {
 
-void Engine::schedule_at(Time t, Callback cb) {
-  assert(t >= now_ && "cannot schedule into the past");
-  if (t < now_) t = now_;  // release builds: clamp (see header contract)
-  queue_.push(Event{t, seq_++, std::move(cb), /*observable=*/true});
+namespace {
+
+Engine::QueueImpl initial_default_impl() {
+  if (const char* env = std::getenv("XKB_ENGINE_QUEUE")) {
+    if (std::strcmp(env, "heap") == 0) return Engine::QueueImpl::kHeap;
+  }
+  return Engine::QueueImpl::kCalendar;
 }
 
-void Engine::schedule_silent_at(Time t, Callback cb) {
-  assert(t >= now_ && "cannot schedule into the past");
-  if (t < now_) t = now_;
-  queue_.push(Event{t, seq_++, std::move(cb), /*observable=*/false});
+Engine::QueueImpl& default_impl_slot() {
+  static Engine::QueueImpl impl = initial_default_impl();
+  return impl;
 }
 
-void Engine::dispatch(Event ev) {
-  now_ = ev.t;
+}  // namespace
+
+Engine::QueueImpl Engine::default_queue_impl() { return default_impl_slot(); }
+
+void Engine::set_default_queue_impl(QueueImpl impl) {
+  default_impl_slot() = impl;
+}
+
+void Engine::dispatch(EventNode* n) {
+  now_ = n->t;
   ++processed_;
-  if (ev.observable) {
+  if (n->observable) {
     ++observable_processed_;
-    last_observable_time_ = ev.t;
-    if (observer_) observer_(ev.t, observable_seq_);
+    last_observable_time_ = n->t;
+    if (observer_) observer_(n->t, observable_seq_);
     ++observable_seq_;
   }
-  ev.cb();
+  // Invoke in place: the node is already out of the queue, so a callback
+  // that schedules new work (arena slabs are stable, this slot is still
+  // live) or resets the engine (drain_all only sees queued nodes) cannot
+  // invalidate it.  The guard returns the node to the arena after the call
+  // -- including on throw (fault paths propagate FaultError through run()),
+  // so the callback's captures are always destroyed exactly once.
+  struct NodeGuard {
+    EventArena* arena;
+    EventNode* n;
+    ~NodeGuard() { arena->destroy(n); }
+  } guard{&arena_, n};
+  n->cb();
 }
 
 Time Engine::run() {
-  while (!queue_.empty()) {
-    // The callback may schedule new events, so move it out before popping.
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    dispatch(std::move(ev));
-  }
+  while (EventNode* n = queue_.pop()) dispatch(n);
   // The queue may have drained on a *silent* event (a watchdog tick or
   // fault-plan trigger beyond the last completion).  Rewind to the
   // observable frontier so that silent machinery leaves no trace once the
@@ -46,24 +63,33 @@ Time Engine::run() {
 }
 
 Time Engine::run_until(Time deadline) {
-  while (!queue_.empty() && queue_.top().t <= deadline) {
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    dispatch(std::move(ev));
+  while (EventNode* n = queue_.peek()) {
+    if (n->t > deadline) break;
+    dispatch(queue_.pop());
   }
-  if (now_ < deadline && queue_.empty()) return now_;
+  if (queue_.empty()) {
+    // Same drain contract as run(): rewind past any trailing silent events
+    // so a watchdog tick or fault trigger beyond the last completion never
+    // leaks into the clock seen by a later phase.
+    now_ = last_observable_time_;
+    return now_;
+  }
   now_ = deadline > now_ ? deadline : now_;
   return now_;
 }
 
 void Engine::reset() {
-  while (!queue_.empty()) queue_.pop();
+  clear_events();
   now_ = 0.0;
   seq_ = 0;
   processed_ = 0;
   observable_seq_ = 0;
   observable_processed_ = 0;
   last_observable_time_ = 0.0;
+}
+
+void Engine::clear_events() {
+  queue_.drain_all([this](EventNode* n) { arena_.destroy(n); });
 }
 
 }  // namespace xkb::sim

@@ -5,25 +5,42 @@
 // reacts to completion events.  Determinism is guaranteed by ordering events
 // by (time, insertion sequence); two runs with the same inputs produce the
 // same schedule, which the test suite relies on.
+//
+// Storage and ordering live in sim/event_queue.hpp: events are arena-
+// allocated nodes dispatched from a two-tier calendar queue (or, for
+// differential testing, a binary heap with the identical dispatch order).
+// Callbacks are `sim::Callback` (SmallFn): move-only with a large inline
+// buffer, so the hot schedule/dispatch loop performs no heap allocation.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/small_fn.hpp"
 
 namespace xkb::sim {
 
-/// Virtual time in seconds.
-using Time = double;
-
-using Callback = std::function<void()>;
+using Callback = SmallFn;
 
 class Engine {
  public:
-  Engine() = default;
+  using QueueImpl = EventQueue::Impl;
+
+  Engine() : Engine(default_queue_impl()) {}
+  explicit Engine(QueueImpl impl) : queue_(impl) {}
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
+  ~Engine() { clear_events(); }
+
+  /// Queue implementation used by engines default-constructed afterwards.
+  /// Overridable via the XKB_ENGINE_QUEUE environment variable ("calendar"
+  /// or "heap"); the differential determinism tests flip it per run.
+  static QueueImpl default_queue_impl();
+  static void set_default_queue_impl(QueueImpl impl);
+
+  QueueImpl queue_impl() const { return queue_.impl(); }
 
   Time now() const { return now_; }
 
@@ -33,10 +50,19 @@ class Engine {
   /// bug -- it would break the monotonicity every resource relies on -- and
   /// is diagnosed by an assert in debug builds; release builds clamp the
   /// event to now() (it runs next, after already-queued same-time events).
-  void schedule_at(Time t, Callback cb);
+  template <class F>
+  void schedule_at(Time t, F&& cb) {
+    assert(t >= now_ && "cannot schedule into the past");
+    if (t < now_) t = now_;  // release builds: clamp (see contract above)
+    queue_.push(
+        arena_.create(t, seq_++, /*observable=*/true, std::forward<F>(cb)));
+  }
 
   /// Schedule `cb` to run `dt` seconds from now.
-  void schedule_after(Time dt, Callback cb) { schedule_at(now_ + dt, std::move(cb)); }
+  template <class F>
+  void schedule_after(Time dt, F&& cb) {
+    schedule_at(now_ + dt, std::forward<F>(cb));
+  }
 
   /// Schedule a *silent* event: it executes like any other (ordered by
   /// (time, global sequence)) but is invisible to the observer, does not
@@ -45,9 +71,16 @@ class Engine {
   /// ticks, so that a fault that ends up affecting nothing leaves the
   /// observable event stream -- and therefore the xkb::check event-stream
   /// hash -- bit-identical to a fault-free run.
-  void schedule_silent_at(Time t, Callback cb);
-  void schedule_silent_after(Time dt, Callback cb) {
-    schedule_silent_at(now_ + dt, std::move(cb));
+  template <class F>
+  void schedule_silent_at(Time t, F&& cb) {
+    assert(t >= now_ && "cannot schedule into the past");
+    if (t < now_) t = now_;
+    queue_.push(
+        arena_.create(t, seq_++, /*observable=*/false, std::forward<F>(cb)));
+  }
+  template <class F>
+  void schedule_silent_after(Time dt, F&& cb) {
+    schedule_silent_at(now_ + dt, std::forward<F>(cb));
   }
 
   /// Run events until the queue drains.  Returns the final virtual time,
@@ -58,6 +91,10 @@ class Engine {
   Time run();
 
   /// Run until the queue drains or virtual time would exceed `deadline`.
+  /// An event exactly at `deadline` runs.  Shares run()'s drain contract:
+  /// if the queue drained (even on a trailing silent event), the clock
+  /// rests at the observable frontier, not at the silent tail or the
+  /// deadline.
   Time run_until(Time deadline);
 
   std::uint64_t events_processed() const { return processed_; }
@@ -70,9 +107,15 @@ class Engine {
   Time last_observable_time() const { return last_observable_time_; }
 
   bool empty() const { return queue_.empty(); }
+  std::size_t pending() const { return queue_.size(); }
+
+  /// High-water mark of simultaneously pending events over the engine's
+  /// lifetime (not reset by reset()): the resident queue depth this
+  /// run actually exercised.
+  std::size_t peak_pending() const { return arena_.peak_live(); }
 
   /// Reset the clock and drop all pending events (for back-to-back runs).
-  /// Pending callbacks (and whatever they capture) are destroyed.
+  /// Pending callbacks (and whatever they capture) are destroyed.  O(n).
   void reset();
 
   /// Observer invoked for every *observable* event, just before its
@@ -85,22 +128,11 @@ class Engine {
   void set_observer(Observer obs) { observer_ = std::move(obs); }
 
  private:
-  struct Event {
-    Time t;
-    std::uint64_t seq;
-    Callback cb;
-    bool observable;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.t != b.t) return a.t > b.t;
-      return a.seq > b.seq;
-    }
-  };
+  void dispatch(EventNode* n);
+  void clear_events();
 
-  void dispatch(Event ev);
-
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  EventArena arena_;
+  EventQueue queue_;
   Time now_ = 0.0;
   std::uint64_t seq_ = 0;
   std::uint64_t processed_ = 0;

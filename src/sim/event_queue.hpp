@@ -1,0 +1,210 @@
+// Event storage and ordering for the discrete-event engine.
+//
+// Two pieces, both built for the hot scheduling loop:
+//
+//  * `EventArena` -- a slab allocator for event nodes.  Nodes live in
+//    fixed-size slabs and recycle through a free list, so steady-state
+//    scheduling performs zero allocator traffic: a paper-scale GEMM churns
+//    through millions of events but only ever allocates as many slabs as
+//    its peak queue depth requires.
+//
+//  * `EventQueue` -- a two-tier calendar (ladder) queue over arena nodes,
+//    with a `std::priority_queue`-equivalent binary-heap fallback
+//    (`Impl::kHeap`) kept for differential testing: both impls dispatch in
+//    exactly the same total order, keyed by (time, insertion sequence), so
+//    the xkb::check event-stream hash is bit-identical whichever is active.
+//
+// Calendar structure.  Near-future events hash into `buckets_` over the
+// window [win_start_, win_start_ + nbuckets * width_); far-future events
+// wait unsorted in `overflow_`.  The cursor bucket is *adopted* into
+// `sorted_`, a descending-sorted vector whose back() is the global minimum.
+// The queue stores (t, seq, node*) entries, not bare pointers: sorts and
+// binary searches then run over contiguous keys instead of chasing node
+// pointers across arena slabs, which is what keeps adoption cheap at
+// paper-scale queue depths (tens of thousands of resident events).
+//
+// Ordering invariant: the bucket index map f(t) = floor((t - win_start) *
+// inv_width) is monotone in t, so bucket k holds exactly the events whose
+// times fall in f's k-th preimage interval; every element of `sorted_`
+// (the adopted bucket cur_) therefore precedes, by (t, seq), every element
+// of any bucket after the cursor and every overflow element.  Pushes that
+// land at or before the cursor bucket insert directly into `sorted_`
+// (binary search near the back, since t >= now); pushes beyond it go to
+// their bucket or to overflow.  When the window is exhausted the queue
+// rebuilds from `overflow_`: the new window starts at the overflow
+// minimum, so bucket 0 is non-empty and every rebuild makes strict
+// progress.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/small_fn.hpp"
+
+namespace xkb::sim {
+
+/// Virtual time in seconds.
+using Time = double;
+
+/// One pending event.  Owned by the `EventArena`; referenced (never owned)
+/// by the `EventQueue`.  Cache-line aligned: with the 80-byte SmallFn
+/// buffer the node is exactly two 64-byte lines, so the queue can prefetch
+/// a whole upcoming node with two touches and dispatch never straddles a
+/// third line.
+struct alignas(64) EventNode {
+  Time t;
+  std::uint64_t seq;
+  bool observable;
+  SmallFn cb;
+};
+static_assert(sizeof(EventNode) == 128, "EventNode should span two lines");
+
+/// Hint the prefetcher at a node about to be dispatched.
+inline void prefetch_node(const EventNode* n) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(n, 0, 3);
+  __builtin_prefetch(reinterpret_cast<const char*>(n) + 64, 0, 3);
+#else
+  (void)n;
+#endif
+}
+
+/// Slab allocator for `EventNode`.  Slabs are stable (never moved or freed
+/// until the arena dies); destroyed nodes recycle through a LIFO free list
+/// (the hottest slot is reused first).
+class EventArena {
+ public:
+  EventArena() = default;
+  EventArena(const EventArena&) = delete;
+  EventArena& operator=(const EventArena&) = delete;
+
+  template <class F>
+  EventNode* create(Time t, std::uint64_t seq, bool observable, F&& f) {
+    void* slot;
+    if (!free_.empty()) {
+      slot = free_.back();
+      free_.pop_back();
+    } else {
+      slot = fresh_slot();
+    }
+    ++live_;
+    if (live_ > peak_live_) peak_live_ = live_;
+    return ::new (slot)
+        EventNode{t, seq, observable, SmallFn(std::forward<F>(f))};
+  }
+
+  void destroy(EventNode* n) {
+    n->~EventNode();
+    free_.push_back(n);
+    --live_;
+  }
+
+  std::size_t live() const { return live_; }
+  /// High-water mark of simultaneously pending events -- the resident
+  /// queue depth a benchmark should reproduce to be representative.
+  std::size_t peak_live() const { return peak_live_; }
+  std::size_t slabs() const { return slabs_.size(); }
+
+ private:
+  static constexpr std::size_t kSlabNodes = 256;
+  struct alignas(alignof(EventNode)) RawSlot {
+    unsigned char bytes[sizeof(EventNode)];
+  };
+
+  void* fresh_slot() {
+    if (slabs_.empty() || next_in_slab_ == kSlabNodes) {
+      slabs_.push_back(std::make_unique<RawSlot[]>(kSlabNodes));
+      next_in_slab_ = 0;
+    }
+    return &slabs_.back()[next_in_slab_++];
+  }
+
+  std::vector<std::unique_ptr<RawSlot[]>> slabs_;
+  std::vector<void*> free_;
+  std::size_t next_in_slab_ = 0;
+  std::size_t live_ = 0;
+  std::size_t peak_live_ = 0;
+};
+
+class EventQueue {
+ public:
+  enum class Impl : std::uint8_t {
+    kCalendar,  ///< two-tier calendar queue (production)
+    kHeap,      ///< binary heap, dispatch-order-identical (differential ref)
+  };
+
+  explicit EventQueue(Impl impl = Impl::kCalendar) : impl_(impl) {}
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  Impl impl() const { return impl_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  void push(EventNode* n);
+
+  /// Earliest event by (t, seq), or nullptr when empty.  May advance the
+  /// calendar cursor / trigger a rebuild, but never changes the dispatch
+  /// order.
+  EventNode* peek();
+
+  /// Remove and return the earliest event, or nullptr when empty.
+  EventNode* pop();
+
+  /// Visit every pending node in unspecified order and leave the queue
+  /// empty.  O(n); used by Engine::reset and the engine destructor to
+  /// return nodes to the arena without a full ordered drain.
+  template <class Fn>
+  void drain_all(Fn&& fn) {
+    for (const Entry& e : sorted_) fn(e.n);
+    sorted_.clear();
+    for (auto& b : buckets_) {
+      for (const Entry& e : b) fn(e.n);
+      b.clear();
+    }
+    for (const Entry& e : overflow_) fn(e.n);
+    overflow_.clear();
+    for (const Entry& e : heap_) fn(e.n);
+    heap_.clear();
+    size_ = 0;
+    width_ = 0.0;
+    inv_width_ = 0.0;
+    win_start_ = 0.0;
+    cur_ = 0;
+    adopted_ = false;
+  }
+
+ private:
+  /// Ordering key copied out of the node, so every compare during sorts,
+  /// sifts and binary searches touches contiguous queue memory only.
+  struct Entry {
+    Time t;
+    std::uint64_t seq;
+    EventNode* n;
+  };
+
+  void sorted_insert(Entry e);
+  void adopt(std::size_t k);
+  bool advance();
+  void rebuild();
+
+  Impl impl_;
+  std::size_t size_ = 0;
+
+  // -- calendar tier --
+  std::vector<std::vector<Entry>> buckets_;
+  std::vector<Entry> sorted_;    ///< adopted bucket, descending; back() = min
+  std::vector<Entry> overflow_;  ///< beyond the window, unsorted
+  Time win_start_ = 0.0;
+  double width_ = 0.0;      ///< 0 = no window yet (everything overflows)
+  double inv_width_ = 0.0;  ///< 1/width_, the hot-path bucket index factor
+  std::size_t cur_ = 0;
+  bool adopted_ = false;
+
+  // -- heap tier (Impl::kHeap only) --
+  std::vector<Entry> heap_;
+};
+
+}  // namespace xkb::sim

@@ -22,9 +22,27 @@ Time FifoResource::available_at() const {
   return free_at_ > eng_->now() ? free_at_ : eng_->now();
 }
 
+void Channel::set_bandwidth(double bytes_per_second) {
+  assert(bytes_per_second > 0.0 &&
+         "channel bandwidth must be positive (malformed fault plan?)");
+  bw_ = bytes_per_second;
+  inv_bw_ = 1.0 / bytes_per_second;
+  memo_valid_ = false;  // memoized division is for the old rate
+}
+
 Interval Channel::transfer(std::size_t bytes, Callback on_done) {
   bytes_ += bytes;
-  const Time dur = latency_ + static_cast<double>(bytes) / bw_;
+  // Exact division, memoized: tiled workloads transfer the same byte count
+  // over and over, so in steady state this is a compare instead of a
+  // divide.  The cached reciprocal is NOT used here -- bytes * inv_bw_ can
+  // differ from bytes / bw_ by 1 ulp, which would flip event-time bits and
+  // with them every xkb::check event-stream hash.
+  if (!memo_valid_ || bytes != memo_bytes_) {
+    memo_bytes_ = bytes;
+    memo_xfer_ = static_cast<double>(bytes) / bw_;
+    memo_valid_ = true;
+  }
+  const Time dur = latency_ + memo_xfer_;
   return submit(dur, std::move(on_done), bytes);
 }
 

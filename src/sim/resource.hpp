@@ -65,27 +65,49 @@ class Channel : public FifoResource {
  public:
   Channel(Engine& eng, std::string name, double bytes_per_second,
           Time latency)
-      : FifoResource(eng, std::move(name)),
-        bw_(bytes_per_second),
-        latency_(latency) {}
+      : FifoResource(eng, std::move(name)), latency_(latency) {
+    set_bandwidth(bytes_per_second);
+  }
 
   Interval transfer(std::size_t bytes, Callback on_done);
 
   double bandwidth() const { return bw_; }
 
+  /// Cached 1/bandwidth (seconds per byte), refreshed by set_bandwidth.
+  /// For *estimates* only (duration previews, bench math): multiplying by
+  /// the reciprocal is up to 1 ulp away from the exact `bytes / bw_`
+  /// division that transfer() feeds into event times, and the xkb::check
+  /// event-stream hash folds raw time bits, so the scheduling path must
+  /// keep the division (memoized -- see transfer()).
+  double inv_bandwidth() const { return inv_bw_; }
+
+  /// Estimated occupancy for `bytes` (latency + bytes * inv_bw).  Cheap,
+  /// division-free, and within 1 ulp of what transfer() would charge.
+  Time estimate(std::size_t bytes) const {
+    return latency_ + static_cast<double>(bytes) * inv_bw_;
+  }
+
   /// Retarget the link's bandwidth (bytes/second).  Transfers submitted
   /// after the call use the new rate; occupancy intervals already scheduled
   /// keep their end times (a DMA in flight finishes at the speed it was
   /// granted -- the brownout applies to what queues behind it).  Used by
-  /// xkb::fault for link brownouts and route demotion.
-  void set_bandwidth(double bytes_per_second) { bw_ = bytes_per_second; }
+  /// xkb::fault for link brownouts and route demotion.  Asserts bw > 0: a
+  /// malformed fault plan must not silently produce inf/NaN occupancy.
+  void set_bandwidth(double bytes_per_second);
 
   std::size_t bytes_moved() const { return bytes_; }
 
  private:
-  double bw_;
+  double bw_ = 0.0;
+  double inv_bw_ = 0.0;
   Time latency_;
   std::size_t bytes_ = 0;
+  // One-entry memo of the exact per-transfer division: tiled workloads
+  // move the same few byte sizes millions of times, so the hot path almost
+  // never divides, yet stays bit-identical to `bytes / bw_`.
+  mutable std::size_t memo_bytes_ = 0;
+  mutable Time memo_xfer_ = 0.0;
+  mutable bool memo_valid_ = false;
 };
 
 }  // namespace xkb::sim

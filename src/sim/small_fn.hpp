@@ -1,0 +1,138 @@
+// Small-buffer move-only callable: the engine's event callback type.
+//
+// `std::function` heap-allocates any closure larger than the libstdc++
+// small-object budget (two words), which every hot completion lambda in
+// sim/resource.cpp and runtime/ exceeds -- a malloc/free pair per simulated
+// event.  SmallFn is the replacement: a move-only type-erased `void()`
+// callable with a large inline buffer sized for the biggest hot-path
+// closures, so scheduling an event never touches the allocator.  Closures
+// that do exceed the buffer (rare, cold paths only) fall back to the heap
+// transparently.
+//
+// Move-only is a feature, not a limitation: event callbacks are invoked at
+// most once and owned by exactly one queue slot, so requiring movability
+// (but not copyability) lets callbacks capture move-only state and makes
+// accidental double-ownership a compile error.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace xkb::sim {
+
+class SmallFn {
+ public:
+  /// Inline capture budget.  Sized so every closure on the transfer and
+  /// kernel-completion hot paths (runtime/, sim/resource.cpp, xkb::fault)
+  /// fits without a heap fallback; with the two dispatch pointers the whole
+  /// object is 96 bytes, which lands an arena `EventNode` on exactly one
+  /// 64-byte cache-line pair.
+  static constexpr std::size_t kInlineSize = 80;
+  static constexpr std::size_t kInlineAlign = alignof(std::max_align_t);
+
+  SmallFn() noexcept = default;
+  SmallFn(std::nullptr_t) noexcept {}  // NOLINT: match std::function idiom
+
+  template <class F, class D = std::decay_t<F>,
+            class = std::enable_if_t<!std::is_same_v<D, SmallFn> &&
+                                     std::is_invocable_r_v<void, D&>>>
+  SmallFn(F&& f) {  // NOLINT: implicit by design, like std::function
+    if constexpr (fits_inline<D>() && std::is_trivially_copyable_v<D>) {
+      // Fast path for the dominant hot-path shape: captures of plain
+      // pointers and scalars.  manage_ stays null -- destroy is a no-op
+      // and move is a raw buffer copy -- so dispatching such an event
+      // never makes an indirect management call.
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      invoke_ = [](void* b) { (*std::launder(reinterpret_cast<D*>(b)))(); };
+    } else if constexpr (fits_inline<D>()) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      invoke_ = [](void* b) { (*std::launder(reinterpret_cast<D*>(b)))(); };
+      manage_ = [](Op op, void* self, void* other) {
+        switch (op) {
+          case Op::kDestroy:
+            std::launder(reinterpret_cast<D*>(self))->~D();
+            break;
+          case Op::kMove: {
+            D* src = std::launder(reinterpret_cast<D*>(other));
+            ::new (self) D(std::move(*src));
+            src->~D();
+            break;
+          }
+        }
+      };
+    } else {
+      ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(f)));
+      invoke_ = [](void* b) { (**std::launder(reinterpret_cast<D**>(b)))(); };
+      manage_ = [](Op op, void* self, void* other) {
+        switch (op) {
+          case Op::kDestroy:
+            delete *std::launder(reinterpret_cast<D**>(self));
+            break;
+          case Op::kMove:
+            ::new (self) D*(*std::launder(reinterpret_cast<D**>(other)));
+            break;
+        }
+      };
+    }
+  }
+
+  SmallFn(SmallFn&& o) noexcept { steal(o); }
+  SmallFn& operator=(SmallFn&& o) noexcept {
+    if (this != &o) {
+      reset();
+      steal(o);
+    }
+    return *this;
+  }
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+  ~SmallFn() { reset(); }
+
+  void operator()() { invoke_(buf_); }
+
+  explicit operator bool() const noexcept { return invoke_ != nullptr; }
+
+  /// Whether a decayed callable of type D would avoid the heap fallback.
+  template <class D>
+  static constexpr bool fits_inline() {
+    return sizeof(D) <= kInlineSize && alignof(D) <= kInlineAlign &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+  void reset() noexcept {
+    if (invoke_) {
+      if (manage_) manage_(Op::kDestroy, buf_, nullptr);
+      manage_ = nullptr;
+      invoke_ = nullptr;
+    }
+  }
+
+ private:
+  enum class Op : unsigned char { kDestroy, kMove };
+  using Invoke = void (*)(void*);
+  using Manage = void (*)(Op, void* self, void* other);
+
+  void steal(SmallFn& o) noexcept {
+    if (!o.invoke_) return;
+    if (o.manage_)
+      o.manage_(Op::kMove, buf_, o.buf_);
+    else
+      std::memcpy(buf_, o.buf_, kInlineSize);  // trivially-copyable capture
+    invoke_ = o.invoke_;
+    manage_ = o.manage_;
+    o.invoke_ = nullptr;
+    o.manage_ = nullptr;
+  }
+
+  // Dispatch pointers first: inside an arena EventNode this puts invoke_
+  // on the same cache line as the event time, so a dispatch that was
+  // prefetched one line deep can already issue the indirect call.
+  Invoke invoke_ = nullptr;
+  Manage manage_ = nullptr;
+  alignas(kInlineAlign) unsigned char buf_[kInlineSize];
+};
+
+}  // namespace xkb::sim

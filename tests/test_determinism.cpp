@@ -151,6 +151,64 @@ TEST(Determinism, WorkloadSeedDistinguishesRuns) {
   EXPECT_NE(a.event_hash, b.event_hash);
 }
 
+// Differential gate for the calendar-queue engine: the full preset matrix
+// (every heuristic preset x routine x placement), plus a seeded-fault run
+// and a workload run, executed once on the reference binary-heap engine
+// and once on the calendar queue, must produce bit-identical event hashes,
+// makespans, transfer stats, and event counts.  This is the end-to-end
+// witness that the queue swap changed the engine's speed and nothing else.
+struct QueueImplGuard {
+  sim::Engine::QueueImpl saved = sim::Engine::default_queue_impl();
+  ~QueueImplGuard() { sim::Engine::set_default_queue_impl(saved); }
+};
+
+TEST(Determinism, CalendarEngineMatchesHeapEngineAcrossPresetMatrix) {
+  QueueImplGuard guard;
+  for (const Preset& p : presets())
+    for (Blas3 routine : {Blas3::kGemm, Blas3::kTrsm, Blas3::kSyr2k})
+      for (const bool dod : {false, true}) {
+        BenchConfig cfg;
+        cfg.routine = routine;
+        cfg.n = 8192;
+        cfg.tile = 2048;
+        cfg.data_on_device = dod;
+        cfg.check.enabled = true;
+        sim::Engine::set_default_queue_impl(sim::Engine::QueueImpl::kHeap);
+        const BenchResult a = make_xkblas(p.heur)->run(cfg);
+        sim::Engine::set_default_queue_impl(sim::Engine::QueueImpl::kCalendar);
+        const BenchResult b = make_xkblas(p.heur)->run(cfg);
+        ASSERT_FALSE(a.failed) << a.error;
+        ASSERT_FALSE(b.failed) << b.error;
+        expect_identical(a, b, p.name);
+        EXPECT_EQ(a.events_processed, b.events_processed) << p.name;
+        EXPECT_EQ(a.events_observable, b.events_observable) << p.name;
+      }
+}
+
+TEST(Determinism, CalendarEngineMatchesHeapEngineUnderFaultsAndWorkloads) {
+  QueueImplGuard guard;
+  const fault::FaultPlan plan = fault::FaultPlan::parse(
+      "seed 1234\n"
+      "fail-prob 0.03\n"
+      "brownout 0.002 0 1 0.2 0.01\n"
+      "xfail 0.001 any -1 -1\n");
+  sim::Engine::set_default_queue_impl(sim::Engine::QueueImpl::kHeap);
+  const BenchResult fa =
+      run_once(rt::HeuristicConfig::xkblas(), Blas3::kGemm, plan);
+  const BenchResult wa = run_workload_once("dnn:width=8,depth=6,seed=11",
+                                           rt::HeuristicConfig::xkblas(), true);
+  sim::Engine::set_default_queue_impl(sim::Engine::QueueImpl::kCalendar);
+  const BenchResult fb =
+      run_once(rt::HeuristicConfig::xkblas(), Blas3::kGemm, plan);
+  const BenchResult wb = run_workload_once("dnn:width=8,depth=6,seed=11",
+                                           rt::HeuristicConfig::xkblas(), true);
+  EXPECT_GT(fa.transfers.transfer_aborts, 0u);  // the plan actually bit
+  expect_identical(fa, fb, "heap-vs-calendar seeded-fault");
+  EXPECT_EQ(fa.events_processed, fb.events_processed);
+  expect_identical(wa, wb, "heap-vs-calendar dnn workload");
+  EXPECT_EQ(wa.events_processed, wb.events_processed);
+}
+
 // Different presets drive different transfer schedules, so their event
 // streams should differ -- if every configuration hashed to the same value
 // the hash would be vacuous.

@@ -1,11 +1,17 @@
 // Tests of the discrete-event engine and FIFO resources.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <functional>
 #include <memory>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include "sim/engine.hpp"
 #include "sim/resource.hpp"
+#include "sim/small_fn.hpp"
 
 namespace xkb::sim {
 namespace {
@@ -282,6 +288,269 @@ TEST(EngineEdge, SilentAndObservableShareTheTieBreakSequence) {
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
   EXPECT_EQ(seqs, (std::vector<std::uint64_t>{0, 1}));
 }
+
+// Regression for the run_until drain bug: run() always rewound the clock to
+// the observable frontier when the queue drained on a trailing silent event,
+// but run_until left now() at the silent tail (or the deadline), so a
+// watchdog tick past the last completion leaked into the start time of work
+// submitted for a later phase.  Both paths now share the drain contract.
+TEST(EngineEdge, RunUntilRewindsPastTrailingSilentEvents) {
+  Engine e;
+  int ticks = 0;
+  e.schedule_at(1.0, [] {});
+  // A watchdog-style silent tick well past the last completion.
+  e.schedule_silent_at(5.0, [&] { ++ticks; });
+  const Time t = e.run_until(10.0);
+  EXPECT_EQ(ticks, 1);  // the silent event itself still executed
+  // Drained: the clock rests at the observable frontier, not at the silent
+  // tail (5.0) and not at the deadline (10.0).
+  EXPECT_DOUBLE_EQ(t, 1.0);
+  EXPECT_DOUBLE_EQ(e.now(), 1.0);
+  // A second phase resumes from the instant the first observably ended.
+  e.schedule_after(1.0, [] {});
+  e.run();
+  EXPECT_DOUBLE_EQ(e.now(), 2.0);
+}
+
+TEST(EngineEdge, RunUntilSilentDrainMatchesSilentFreeRun) {
+  // Makespan and observable event stream of a two-phase run_until-driven
+  // run must be identical with and without trailing silent machinery.
+  auto drive = [](bool with_silent) {
+    Engine e;
+    std::vector<std::pair<Time, std::uint64_t>> stream;
+    e.set_observer([&](Time t, std::uint64_t seq) { stream.emplace_back(t, seq); });
+    e.schedule_at(1.0, [] {});
+    if (with_silent) e.schedule_silent_at(2.5, [] {});
+    e.run_until(3.0);
+    e.schedule_after(0.5, [] {});  // phase 2
+    e.run_until(10.0);
+    return std::tuple(e.now(), e.observable_processed(), stream);
+  };
+  EXPECT_EQ(drive(true), drive(false));
+}
+
+// ---- Calendar-queue-specific ordering properties ---------------------
+// The engine's EventQueue hashes near-future events into time buckets; the
+// tests below force the structurally interesting cases: exact bucket
+// boundaries, events far beyond the window (overflow + rebuild), pushes
+// into the already-adopted cursor bucket, and everything at one instant.
+
+TEST(EngineQueue, BucketBoundaryTimesDispatchInTotalOrder) {
+  // 10k events whose times sit exactly on multiples of a fixed step: every
+  // candidate bucket boundary is hit, many times, in shuffled order.
+  Engine e;
+  std::vector<double> times;
+  std::uint64_t x = 99;
+  for (int i = 0; i < 10000; ++i) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    const double t = static_cast<double>(x % 512) * 0.125;  // exact in fp
+    e.schedule_at(t, [&times, t] { times.push_back(t); });
+  }
+  e.run();
+  ASSERT_EQ(times.size(), 10000u);
+  EXPECT_TRUE(std::is_sorted(times.begin(), times.end()));
+}
+
+TEST(EngineQueue, AllEventsAtOneInstantKeepInsertionOrder) {
+  // Degenerate calendar span (width would be 0): everything must still run,
+  // FIFO by insertion sequence.
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 1000; ++i)
+    e.schedule_at(7.25, [&order, i] { order.push_back(i); });
+  e.run();
+  ASSERT_EQ(order.size(), 1000u);
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+}
+
+TEST(EngineQueue, FarFutureOverflowAndRebuilds) {
+  // Times spanning 12 orders of magnitude force repeated window rebuilds
+  // from the overflow tier; order must survive every respan.
+  Engine e;
+  std::vector<double> times;
+  std::uint64_t x = 7;
+  for (int i = 0; i < 4000; ++i) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    const int mag = static_cast<int>(x % 12);
+    const double t = static_cast<double>(1 + x % 997) * std::pow(10.0, mag - 6);
+    e.schedule_at(t, [&times, t] { times.push_back(t); });
+  }
+  e.run();
+  ASSERT_EQ(times.size(), 4000u);
+  EXPECT_TRUE(std::is_sorted(times.begin(), times.end()));
+}
+
+TEST(EngineQueue, CallbacksPushIntoCurrentAndPastBuckets) {
+  // Dispatch-time pushes land at now (the adopted cursor bucket) and just
+  // after: the sorted-run catch-all must keep them ordered with events
+  // already adopted.
+  Engine e;
+  std::vector<double> times;
+  for (int i = 0; i < 200; ++i) {
+    const double t = 1.0 + i * 0.01;
+    e.schedule_at(t, [&e, &times, t] {
+      times.push_back(t);
+      if (times.size() % 3 == 0) {
+        e.schedule_after(0.0, [&times, t] { times.push_back(t); });
+        e.schedule_after(0.0051, [&times, t] { times.push_back(t + 0.0051); });
+      }
+    });
+  }
+  e.run();
+  EXPECT_TRUE(std::is_sorted(times.begin(), times.end()));
+}
+
+// Differential: the calendar queue and the reference binary heap must
+// dispatch a randomized churn program in the identical total order.
+TEST(EngineQueue, CalendarMatchesHeapOnRandomChurn) {
+  auto drive = [](Engine::QueueImpl impl, std::uint64_t seed) {
+    Engine e(impl);
+    std::vector<std::pair<Time, int>> order;
+    std::uint64_t x = seed;
+    auto rnd = [&x] {
+      x = x * 6364136223846793005ull + 1442695040888963407ull;
+      return x >> 33;
+    };
+    int label = 0;
+    // Self-sustaining churn: each event re-schedules 0-2 more with mixed
+    // near/far horizons, some silent, until a budget runs out.
+    int budget = 20000;
+    std::function<void()> step = [&] {
+      if (--budget <= 0) return;
+      const int tag = label++;
+      order.emplace_back(e.now(), tag);
+      const int fan = static_cast<int>(rnd() % 3);
+      for (int i = 0; i < fan; ++i) {
+        const double dt = (rnd() % 5 == 0)
+                              ? static_cast<double>(1 + rnd() % 1000) * 1e-1
+                              : static_cast<double>(rnd() % 1000) * 1e-6;
+        if (rnd() % 7 == 0)
+          e.schedule_silent_after(dt, step);
+        else
+          e.schedule_after(dt, step);
+      }
+    };
+    for (int i = 0; i < 64; ++i)
+      e.schedule_at(static_cast<double>(rnd() % 100) * 1e-5, step);
+    e.run();
+    return std::tuple(order, e.events_processed(), e.observable_processed(),
+                      e.now());
+  };
+  for (std::uint64_t seed : {1ull, 42ull, 1234ull}) {
+    EXPECT_EQ(drive(Engine::QueueImpl::kCalendar, seed),
+              drive(Engine::QueueImpl::kHeap, seed))
+        << "seed " << seed;
+  }
+}
+
+TEST(EngineQueue, ResetIsReusableAcrossImpls) {
+  for (auto impl : {Engine::QueueImpl::kCalendar, Engine::QueueImpl::kHeap}) {
+    Engine e(impl);
+    for (int i = 0; i < 100; ++i)
+      e.schedule_at(static_cast<double>(i) * 1e3, [] {});  // deep overflow
+    e.reset();
+    EXPECT_TRUE(e.empty());
+    int ran = 0;
+    e.schedule_at(1.0, [&] { ++ran; });
+    e.run();
+    EXPECT_EQ(ran, 1);
+    EXPECT_DOUBLE_EQ(e.now(), 1.0);
+  }
+}
+
+// ---- SmallFn (the engine's callback type) ----------------------------
+
+TEST(SmallFnTest, InlineCaptureDoesNotAllocateAndRuns) {
+  struct Big {
+    double a[10];
+  };
+  static_assert(SmallFn::fits_inline<Big>());
+  Big big{};
+  big.a[9] = 4.5;
+  double got = 0.0;
+  SmallFn f([big, &got] { got = big.a[9]; });
+  ASSERT_TRUE(static_cast<bool>(f));
+  f();
+  EXPECT_DOUBLE_EQ(got, 4.5);
+}
+
+TEST(SmallFnTest, HeapFallbackForOversizedCaptures) {
+  struct Huge {
+    double a[32];
+  };
+  static_assert(!SmallFn::fits_inline<Huge>());
+  Huge h{};
+  h.a[31] = 7.0;
+  double got = 0.0;
+  SmallFn f([h, &got] { got = h.a[31]; });
+  SmallFn g(std::move(f));  // pointer steal, no deep copy
+  EXPECT_FALSE(static_cast<bool>(f));  // NOLINT: testing moved-from state
+  g();
+  EXPECT_DOUBLE_EQ(got, 7.0);
+}
+
+TEST(SmallFnTest, MoveTransfersOwnershipOfCaptures) {
+  auto token = std::make_shared<int>(1);
+  SmallFn a([token] {});
+  EXPECT_EQ(token.use_count(), 2);
+  SmallFn b(std::move(a));
+  EXPECT_EQ(token.use_count(), 2);  // moved, not copied
+  b.reset();
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(SmallFnTest, MoveOnlyCapturesAreSupported) {
+  // The whole point of move-only callbacks: unique_ptr captures flow
+  // through scheduling without shared_ptr workarounds.
+  auto p = std::make_unique<int>(5);
+  int got = 0;
+  Engine e;
+  e.schedule_at(1.0, [p = std::move(p), &got] { got = *p; });
+  e.run();
+  EXPECT_EQ(got, 5);
+}
+
+// ---- Channel bandwidth-reciprocal satellite --------------------------
+
+TEST(Channel, TransferDurationIsExactDivision) {
+  // The scheduling path must charge exactly latency + bytes/bw -- the
+  // cached reciprocal (up to 1 ulp off) is for estimates only, because
+  // event times feed the bit-sensitive xkb::check stream hash.
+  Engine e;
+  Channel c(e, "link", 12.3e9, 10e-6);
+  const std::size_t bytes = 33554432;
+  for (int rep = 0; rep < 3; ++rep) {  // memoized reps stay exact too
+    auto iv = c.transfer(bytes, {});
+    EXPECT_EQ(iv.duration(), 10e-6 + static_cast<double>(bytes) / 12.3e9);
+  }
+  // The estimate is division-free and within 1 ulp of the exact charge.
+  EXPECT_NEAR(c.estimate(bytes), 10e-6 + static_cast<double>(bytes) / 12.3e9,
+              1e-18);
+}
+
+TEST(Channel, SetBandwidthInvalidatesMemoAndReciprocal) {
+  Engine e;
+  Channel c(e, "link", 100.0, 0.0);
+  EXPECT_DOUBLE_EQ(c.transfer(200, {}).duration(), 2.0);
+  c.set_bandwidth(50.0);  // brownout to half rate
+  EXPECT_DOUBLE_EQ(c.inv_bandwidth(), 1.0 / 50.0);
+  // Same byte count as the memoized transfer: the memo must not serve the
+  // old rate.
+  EXPECT_DOUBLE_EQ(c.transfer(200, {}).duration(), 4.0);
+  c.set_bandwidth(100.0);  // heal
+  EXPECT_DOUBLE_EQ(c.transfer(200, {}).duration(), 2.0);
+}
+
+#ifndef NDEBUG
+TEST(ChannelDeathTest, NonPositiveBandwidthAsserts) {
+  // A malformed fault plan (brownout fraction 0, or a zero-rate route)
+  // must trip the assert instead of silently scheduling inf occupancy.
+  Engine e;
+  EXPECT_DEATH(Channel(e, "bad", 0.0, 0.0), "bandwidth");
+  Channel c(e, "link", 100.0, 0.0);
+  EXPECT_DEATH(c.set_bandwidth(-1.0), "bandwidth");
+}
+#endif
 
 TEST(ChannelStress, ThousandsOfTransfersConserveBytes) {
   Engine e;
