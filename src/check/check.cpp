@@ -105,9 +105,9 @@ void Checker::on_submit(
     fold(h->id);
     fold(static_cast<std::uint64_t>(m));
   }
-  // The runtime deduplicates predecessors by sorting Task pointers, so the
-  // incoming order depends on heap addresses; fold ids in sorted order to
-  // keep the hash reproducible across runs.
+  // The runtime now sorts predecessors by task id (never by pointer), so
+  // the incoming order is already reproducible; keep folding in sorted
+  // order anyway so the hash never depends on any caller's ordering.
   std::sort(preds.begin(), preds.end());
   for (std::uint64_t p : preds) fold(p);
   ti.preds = std::move(preds);
@@ -704,6 +704,8 @@ void Checker::on_task_remap(std::uint64_t id, int from_dev, int to_dev) {
   // The execution on from_dev was cancelled: forget its stamp and recorded
   // reads so the re-execution on to_dev re-orders them from scratch.
   if (t->vc_set)
+    // NOLINTNEXTLINE(xkb-unordered-observable): pure erase of this task's
+    // reader records; no observable state derives from visitation order.
     for (auto& [h, s] : shadows_) {
       auto it = std::remove_if(s.readers.begin(), s.readers.end(),
                                [id](const ReaderRec& r) { return r.task == id; });
@@ -821,11 +823,28 @@ void Checker::finalize(const StatsView& st) {
 
   // --- final protocol scan ----------------------------------------------
   if (cfg_.coherence) {
-    for (const auto& [h, msg] : pending_recovery_)
+    // Both maps are keyed by DataHandle pointers; iterating them directly
+    // would emit violations in heap-address order -- nondeterministic
+    // output from the very layer that certifies determinism (flagged by
+    // xkb-tidy's unordered-observable check).  Scan snapshots sorted by
+    // stable tile id instead.
+    auto by_tile_id = [](auto* a, auto* b) { return a->id < b->id; };
+    std::vector<const mem::DataHandle*> pending;
+    pending.reserve(pending_recovery_.size());
+    for (const auto& [h, msg] : pending_recovery_)  // NOLINT(xkb-unordered-observable): order-independent snapshot, sorted below
+      pending.push_back(h);
+    std::sort(pending.begin(), pending.end(), by_tile_id);
+    for (const mem::DataHandle* h : pending)
       violation(ViolationKind::kCoherence,
-                "unresolved recovery: " + msg +
+                "unresolved recovery: " + pending_recovery_.at(h) +
                     " and neither a surviving copy nor a replay restored it");
-    for (const auto& [h, s] : shadows_) {
+    std::vector<const mem::DataHandle*> tiles;
+    tiles.reserve(shadows_.size());
+    for (const auto& [h, s] : shadows_)  // NOLINT(xkb-unordered-observable): order-independent snapshot, sorted below
+      tiles.push_back(h);
+    std::sort(tiles.begin(), tiles.end(), by_tile_id);
+    for (const mem::DataHandle* h : tiles) {
+      const Shadow& s = shadows_.at(h);
       if (pending_recovery_.count(h)) continue;  // already reported above
       int dirty = 0;
       for (std::size_t g = 0; g < h->dev.size(); ++g) {

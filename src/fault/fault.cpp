@@ -69,6 +69,11 @@ double want_num(std::istringstream& is, int lineno, const std::string& line,
                 const char* what) {
   double v = 0.0;
   if (!(is >> v)) bad_line(lineno, line, std::string("missing/bad ") + what);
+  // stream extraction happily parses "nan" and "inf"; both sail through
+  // every range check below (NaN comparisons are all false) and then break
+  // the engine's time arithmetic, so reject them at the source.
+  if (!std::isfinite(v))
+    bad_line(lineno, line, std::string(what) + " must be finite");
   return v;
 }
 
@@ -77,7 +82,30 @@ int want_int(std::istringstream& is, int lineno, const std::string& line,
   double v = want_num(is, lineno, line, what);
   if (v != std::floor(v))
     bad_line(lineno, line, std::string(what) + " must be an integer");
+  // A double outside int's range makes the cast undefined, not clamped.
+  if (v < -2147483648.0 || v > 2147483647.0)
+    bad_line(lineno, line, std::string(what) + " is out of range");
   return static_cast<int>(v);
+}
+
+std::uint64_t want_u64(std::istringstream& is, int lineno,
+                       const std::string& line, const char* what) {
+  // Parsed as a decimal token, not through double: a seed like
+  // 18446744073709551615 is exact here but rounds (and the cast from
+  // double would be undefined) via want_num.
+  std::string w;
+  if (!(is >> w)) bad_line(lineno, line, std::string("missing/bad ") + what);
+  std::size_t pos = 0;
+  std::uint64_t v = 0;
+  try {
+    v = std::stoull(w, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  if (w[0] == '-' || pos != w.size())
+    bad_line(lineno, line,
+             std::string(what) + " must be a non-negative integer");
+  return v;
 }
 
 void want_done(std::istringstream& is, int lineno, const std::string& line) {
@@ -100,9 +128,8 @@ FaultPlan FaultPlan::parse(const std::string& text) {
     std::string word;
     if (!(is >> word)) continue;  // blank / comment-only
     if (word == "seed") {
-      const double s = want_num(is, lineno, line, "seed");
-      if (s < 0) bad_line(lineno, line, "seed must be non-negative");
-      plan.seed = static_cast<std::uint64_t>(s);
+      plan.seed = want_u64(is, lineno, line, "seed");
+      want_done(is, lineno, line);
     } else if (word == "fail-prob") {
       plan.fail_prob = want_num(is, lineno, line, "probability");
       if (plan.fail_prob < 0.0 || plan.fail_prob > 1.0)
@@ -115,8 +142,13 @@ FaultPlan FaultPlan::parse(const std::string& text) {
       e.b = want_int(is, lineno, line, "endpoint b");
       e.fraction = want_num(is, lineno, line, "fraction");
       double dur = 0.0;
-      if (is >> dur) e.duration = dur;
-      else { is.clear(); }
+      if (is >> dur) {
+        if (!std::isfinite(dur)) bad_line(lineno, line, "duration must be finite");
+        e.duration = dur;
+        want_done(is, lineno, line);
+      } else {
+        is.clear();
+      }
       if (e.t < 0 || e.a < 0 || e.b < 0 || e.a == e.b)
         bad_line(lineno, line, "bad brownout endpoints/time");
       if (e.fraction <= 0.0 || e.fraction > 1.0)

@@ -22,16 +22,10 @@ void Injector::arm(sim::Engine& eng, int num_gpus) {
           throw FaultError("fault plan has a brownout but no platform bound");
         if (e.a >= num_gpus || e.b >= num_gpus)
           throw FaultError("brownout names GPU beyond this topology");
-        eng.schedule_silent_at(e.t, [this, e] {
-          ++counters_.brownouts;
-          hooks_.brownout(e.a, e.b, e.fraction);
-        });
-        if (e.duration > 0) {
-          eng.schedule_silent_at(e.t + e.duration, [this, e] {
-            ++counters_.heals;
-            hooks_.restore(e.a, e.b);
-          });
-        }
+        eng.schedule_silent_at(e.t, [this, e] { fire_brownout(e); });
+        if (e.duration > 0)
+          eng.schedule_silent_at(e.t + e.duration,
+                                 [this, e] { fire_heal(e); });
         break;
       }
       case FaultKind::kLinkDown: {
@@ -39,10 +33,7 @@ void Injector::arm(sim::Engine& eng, int num_gpus) {
           throw FaultError("fault plan has a link-down but no platform bound");
         if (e.a >= num_gpus || e.b >= num_gpus)
           throw FaultError("link-down names GPU beyond this topology");
-        eng.schedule_silent_at(e.t, [this, e] {
-          ++counters_.link_downs;
-          hooks_.link_down(e.a, e.b);
-        });
+        eng.schedule_silent_at(e.t, [this, e] { fire_link_down(e); });
         break;
       }
       case FaultKind::kDeviceFail: {
@@ -51,16 +42,33 @@ void Injector::arm(sim::Engine& eng, int num_gpus) {
               "fault plan has a device-fail but no runtime bound to recover");
         if (e.a >= num_gpus)
           throw FaultError("device-fail names GPU beyond this topology");
-        eng.schedule_silent_at(e.t, [this, e] {
-          ++counters_.device_fails;
-          hooks_.device_fail(e.a);
-        });
+        eng.schedule_silent_at(e.t, [this, e] { fire_device_fail(e); });
         break;
       }
       case FaultKind::kTransferFail:
         break;  // consumed lazily by should_fail_transfer
     }
   }
+}
+
+XKB_SILENT void Injector::fire_brownout(const FaultEvent& e) {
+  ++counters_.brownouts;
+  hooks_.brownout(e.a, e.b, e.fraction);
+}
+
+XKB_SILENT void Injector::fire_heal(const FaultEvent& e) {
+  ++counters_.heals;
+  hooks_.restore(e.a, e.b);
+}
+
+XKB_SILENT void Injector::fire_link_down(const FaultEvent& e) {
+  ++counters_.link_downs;
+  hooks_.link_down(e.a, e.b);
+}
+
+XKB_SILENT void Injector::fire_device_fail(const FaultEvent& e) {
+  ++counters_.device_fails;
+  hooks_.device_fail(e.a);
 }
 
 bool Injector::should_fail_transfer(TransferKind k, int src, int dst,

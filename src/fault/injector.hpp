@@ -19,6 +19,7 @@
 
 #include "fault/fault.hpp"
 #include "sim/engine.hpp"
+#include "util/annotations.hpp"
 #include "util/rng.hpp"
 
 namespace xkb::fault {
@@ -78,6 +79,17 @@ class Injector {
   std::string counters_json() const;
 
  private:
+  // Silent-lane trigger bodies, one per fault class.  arm() schedules them
+  // via schedule_silent_*; the XKB_SILENT annotation lets the xkb-tidy
+  // silent-lane check prove they never touch observable state (trace,
+  // metrics, observer, observable-lane scheduling) directly -- the
+  // bit-invisible no-op-fault guarantee.  Consequences become observable
+  // only through the bound hooks, at the platform/runtime layer.
+  void fire_brownout(const FaultEvent& e);
+  void fire_heal(const FaultEvent& e);
+  void fire_link_down(const FaultEvent& e);
+  void fire_device_fail(const FaultEvent& e);
+
   FaultPlan plan_;
   Rng rng_;
   RetryPolicy retry_;

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "util/annotations.hpp"
+
 namespace xkb::mem {
 
 namespace {
@@ -16,7 +18,7 @@ inline bool key_less(const Replica& a, const Replica& b) {
 
 }  // namespace
 
-void DeviceCache::link_sorted(DataHandle* h, From hint) {
+XKB_HOT void DeviceCache::link_sorted(DataHandle* h, From hint) {
   Replica& r = h->dev[device_];
   const int cls = class_of(r);
   LruList& l = lists_[cls];
@@ -50,7 +52,7 @@ void DeviceCache::link_sorted(DataHandle* h, From hint) {
     l.tail = h;
 }
 
-void DeviceCache::unlink(DataHandle* h) {
+XKB_HOT void DeviceCache::unlink(DataHandle* h) {
   Replica& r = h->dev[device_];
   assert(r.lru_class >= 0 && "unlinking a replica that is not listed");
   LruList& l = lists_[r.lru_class];
@@ -66,7 +68,7 @@ void DeviceCache::unlink(DataHandle* h) {
   r.lru_class = -1;
 }
 
-void DeviceCache::touch(DataHandle* h, sim::Time now) {
+XKB_HOT void DeviceCache::touch(DataHandle* h, sim::Time now) {
   Replica& r = h->dev[device_];
   r.last_use = now;
   if (r.lru_class < 0) return;  // not resident: stamp only
@@ -74,7 +76,7 @@ void DeviceCache::touch(DataHandle* h, sim::Time now) {
   link_sorted(h, From::kTail);
 }
 
-void DeviceCache::set_dirty(DataHandle* h, bool dirty) {
+XKB_HOT void DeviceCache::set_dirty(DataHandle* h, bool dirty) {
   Replica& r = h->dev[device_];
   if (r.dirty == dirty) return;
   if (r.lru_class < 0) {  // not resident: the bit alone suffices
@@ -86,7 +88,7 @@ void DeviceCache::set_dirty(DataHandle* h, bool dirty) {
   link_sorted(h, From::kTail);
 }
 
-DeviceCache::Reservation DeviceCache::reserve(DataHandle* h) {
+XKB_HOT DeviceCache::Reservation DeviceCache::reserve(DataHandle* h) {
   Reservation out;
   Replica& r = h->dev[device_];
   if (r.resident) return out;  // already accounted
@@ -149,7 +151,7 @@ DeviceCache::Reservation DeviceCache::reserve(DataHandle* h) {
   return out;
 }
 
-void DeviceCache::release(DataHandle* h) {
+XKB_HOT void DeviceCache::release(DataHandle* h) {
   Replica& r = h->dev[device_];
   if (!r.resident) return;
   assert(!r.dirty &&

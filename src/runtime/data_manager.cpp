@@ -427,14 +427,16 @@ void DataManager::reception_failed(mem::DataHandle* h, int src, int dst) {
   r.fetch_waiting = false;
   const std::uint32_t gen = r.fetch_gen;
   const double delay = rp.backoff_for(attempts);
-  plat_->engine().schedule_after(delay, [this, h, dst, gen] {
+  auto retry = [this, h, dst, gen] {
     mem::Replica& rr = h->dev[dst];
     if (rr.fetch_gen != gen || rr.state != mem::ReplicaState::kInFlight)
       return;  // superseded while backing off (e.g. device-failure re-plan)
     stats_.transfer_retries++;
     if (obs::Observability* o = plat_->obs()) o->count_fault("transfer_retry");
     plan_fetch(h, dst);
-  });
+  };
+  XKB_ASSERT_INLINE_CAPTURE(retry);
+  plat_->engine().schedule_after(delay, std::move(retry));
 }
 
 void DataManager::complete_arrival(mem::DataHandle* h, int dev) {
@@ -707,7 +709,7 @@ void DataManager::flush_failed(mem::DataHandle* h, int src, bool drop_buffer) {
   h->host.fetch_gen++;
   const std::uint32_t gen = h->host.fetch_gen;
   const double delay = rp.backoff_for(attempts);
-  plat_->engine().schedule_after(delay, [this, h, src, drop_buffer, gen] {
+  auto retry = [this, h, src, drop_buffer, gen] {
     if (h->host.fetch_gen != gen ||
         h->host.state != mem::ReplicaState::kInFlight)
       return;  // superseded (device failure re-planned, or CPU overwrote)
@@ -719,7 +721,9 @@ void DataManager::flush_failed(mem::DataHandle* h, int src, bool drop_buffer) {
     const int nsrc = h->dirty_device();
     flush_from_device(h, nsrc >= 0 ? nsrc : src,
                       nsrc >= 0 ? false : drop_buffer);
-  });
+  };
+  XKB_ASSERT_INLINE_CAPTURE(retry);
+  plat_->engine().schedule_after(delay, std::move(retry));
 }
 
 void DataManager::on_device_failure(

@@ -118,7 +118,11 @@ void Runtime::submit(TaskDesc desc) {
       hs.last_writer = t;
     }
   }
-  std::sort(preds.begin(), preds.end());
+  // Dedup in *id* order, never pointer order: sorting Task pointers would
+  // bake heap addresses into pred_ids (an xkb-address-ordering violation)
+  // and force every downstream consumer to re-sort defensively.
+  std::sort(preds.begin(), preds.end(),
+            [](const Task* a, const Task* b) { return a->id < b->id; });
   preds.erase(std::unique(preds.begin(), preds.end()), preds.end());
   preds.erase(std::remove(preds.begin(), preds.end(), t), preds.end());
   if (checker_) {
@@ -171,7 +175,8 @@ Task* Runtime::submit_replay(TaskDesc desc, mem::DataHandle* out) {
     if (hs.last_writer && !hs.last_writer->done) preds.push_back(hs.last_writer);
     hs.readers.push_back(t);
   }
-  std::sort(preds.begin(), preds.end());
+  std::sort(preds.begin(), preds.end(),
+            [](const Task* a, const Task* b) { return a->id < b->id; });
   preds.erase(std::unique(preds.begin(), preds.end()), preds.end());
   for (Task* p : preds) {
     p->successors.push_back(t);
@@ -289,10 +294,12 @@ void Runtime::start_prepare(Task* t, int dev) {
     // The epoch guard cancels acquisitions of executions that were migrated
     // off a failed device: a stale arrival must not tick the re-execution's
     // operand count.
-    dm_.acquire(a.handle, dev, a.mode, [this, t, e = t->epoch] {
+    auto arrived = [this, t, e = t->epoch] {
       if (t->epoch != e || t->done) return;
       if (--t->operands_missing == 0) on_operands_ready(t);
-    });
+    };
+    XKB_ASSERT_INLINE_CAPTURE(arrived);
+    dm_.acquire(a.handle, dev, a.mode, std::move(arrived));
   }
 }
 
@@ -308,12 +315,13 @@ void Runtime::on_operands_ready(Task* t) {
                            t->desc.flops, t->desc.min_dim, t->desc.eff_factor,
                            t->desc.single_precision);
     int lane = 0;
+    auto done = [this, t, e = t->epoch] {
+      if (t->epoch != e) return;  // migrated
+      on_kernel_done(t);
+    };
+    XKB_ASSERT_INLINE_CAPTURE(done);
     auto iv = plat_->launch_kernel(dev, sec, t->desc.flops, t->desc.label,
-                                   [this, t, e = t->epoch] {
-                                     if (t->epoch != e) return;  // migrated
-                                     on_kernel_done(t);
-                                   },
-                                   &lane);
+                                   std::move(done), &lane);
     if (checker_) checker_->on_kernel_issue(t->id, dev, lane, iv.start, iv.end);
   }
   fill_all();
@@ -368,9 +376,11 @@ void Runtime::run_host_task(Task* t) {
   for (const TaskAccess& a : t->desc.accesses) {
     if (a.mode == Access::kR) {
       // memory_coherent: pull the authoritative copy back to the host.
-      dm_.flush_to_host(a.handle, [this, t, finish] {
+      auto flushed = [this, t, finish] {
         if (--t->operands_missing == 0) finish();
-      });
+      };
+      XKB_ASSERT_INLINE_CAPTURE(flushed);
+      dm_.flush_to_host(a.handle, std::move(flushed));
     } else {
       // host_overwrite: the CPU produced new data; device replicas die.
       dm_.host_write(a.handle);

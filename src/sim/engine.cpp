@@ -27,7 +27,7 @@ void Engine::set_default_queue_impl(QueueImpl impl) {
   default_impl_slot() = impl;
 }
 
-void Engine::dispatch(EventNode* n) {
+XKB_HOT void Engine::dispatch(EventNode* n) {
   now_ = n->t;
   ++processed_;
   if (n->observable) {
@@ -50,7 +50,7 @@ void Engine::dispatch(EventNode* n) {
   n->cb();
 }
 
-Time Engine::run() {
+XKB_HOT Time Engine::run() {
   while (EventNode* n = queue_.pop()) dispatch(n);
   // The queue may have drained on a *silent* event (a watchdog tick or
   // fault-plan trigger beyond the last completion).  Rewind to the
@@ -62,7 +62,7 @@ Time Engine::run() {
   return now_;
 }
 
-Time Engine::run_until(Time deadline) {
+XKB_HOT Time Engine::run_until(Time deadline) {
   while (EventNode* n = queue_.peek()) {
     if (n->t > deadline) break;
     dispatch(queue_.pop());

@@ -19,6 +19,7 @@
 
 #include "sim/event_queue.hpp"
 #include "sim/small_fn.hpp"
+#include "util/annotations.hpp"
 
 namespace xkb::sim {
 
@@ -51,7 +52,7 @@ class Engine {
   /// is diagnosed by an assert in debug builds; release builds clamp the
   /// event to now() (it runs next, after already-queued same-time events).
   template <class F>
-  void schedule_at(Time t, F&& cb) {
+  XKB_HOT void schedule_at(Time t, F&& cb) {
     assert(t >= now_ && "cannot schedule into the past");
     if (t < now_) t = now_;  // release builds: clamp (see contract above)
     queue_.push(
@@ -60,7 +61,7 @@ class Engine {
 
   /// Schedule `cb` to run `dt` seconds from now.
   template <class F>
-  void schedule_after(Time dt, F&& cb) {
+  XKB_HOT void schedule_after(Time dt, F&& cb) {
     schedule_at(now_ + dt, std::forward<F>(cb));
   }
 
@@ -72,14 +73,14 @@ class Engine {
   /// observable event stream -- and therefore the xkb::check event-stream
   /// hash -- bit-identical to a fault-free run.
   template <class F>
-  void schedule_silent_at(Time t, F&& cb) {
+  XKB_HOT void schedule_silent_at(Time t, F&& cb) {
     assert(t >= now_ && "cannot schedule into the past");
     if (t < now_) t = now_;
     queue_.push(
         arena_.create(t, seq_++, /*observable=*/false, std::forward<F>(cb)));
   }
   template <class F>
-  void schedule_silent_after(Time dt, F&& cb) {
+  XKB_HOT void schedule_silent_after(Time dt, F&& cb) {
     schedule_silent_at(now_ + dt, std::forward<F>(cb));
   }
 

@@ -16,7 +16,7 @@ constexpr double kNoWindow = 0.0;
 // std::priority_queue<Event, ..., Later>), and for the adopted bucket it
 // puts the minimum at back() so pop is a pop_back.
 
-void EventQueue::push(EventNode* n) {
+XKB_HOT void EventQueue::push(EventNode* n) {
   ++size_;
   const Entry e{n->t, n->seq, n};
   if (impl_ == Impl::kHeap) {
@@ -48,7 +48,7 @@ void EventQueue::push(EventNode* n) {
   }
 }
 
-void EventQueue::sorted_insert(Entry e) {
+XKB_HOT void EventQueue::sorted_insert(Entry e) {
   auto desc = [](const Entry& a, const Entry& b) {
     if (a.t != b.t) return a.t > b.t;
     return a.seq > b.seq;
@@ -57,7 +57,7 @@ void EventQueue::sorted_insert(Entry e) {
   sorted_.insert(it, e);
 }
 
-void EventQueue::adopt(std::size_t k) {
+XKB_HOT void EventQueue::adopt(std::size_t k) {
   auto desc = [](const Entry& a, const Entry& b) {
     if (a.t != b.t) return a.t > b.t;
     return a.seq > b.seq;
@@ -196,7 +196,7 @@ void EventQueue::rebuild() {
   }
 }
 
-EventNode* EventQueue::peek() {
+XKB_HOT EventNode* EventQueue::peek() {
   if (impl_ == Impl::kHeap) return heap_.empty() ? nullptr : heap_.front().n;
   if (size_ == 0) return nullptr;
   while (sorted_.empty()) {
@@ -205,7 +205,7 @@ EventNode* EventQueue::peek() {
   return sorted_.back().n;
 }
 
-EventNode* EventQueue::pop() {
+XKB_HOT EventNode* EventQueue::pop() {
   if (impl_ == Impl::kHeap) {
     if (heap_.empty()) return nullptr;
     auto lt = [](const Entry& a, const Entry& b) {

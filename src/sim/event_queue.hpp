@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "sim/small_fn.hpp"
+#include "util/annotations.hpp"
 
 namespace xkb::sim {
 
@@ -59,7 +60,16 @@ struct alignas(64) EventNode {
   bool observable;
   SmallFn cb;
 };
-static_assert(sizeof(EventNode) == 128, "EventNode should span two lines");
+static_assert(sizeof(EventNode) == 128,
+              "EventNode must span exactly two 64-byte cache lines: the "
+              "queue's prefetch pipeline issues exactly two line touches "
+              "per upcoming node");
+static_assert(alignof(EventNode) == 64,
+              "EventNode must start on a cache-line boundary or a node "
+              "straddles three lines and the two-touch prefetch is short");
+static_assert(sizeof(SmallFn) == 96,
+              "SmallFn (2 dispatch pointers + 80-byte inline buffer) sizes "
+              "the EventNode to its two-line budget; resize both together");
 
 /// Hint the prefetcher at a node about to be dispatched.
 inline void prefetch_node(const EventNode* n) {
@@ -81,13 +91,14 @@ class EventArena {
   EventArena& operator=(const EventArena&) = delete;
 
   template <class F>
-  EventNode* create(Time t, std::uint64_t seq, bool observable, F&& f) {
+  XKB_HOT EventNode* create(Time t, std::uint64_t seq, bool observable,
+                            F&& f) {
     void* slot;
     if (!free_.empty()) {
       slot = free_.back();
       free_.pop_back();
     } else {
-      slot = fresh_slot();
+      slot = fresh_slot();  // cold: slab growth, amortized to zero
     }
     ++live_;
     if (live_ > peak_live_) peak_live_ = live_;
@@ -95,7 +106,7 @@ class EventArena {
         EventNode{t, seq, observable, SmallFn(std::forward<F>(f))};
   }
 
-  void destroy(EventNode* n) {
+  XKB_HOT void destroy(EventNode* n) {
     n->~EventNode();
     free_.push_back(n);
     --live_;

@@ -2,9 +2,11 @@
 
 #include <cassert>
 
+#include "util/annotations.hpp"
+
 namespace xkb::sim {
 
-Interval FifoResource::submit(Time duration, Callback on_done,
+XKB_HOT Interval FifoResource::submit(Time duration, Callback on_done,
                               std::size_t bytes) {
   assert(duration >= 0.0);
   const Time start = free_at_ > eng_->now() ? free_at_ : eng_->now();
@@ -30,7 +32,7 @@ void Channel::set_bandwidth(double bytes_per_second) {
   memo_valid_ = false;  // memoized division is for the old rate
 }
 
-Interval Channel::transfer(std::size_t bytes, Callback on_done) {
+XKB_HOT Interval Channel::transfer(std::size_t bytes, Callback on_done) {
   bytes_ += bytes;
   // Exact division, memoized: tiled workloads transfer the same byte count
   // over and over, so in steady state this is a compare instead of a

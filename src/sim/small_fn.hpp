@@ -21,6 +21,8 @@
 #include <type_traits>
 #include <utility>
 
+#include "util/annotations.hpp"
+
 namespace xkb::sim {
 
 class SmallFn {
@@ -39,7 +41,7 @@ class SmallFn {
   template <class F, class D = std::decay_t<F>,
             class = std::enable_if_t<!std::is_same_v<D, SmallFn> &&
                                      std::is_invocable_r_v<void, D&>>>
-  SmallFn(F&& f) {  // NOLINT: implicit by design, like std::function
+  XKB_HOT SmallFn(F&& f) {  // NOLINT: implicit by design, like std::function
     if constexpr (fits_inline<D>() && std::is_trivially_copyable_v<D>) {
       // Fast path for the dominant hot-path shape: captures of plain
       // pointers and scalars.  manage_ stays null -- destroy is a no-op
@@ -64,6 +66,11 @@ class SmallFn {
         }
       };
     } else {
+      // Deliberate cold fallback: a capture over the 80-byte budget
+      // heap-allocates here instead of failing to compile; hot-path
+      // captures are pinned inline by the XKB_ASSERT_INLINE_CAPTURE
+      // guards at their construction sites.
+      // NOLINTNEXTLINE(xkb-hot-path-alloc): cold oversize-capture fallback
       ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(f)));
       invoke_ = [](void* b) { (**std::launder(reinterpret_cast<D**>(b)))(); };
       manage_ = [](Op op, void* self, void* other) {

@@ -51,7 +51,11 @@ class Watchdog {
   std::uint64_t ticks() const { return ticks_; }
 
  private:
-  void tick() {
+  // Runs on the silent lane: must re-arm via schedule_silent_* only and
+  // never touch observable state (enforced by xkb-tidy's silent-lane
+  // check) -- an armed-but-never-stuck watchdog leaves the observable
+  // event stream bit-identical to an unarmed run.
+  XKB_SILENT void tick() {
     ++ticks_;
     const std::uint64_t pending = outstanding_();
     if (pending == 0) {  // drained: stop re-arming, queue may empty

@@ -4,6 +4,7 @@
 // whose message is "<origin>:<line>: <directive>: field '<name>': <what>",
 // so a malformed trace points at the exact line and field to fix -- the
 // same style as fault::FaultPlan's plan-file errors.
+#include <cmath>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -64,6 +65,10 @@ struct LineCtx {
       pos = 0;
     }
     if (pos != w.size()) fail(field, "'" + w + "' is not a number");
+    // stod accepts "nan" and "inf", which defeat every downstream range
+    // check (NaN comparisons are all false) and poison kernel-duration
+    // arithmetic; a .wlg file never legitimately contains either.
+    if (!std::isfinite(x)) fail(field, "'" + w + "' is not finite");
     return x;
   }
 };

@@ -1,5 +1,7 @@
 #include "workload/workload.hpp"
 
+#include <cmath>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -63,13 +65,34 @@ std::vector<std::uint32_t> WorkloadGraph::input_tiles() const {
 }
 
 void WorkloadGraph::validate() const {
-  for (std::size_t i = 0; i < tiles.size(); ++i)
+  for (std::size_t i = 0; i < tiles.size(); ++i) {
     if (tiles[i].m == 0 || tiles[i].n == 0 || tiles[i].wordsize == 0)
       throw std::invalid_argument("workload '" + name + "': tile " +
                                   std::to_string(i) +
                                   " has a zero dimension or wordsize");
+    // m * n * wordsize must not wrap: a silently overflowed byte count
+    // makes allocation and transfer times nonsense without ever failing.
+    const std::size_t kMax = std::numeric_limits<std::size_t>::max();
+    if (tiles[i].m > kMax / tiles[i].n ||
+        tiles[i].m * tiles[i].n > kMax / tiles[i].wordsize)
+      throw std::invalid_argument("workload '" + name + "': tile " +
+                                  std::to_string(i) +
+                                  " byte size overflows");
+  }
   for (std::size_t i = 0; i < tasks.size(); ++i) {
     const TaskSpec& t = tasks[i];
+    // Kernel duration is flops / (peak * eff(min_dim) * eff_factor):
+    // negative or non-finite flops produce events scheduled before "now"
+    // (engine contract violation), and eff_factor <= 0 produces negative
+    // or infinite durations.
+    if (!std::isfinite(t.flops) || t.flops < 0.0)
+      throw std::invalid_argument("workload '" + name + "': task " +
+                                  std::to_string(i) + " ('" + t.label +
+                                  "') has negative or non-finite flops");
+    if (!std::isfinite(t.eff_factor) || t.eff_factor <= 0.0)
+      throw std::invalid_argument("workload '" + name + "': task " +
+                                  std::to_string(i) + " ('" + t.label +
+                                  "') needs a positive finite eff_factor");
     if (t.accesses.empty())
       throw std::invalid_argument("workload '" + name + "': task " +
                                   std::to_string(i) + " ('" + t.label +

@@ -1,0 +1,127 @@
+// Shared scaffolding for the xkb fuzz harnesses.
+//
+// Each harness defines LLVMFuzzerTestOneInput (the libFuzzer entry point)
+// and, unless compiled with -fsanitize=fuzzer (which supplies its own
+// main), gets a standalone driver from this header:
+//
+//   fuzz_<target> file...                  # regression: replay corpus inputs
+//   fuzz_<target> --mutate N file...       # N deterministic mutants per file
+//
+// The standalone driver is what ctest runs on every build: corpus replay
+// plus a fixed-seed mutation smoke pass.  It needs no sanitizer, no
+// clang, and no wall clock -- mutations come from a xorshift stream with
+// a hard-coded seed, so a failure reproduces bit-identically everywhere.
+// CI additionally runs the same harness under real libFuzzer for a
+// time-boxed exploration pass (see .github/workflows: smoke-fuzz).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+#ifndef XKB_FUZZ_WITH_LIBFUZZER
+
+namespace xkb_fuzz {
+
+inline std::uint64_t xorshift(std::uint64_t& s) {
+  s ^= s << 13;
+  s ^= s >> 7;
+  s ^= s << 17;
+  return s;
+}
+
+/// Apply one deterministic mutation to `buf` (byte flip, truncate,
+/// duplicate-slice, or ASCII splice of tokens that stress numeric paths).
+inline void mutate(std::string& buf, std::uint64_t& s) {
+  static const char* kSplices[] = {
+      "nan",  "inf",   "-inf", "1e309", "-1",   "18446744073709551615",
+      "0x10", "1e-309", " ",   "\t",    "#",    ":",
+      "2147483648", "-2147483649", "999999999999999999999",
+  };
+  if (buf.empty()) {
+    buf = "x";
+    return;
+  }
+  switch (xorshift(s) % 4) {
+    case 0: {  // flip a byte
+      const std::size_t i = xorshift(s) % buf.size();
+      buf[i] = static_cast<char>(xorshift(s) & 0x7f);
+      break;
+    }
+    case 1: {  // truncate
+      buf.resize(xorshift(s) % buf.size());
+      break;
+    }
+    case 2: {  // duplicate a slice
+      const std::size_t a = xorshift(s) % buf.size();
+      const std::size_t n = xorshift(s) % (buf.size() - a) + 1;
+      buf.insert(xorshift(s) % buf.size(), buf.substr(a, n));
+      break;
+    }
+    default: {  // splice a numeric edge-case token
+      const char* tok =
+          kSplices[xorshift(s) % (sizeof(kSplices) / sizeof(*kSplices))];
+      buf.insert(xorshift(s) % buf.size(), tok);
+      break;
+    }
+  }
+}
+
+inline int standalone_main(int argc, char** argv) {
+  int mutants = 0;
+  int argi = 1;
+  if (argi < argc && std::strcmp(argv[argi], "--mutate") == 0) {
+    if (argi + 1 >= argc) {
+      std::fprintf(stderr, "usage: %s [--mutate N] file...\n", argv[0]);
+      return 2;
+    }
+    mutants = std::atoi(argv[argi + 1]);
+    argi += 2;
+  }
+  if (argi >= argc) {
+    std::fprintf(stderr, "usage: %s [--mutate N] file...\n", argv[0]);
+    return 2;
+  }
+  std::size_t ran = 0;
+  for (; argi < argc; ++argi) {
+    std::ifstream in(argv[argi], std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "fuzz: cannot read '%s'\n", argv[argi]);
+      return 2;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const std::string seed = ss.str();
+    LLVMFuzzerTestOneInput(
+        reinterpret_cast<const std::uint8_t*>(seed.data()), seed.size());
+    ++ran;
+    // Deterministic mutants: same inputs on every machine, every run.
+    std::uint64_t state = 0x9e3779b97f4a7c15ull ^ (ran * 0xff51afd7ed558ccdull);
+    for (int m = 0; m < mutants; ++m) {
+      std::string buf = seed;
+      // A few stacked mutations reach deeper than single edits.
+      const int edits = 1 + static_cast<int>(xorshift(state) % 3);
+      for (int e = 0; e < edits; ++e) mutate(buf, state);
+      LLVMFuzzerTestOneInput(
+          reinterpret_cast<const std::uint8_t*>(buf.data()), buf.size());
+      ++ran;
+    }
+  }
+  std::fprintf(stderr, "fuzz: %zu input(s) OK\n", ran);
+  return 0;
+}
+
+}  // namespace xkb_fuzz
+
+int main(int argc, char** argv) {
+  return xkb_fuzz::standalone_main(argc, argv);
+}
+
+#endif  // XKB_FUZZ_WITH_LIBFUZZER

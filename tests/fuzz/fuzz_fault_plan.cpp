@@ -1,0 +1,52 @@
+// Fuzz target: fault::FaultPlan::parse, the chaos-plan text parser.
+//
+// Contract under fuzzing: any byte string either yields a plan whose
+// every event carries finite non-negative times, in-range endpoints, and
+// fractions in (0, 1] -- or throws std::invalid_argument naming the bad
+// line.  On accepted plans, to_text() must round-trip through parse() to
+// the identical text.
+//
+// Found by this harness (fixed in the same change):
+//   * `seed` parsed as double then cast to uint64_t: NaN and out-of-range
+//     values make the cast undefined behaviour, and 2^64-1 silently
+//     rounds; now parsed as a checked decimal token.
+//   * "nan"/"inf" accepted for times/fractions/probabilities (NaN slips
+//     every range check), breaking engine time arithmetic.
+//   * endpoint integers beyond int range: undefined double-to-int cast.
+//   * trailing junk after a brownout duration silently ignored.
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "fault/fault.hpp"
+
+#include "fuzz_common.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  try {
+    const xkb::fault::FaultPlan plan = xkb::fault::FaultPlan::parse(text);
+    // Post-conditions the engine relies on.
+    for (const xkb::fault::FaultEvent& e : plan.events) {
+      if (!std::isfinite(e.t) || e.t < 0)
+        throw std::logic_error("accepted event with bad time");
+      if (!std::isfinite(e.fraction))
+        throw std::logic_error("accepted non-finite fraction");
+      if (!std::isfinite(e.duration) || e.duration < 0)
+        throw std::logic_error("accepted bad duration");
+    }
+    if (!std::isfinite(plan.fail_prob) || plan.fail_prob < 0 ||
+        plan.fail_prob > 1)
+      throw std::logic_error("accepted bad fail-prob");
+    // Round-trip: canonical text reparses to identical canonical text.
+    const std::string once = plan.to_text();
+    const std::string twice =
+        xkb::fault::FaultPlan::parse(once).to_text();
+    if (once != twice) throw std::logic_error("plan round-trip mismatch");
+  } catch (const std::invalid_argument&) {
+    // The one sanctioned failure mode.
+  }
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Fuzz target: wl::parse_wlg, the .wlg workload-graph parser.
+//
+// Contract under fuzzing: for ANY byte string, parse_wlg either returns a
+// validated WorkloadGraph or throws std::invalid_argument with a
+// line-precise message.  Anything else -- another exception type, a
+// crash, UB caught by sanitizers -- is a parser bug.  On accepted inputs
+// the canonical writer must round-trip: parse(write(parse(x))) produces
+// the same text, which pins writer/parser symmetry and validates that
+// everything validate() lets through is representable.
+//
+// Found by this harness (fixed in the same change):
+//   * "nan"/"inf" accepted for flops/eff_factor -- every downstream range
+//     check is false for NaN, producing negative/non-finite kernel
+//     durations that fire the engine's t >= now assertion.
+//   * negative flops and eff_factor <= 0 accepted by validate().
+//   * tile m*n*wordsize silently wrapping around std::size_t.
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "workload/workload.hpp"
+
+#include "fuzz_common.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  try {
+    const xkb::wl::WorkloadGraph g = xkb::wl::parse_wlg(text, "fuzz");
+    // Round-trip: canonical text must reparse to the same canonical text.
+    const std::string once = xkb::wl::write_wlg(g);
+    const std::string twice =
+        xkb::wl::write_wlg(xkb::wl::parse_wlg(once, "fuzz-rt"));
+    if (once != twice) throw std::logic_error("wlg round-trip mismatch");
+  } catch (const std::invalid_argument&) {
+    // The one sanctioned failure mode: a precise parse/validate error.
+  }
+  return 0;
+}

@@ -1,0 +1,40 @@
+// xkb-tidy fixture: xkb-address-ordering must stay SILENT here.
+//
+// The sanctioned patterns: identity and order always come from stable id
+// fields; pointers may be *stored* and even hashed implicitly by an
+// unordered container (lookup only -- iteration order is covered by
+// xkb-unordered-observable), and reinterpret_cast between pointer types
+// for storage reuse is fine because no integer is minted.
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+struct Task {
+  std::uint64_t id;
+};
+
+// Identity from the stable id field, never the address.
+inline std::uint64_t task_key(const Task* t) { return t->id; }
+
+// Hash and order over value types.
+using IdHash = std::hash<std::uint64_t>;
+using IdLess = std::less<std::uint64_t>;
+
+// Ordered containers keyed on stable values.
+using IdSet = std::set<std::uint64_t>;
+inline std::map<std::string, int> g_by_name;
+
+// Pointer-keyed *unordered* map for lookup is legal: the hash is never
+// observable as long as iteration order stays internal (that rule is
+// enforced separately by xkb-unordered-observable).
+inline std::unordered_map<const Task*, int> g_refcounts;
+
+// Pointer-to-pointer reinterpret_cast (storage reuse) mints no integer.
+inline Task* from_slot(void* slot) { return reinterpret_cast<Task*>(slot); }
+
+}  // namespace fixture

@@ -1,0 +1,35 @@
+// xkb-tidy fixture: xkb-address-ordering MUST fire on this file.
+//
+// Three spellings of the same defect -- minting identity or order from a
+// heap address: pointer-to-integer casts, hash/less over pointer types,
+// and ordered containers keyed on pointers.  Clean twin:
+// address_ordering_clean.cpp (stable id fields).
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+
+namespace fixture {
+
+struct Task {
+  std::uint64_t id;
+};
+
+// Pointer laundered into an integer "id": differs across runs.
+inline std::uint64_t task_key(const Task* t) {
+  return reinterpret_cast<std::uintptr_t>(t);
+}
+
+// Hashing a raw pointer: the hash value is the address.
+using TaskHash = std::hash<Task*>;
+
+// Ordering raw pointers: comparison result depends on allocation order.
+using TaskLess = std::less<const Task*>;
+
+// Ordered container keyed on a pointer: in-order iteration follows heap
+// addresses.
+using TaskSet = std::set<Task*>;
+inline std::map<const Task*, std::string> g_labels;
+
+}  // namespace fixture

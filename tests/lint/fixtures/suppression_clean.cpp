@@ -1,0 +1,27 @@
+// xkb-tidy fixture: xkb-suppression-justification must stay SILENT here.
+//
+// Every NOLINT carries a reason; both spellings (same-line and NEXTLINE,
+// scoped and bare) are exercised.  The suppressed findings themselves
+// must also not be reported -- a justified suppression wins.
+#include <cstdint>
+#include <unordered_map>
+
+namespace fixture {
+
+inline std::uint64_t sum_keys(
+    const std::unordered_map<std::uint64_t, int>& m) {
+  std::uint64_t acc = 0;
+  for (const auto& [k, v] : m)  // NOLINT(xkb-unordered-observable): sum is commutative, order cannot leak
+    acc += k;
+  return acc;
+}
+
+inline std::uint64_t count_keys(
+    const std::unordered_map<std::uint64_t, int>& m) {
+  std::uint64_t n = 0;
+  // NOLINTNEXTLINE(xkb-unordered-observable): count is order-independent
+  for (const auto& [k, v] : m) n += (v > 0) ? 1 : 0;
+  return n;
+}
+
+}  // namespace fixture

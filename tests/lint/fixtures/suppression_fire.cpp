@@ -1,0 +1,28 @@
+// xkb-tidy fixture: xkb-suppression-justification MUST fire on this file.
+//
+// A suppression is a claim that the checker is wrong *here*; the claim
+// needs a reason a reviewer can audit.  Bare NOLINTs rot: nobody can tell
+// a considered exemption from a silenced nuisance.  Clean twin:
+// suppression_clean.cpp.
+#include <cstdint>
+#include <unordered_map>
+
+namespace fixture {
+
+inline std::uint64_t sum_keys(
+    const std::unordered_map<std::uint64_t, int>& m) {
+  std::uint64_t acc = 0;
+  for (const auto& [k, v] : m)  // NOLINT(xkb-unordered-observable)
+    acc += k;
+  return acc;
+}
+
+inline std::uint64_t count_keys(
+    const std::unordered_map<std::uint64_t, int>& m) {
+  std::uint64_t n = 0;
+  // NOLINTNEXTLINE
+  for (const auto& [k, v] : m) n += (v > 0) ? 1 : 0;
+  return n;
+}
+
+}  // namespace fixture

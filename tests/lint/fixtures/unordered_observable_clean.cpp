@@ -1,0 +1,41 @@
+// xkb-tidy fixture: xkb-unordered-observable must stay SILENT here.
+//
+// The sanctioned idiom: snapshot the unordered container (the snapshot
+// loop is order-independent by construction and carries a justified
+// NOLINT), sort the snapshot by a *stable* key -- never the address --
+// and only then derive observable output.  Also exercises iteration over
+// ordered-by-value containers, which the check must not confuse with the
+// unordered family.
+#include <algorithm>
+#include <cstdint>
+#include <iostream>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+struct Tile {
+  std::uint64_t id;
+  std::string label;
+};
+
+inline void emit_report(
+    const std::unordered_map<std::uint64_t, Tile>& tiles) {
+  std::vector<const Tile*> snap;
+  snap.reserve(tiles.size());
+  for (const auto& [id, t] : tiles)  // NOLINT(xkb-unordered-observable): order-independent snapshot, sorted below
+    snap.push_back(&t);
+  std::sort(snap.begin(), snap.end(),
+            [](const Tile* a, const Tile* b) { return a->id < b->id; });
+  for (const auto* t : snap) std::cout << t->id << " " << t->label << "\n";
+}
+
+// std::map keyed on a value type is deterministically ordered: iterating
+// it is idiomatic and must not be flagged.
+inline void emit_counters(const std::map<std::string, double>& counters) {
+  for (const auto& [k, v] : counters) std::cout << k << "=" << v << "\n";
+}
+
+}  // namespace fixture

@@ -1,0 +1,36 @@
+// xkb-tidy fixture: xkb-unordered-observable MUST fire on this file.
+//
+// Iterating an unordered container and feeding the visitation order into
+// anything observable (output, violation text, scheduling order) bakes
+// heap addresses and hash seeding into run output -- the exact failure
+// mode the determinism gate exists to catch.  Clean twin:
+// unordered_observable_clean.cpp (snapshot + sort by stable id).
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+struct Tile {
+  std::uint64_t id;
+  std::string label;
+};
+
+// Range-for directly over an unordered_map: bucket order is
+// address-dependent, and the emitted lines change across runs.
+inline void emit_report(
+    const std::unordered_map<std::uint64_t, Tile>& tiles) {
+  for (const auto& [id, t] : tiles)
+    std::cout << id << " " << t.label << "\n";
+}
+
+// Explicit iterator walk over an unordered_set: same defect, different
+// spelling.
+inline std::string first_label(const std::unordered_set<std::string>& s) {
+  auto it = s.begin();
+  return it == s.end() ? std::string{} : *it;
+}
+
+}  // namespace fixture

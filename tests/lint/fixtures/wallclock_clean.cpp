@@ -1,0 +1,42 @@
+// xkb-tidy fixture: xkb-wallclock-in-sim must stay SILENT here.
+//
+// The sanctioned idiom: all randomness flows from a named util::Rng
+// substream (pure function of the root seed and the substream key), and
+// "time" means virtual simulation time carried by the engine, never a
+// host clock.  Identifiers that merely *contain* forbidden words
+// (random_walk, strand) must not trip the word-bounded patterns.
+#include <cstdint>
+#include <string>
+
+namespace fixture {
+
+// Stand-ins for util::Rng and sim::Time, shaped like the real ones.
+struct Rng {
+  std::uint64_t state;
+  explicit Rng(std::uint64_t seed) : state(seed) {}
+  Rng substream(const std::string& /*key*/) const { return Rng{state ^ 1}; }
+  double uniform() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<double>(state >> 11) / 9007199254740992.0;
+  }
+};
+using Time = double;
+
+// Deterministic draw: same seed, same key, same sequence -- bit-identical
+// replay for free.
+inline double jitter(std::uint64_t seed) {
+  Rng rng(seed);
+  Rng lane = rng.substream("fault.backoff");
+  return lane.uniform();
+}
+
+// Virtual time from the engine, not a host clock.
+inline Time deadline(Time now, Time budget) { return now + budget; }
+
+// Word-boundary traps: these identifiers contain 'rand'/'time' as
+// substrings and are perfectly legal.
+inline int random_walk_steps = 3;
+inline double strand_length = 1.5;
+inline Time uptime_estimate(Time t) { return t; }
+
+}  // namespace fixture

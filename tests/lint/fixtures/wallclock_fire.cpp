@@ -1,0 +1,32 @@
+// xkb-tidy fixture: xkb-wallclock-in-sim MUST fire on this file.
+//
+// Wall-clock reads and ambient randomness make a run a function of the
+// host instead of (workload, platform, seed).  This file lives outside
+// bench/ and tools/, so every call below is a violation.  Clean twin:
+// wallclock_clean.cpp (util::Rng substreams, virtual sim time).
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+// chrono clock read.
+inline double now_seconds() {
+  const auto t = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+// Ambient randomness: seeded from the environment, different every run.
+inline unsigned ambient_seed() {
+  std::random_device rd;
+  return rd();
+}
+
+// C library randomness and time.
+inline int legacy_draw() {
+  std::srand(static_cast<unsigned>(std::time(nullptr)));
+  return std::rand();
+}
+
+}  // namespace fixture

@@ -1,0 +1,100 @@
+#include "XkbTidyChecks.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::xkb {
+
+namespace {
+
+/// Does this specialization's first template argument name a pointer type?
+bool firstArgIsPointer(const ClassTemplateSpecializationDecl* Spec) {
+  if (!Spec || Spec->getTemplateArgs().size() == 0) return false;
+  const TemplateArgument& Arg = Spec->getTemplateArgs()[0];
+  return Arg.getKind() == TemplateArgument::Type &&
+         Arg.getAsType()->isPointerType();
+}
+
+AST_MATCHER(QualType, isPointerKeyedFunctor) {
+  const auto* Spec = dyn_cast_or_null<ClassTemplateSpecializationDecl>(
+      Node.getCanonicalType()->getAsCXXRecordDecl());
+  if (!Spec) return false;
+  const std::string Name = Spec->getQualifiedNameAsString();
+  if (Name != "std::hash" && Name != "std::less" && Name != "std::greater")
+    return false;
+  return firstArgIsPointer(Spec);
+}
+
+AST_MATCHER(QualType, isPointerKeyedOrderedContainer) {
+  const auto* Spec = dyn_cast_or_null<ClassTemplateSpecializationDecl>(
+      Node.getCanonicalType()->getAsCXXRecordDecl());
+  if (!Spec) return false;
+  const std::string Name = Spec->getQualifiedNameAsString();
+  if (Name != "std::map" && Name != "std::set" &&
+      Name != "std::multimap" && Name != "std::multiset")
+    return false;
+  return firstArgIsPointer(Spec);
+}
+
+}  // namespace
+
+void AddressOrderingCheck::registerMatchers(MatchFinder* Finder) {
+  // A pointer value reinterpreted as an integer: the classic way heap
+  // addresses leak into ids, hashes, and sort keys.
+  Finder->addMatcher(
+      cxxReinterpretCastExpr(
+          hasDestinationType(isInteger()),
+          hasSourceExpression(expr(hasType(pointerType()))))
+          .bind("ptr-to-int"),
+      this);
+  // std::hash<T*> / std::less<T*> / std::greater<T*> named in a
+  // declaration (variable, field, alias, or template argument position
+  // resolved through one).
+  Finder->addMatcher(
+      valueDecl(hasType(qualType(isPointerKeyedFunctor()))).bind("functor"),
+      this);
+  Finder->addMatcher(
+      typedefNameDecl(hasType(qualType(isPointerKeyedFunctor())))
+          .bind("functor-alias"),
+      this);
+  // std::map / std::set keyed directly on a pointer type.
+  Finder->addMatcher(
+      valueDecl(hasType(qualType(isPointerKeyedOrderedContainer())))
+          .bind("container"),
+      this);
+  Finder->addMatcher(
+      typedefNameDecl(hasType(qualType(isPointerKeyedOrderedContainer())))
+          .bind("container-alias"),
+      this);
+}
+
+void AddressOrderingCheck::check(const MatchFinder::MatchResult& Result) {
+  if (const auto* Cast =
+          Result.Nodes.getNodeAs<CXXReinterpretCastExpr>("ptr-to-int")) {
+    diag(Cast->getExprLoc(),
+         "pointer value converted to an integer: heap addresses vary "
+         "across runs and must never become ids, hash inputs, or ordering "
+         "keys; use a stable id field instead");
+    return;
+  }
+  for (const char* Tag : {"functor", "functor-alias"}) {
+    if (const auto* D = Result.Nodes.getNodeAs<NamedDecl>(Tag)) {
+      diag(D->getLocation(),
+           "hashing or ordering raw pointer values is address-dependent; "
+           "key on a stable id instead");
+      return;
+    }
+  }
+  for (const char* Tag : {"container", "container-alias"}) {
+    if (const auto* D = Result.Nodes.getNodeAs<NamedDecl>(Tag)) {
+      diag(D->getLocation(),
+           "ordered container keyed on a pointer type: in-order iteration "
+           "follows heap addresses; key on a stable id instead");
+      return;
+    }
+  }
+}
+
+}  // namespace clang::tidy::xkb

@@ -1,0 +1,77 @@
+#include "XkbTidyChecks.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/Attr.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::xkb {
+
+namespace {
+
+/// Function carries [[clang::annotate(Value)]] (directly or on a prior
+/// redeclaration -- XKB_HOT annotates definitions, but attributes merge).
+AST_MATCHER_P(FunctionDecl, hasXkbAnnotation, std::string, Value) {
+  for (const FunctionDecl* Redecl : Node.redecls())
+    for (const auto* A : Redecl->specific_attrs<AnnotateAttr>())
+      if (A->getAnnotation() == Value) return true;
+  return false;
+}
+
+const char kHot[] = "xkb::hot";
+
+}  // namespace
+
+void HotPathAllocCheck::registerMatchers(MatchFinder* Finder) {
+  const auto InHotFunction =
+      forFunction(functionDecl(hasXkbAnnotation(kHot)));
+  // Non-placement operator new.  Placement new (into arena or SmallFn
+  // inline storage) is the sanctioned pattern and is excluded in check().
+  Finder->addMatcher(cxxNewExpr(InHotFunction).bind("new"), this);
+  // The C allocation family plus the allocating smart-pointer factories.
+  Finder->addMatcher(
+      callExpr(InHotFunction,
+               callee(functionDecl(hasAnyName(
+                   "::malloc", "::calloc", "::realloc", "::strdup",
+                   "::aligned_alloc", "::std::malloc", "::std::calloc",
+                   "::std::realloc", "::std::aligned_alloc",
+                   "::std::make_unique", "::std::make_shared"))))
+          .bind("alloc-call"),
+      this);
+  // Constructing a std::function: closures beyond two words heap-allocate
+  // behind the std::function small-object optimisation.
+  Finder->addMatcher(
+      cxxConstructExpr(InHotFunction,
+                       hasType(qualType(hasDeclaration(cxxRecordDecl(
+                           hasName("::std::function"))))))
+          .bind("std-function"),
+      this);
+}
+
+void HotPathAllocCheck::check(const MatchFinder::MatchResult& Result) {
+  if (const auto* New = Result.Nodes.getNodeAs<CXXNewExpr>("new")) {
+    if (New->getNumPlacementArgs() > 0)
+      return;  // placement new constructs into pre-owned storage
+    diag(New->getExprLoc(),
+         "heap allocation in an XKB_HOT function: the engine hot loop "
+         "budgets zero allocator traffic; arena-allocate or move the work "
+         "off the hot path");
+    return;
+  }
+  if (const auto* Call = Result.Nodes.getNodeAs<CallExpr>("alloc-call")) {
+    diag(Call->getExprLoc(),
+         "heap allocation in an XKB_HOT function: the engine hot loop "
+         "budgets zero allocator traffic");
+    return;
+  }
+  if (const auto* Ctor =
+          Result.Nodes.getNodeAs<CXXConstructExpr>("std-function")) {
+    diag(Ctor->getExprLoc(),
+         "std::function constructed in an XKB_HOT function: captures over "
+         "two words heap-allocate; use sim::SmallFn and keep the capture "
+         "within its 80-byte inline buffer");
+  }
+}
+
+}  // namespace clang::tidy::xkb

@@ -1,0 +1,65 @@
+#include "XkbTidyChecks.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::xkb {
+
+namespace {
+
+const auto kUnorderedNames = hasAnyName(
+    "::std::unordered_map", "::std::unordered_set",
+    "::std::unordered_multimap", "::std::unordered_multiset");
+
+AST_MATCHER(QualType, isUnorderedContainer) {
+  const auto* RT = Node.getCanonicalType()->getAs<RecordType>();
+  if (!RT) return false;
+  const auto* RD = RT->getDecl();
+  if (!RD) return false;
+  const std::string Name = RD->getQualifiedNameAsString();
+  return Name == "std::unordered_map" || Name == "std::unordered_set" ||
+         Name == "std::unordered_multimap" ||
+         Name == "std::unordered_multiset";
+}
+
+}  // namespace
+
+void UnorderedObservableCheck::registerMatchers(MatchFinder* Finder) {
+  // Range-for directly over an unordered container (by value, reference,
+  // or via a member/variable of such type).
+  Finder->addMatcher(
+      cxxForRangeStmt(
+          hasRangeInit(expr(hasType(qualType(isUnorderedContainer())))))
+          .bind("range-loop"),
+      this);
+  // Explicit iterator walk: begin()/cbegin() member calls on an unordered
+  // container object (std::begin/std::cbegin resolve to these too).
+  Finder->addMatcher(
+      cxxMemberCallExpr(
+          callee(cxxMethodDecl(hasAnyName("begin", "cbegin"))),
+          on(expr(hasType(qualType(isUnorderedContainer())))))
+          .bind("begin-call"),
+      this);
+}
+
+void UnorderedObservableCheck::check(
+    const MatchFinder::MatchResult& Result) {
+  if (const auto* Loop =
+          Result.Nodes.getNodeAs<CXXForRangeStmt>("range-loop")) {
+    diag(Loop->getForLoc(),
+         "iteration over an unordered container: visitation order is "
+         "address-dependent and must not feed observable state; snapshot "
+         "and sort by a stable key first [xkb determinism contract]");
+    return;
+  }
+  if (const auto* Call =
+          Result.Nodes.getNodeAs<CXXMemberCallExpr>("begin-call")) {
+    diag(Call->getExprLoc(),
+         "iterator walk over an unordered container: visitation order is "
+         "address-dependent; snapshot and sort by a stable key first");
+  }
+}
+
+}  // namespace clang::tidy::xkb

@@ -1,0 +1,73 @@
+#include "XkbTidyChecks.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "clang/Basic/SourceManager.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::xkb {
+
+void WallclockInSimCheck::registerMatchers(MatchFinder* Finder) {
+  // chrono clock reads: std::chrono::*_clock::now().
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(
+                   hasName("now"),
+                   hasDeclContext(cxxRecordDecl(hasAnyName(
+                       "::std::chrono::steady_clock",
+                       "::std::chrono::system_clock",
+                       "::std::chrono::high_resolution_clock"))))))
+          .bind("clock-now"),
+      this);
+  // C library wall-clock and ambient-randomness calls.
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(hasAnyName(
+                   "::rand", "::srand", "::time", "::clock_gettime",
+                   "::gettimeofday", "::localtime", "::gmtime",
+                   "::std::rand", "::std::srand", "::std::time"))))
+          .bind("libc-clock"),
+      this);
+  // std::random_device: constructing one (or declaring a variable of the
+  // type) seeds from the environment.
+  Finder->addMatcher(
+      varDecl(hasType(qualType(hasDeclaration(
+                  cxxRecordDecl(hasName("::std::random_device"))))))
+          .bind("random-device"),
+      this);
+}
+
+bool WallclockInSimCheck::isExemptFile(
+    const MatchFinder::MatchResult& Result, SourceLocation Loc) const {
+  const SourceManager& SM = *Result.SourceManager;
+  const StringRef File = SM.getFilename(SM.getExpansionLoc(Loc));
+  // bench/ and tools/ measure the simulator from outside and may read
+  // real clocks; everything else is simulation code and may not.
+  return File.contains("/bench/") || File.contains("/tools/");
+}
+
+void WallclockInSimCheck::check(const MatchFinder::MatchResult& Result) {
+  SourceLocation Loc;
+  const char* What = nullptr;
+  if (const auto* E = Result.Nodes.getNodeAs<CallExpr>("clock-now")) {
+    Loc = E->getExprLoc();
+    What = "wall-clock read";
+  } else if (const auto* E =
+                 Result.Nodes.getNodeAs<CallExpr>("libc-clock")) {
+    Loc = E->getExprLoc();
+    What = "wall-clock or ambient-randomness call";
+  } else if (const auto* D =
+                 Result.Nodes.getNodeAs<VarDecl>("random-device")) {
+    Loc = D->getLocation();
+    What = "std::random_device";
+  } else {
+    return;
+  }
+  if (isExemptFile(Result, Loc)) return;
+  diag(Loc,
+       "%0 in simulation code: results must be reproducible from "
+       "(workload, platform, seed); draw from util::Rng::substream "
+       "instead (bench/ and tools/ are exempt)")
+      << What;
+}
+
+}  // namespace clang::tidy::xkb

@@ -1,0 +1,92 @@
+// xkb-tidy -- clang-tidy plugin module declarations.
+//
+// Five project-specific checks enforcing the determinism and hot-path
+// contracts documented in DESIGN.md "Static analysis".  This is the
+// AST-accurate engine of the suite; it builds only where clang-tidy
+// development headers are available (the CI lint-deep job) and is loaded
+// with `clang-tidy -load libxkb-tidy.so -checks=xkb-*`.  The portable
+// lexical driver (../xkb_lint.cpp) mirrors the same five checks for
+// toolchains without Clang and shares the NOLINT/baseline suppression
+// conventions, so a justification written once satisfies both engines.
+//
+// API surface is kept to what clang-tidy 14 through 17 agree on:
+// ClangTidyCheck + registerMatchers/check, AnnotateAttr inspection, and
+// plain ASTMatchers -- no AST transformer, no FixIts that depend on
+// post-14 rewriter behaviour.
+#pragma once
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::xkb {
+
+/// xkb-unordered-observable: iteration over a std::unordered_* container
+/// (range-for, or an explicit begin()/cbegin() walk).  Bucket order is a
+/// function of heap addresses and hash seeding, so any observable state
+/// derived from visitation order breaks bit-identical replay.  Idiomatic
+/// fix: snapshot, sort by a stable id, then iterate the snapshot.
+class UnorderedObservableCheck : public ClangTidyCheck {
+ public:
+  UnorderedObservableCheck(StringRef Name, ClangTidyContext* Context)
+      : ClangTidyCheck(Name, Context) {}
+  void registerMatchers(ast_matchers::MatchFinder* Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult& Result) override;
+};
+
+/// xkb-address-ordering: minting ordering or identity from raw pointer
+/// values -- reinterpret_cast of a pointer to an integer, std::hash /
+/// std::less / std::greater instantiated over a pointer type, or a
+/// std::map/std::set keyed on a pointer.  Heap addresses differ across
+/// runs; ids and orderings must come from stable fields.
+class AddressOrderingCheck : public ClangTidyCheck {
+ public:
+  AddressOrderingCheck(StringRef Name, ClangTidyContext* Context)
+      : ClangTidyCheck(Name, Context) {}
+  void registerMatchers(ast_matchers::MatchFinder* Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult& Result) override;
+};
+
+/// xkb-wallclock-in-sim: wall-clock reads (chrono clock ::now(),
+/// std::time, clock_gettime, gettimeofday, localtime, gmtime) or ambient
+/// randomness (rand, srand, std::random_device) outside bench/ and
+/// tools/.  Simulation results must be a pure function of (workload,
+/// platform, seed); all randomness flows through util::Rng substreams.
+class WallclockInSimCheck : public ClangTidyCheck {
+ public:
+  WallclockInSimCheck(StringRef Name, ClangTidyContext* Context)
+      : ClangTidyCheck(Name, Context) {}
+  void registerMatchers(ast_matchers::MatchFinder* Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult& Result) override;
+
+ private:
+  bool isExemptFile(const ast_matchers::MatchFinder::MatchResult& Result,
+                    SourceLocation Loc) const;
+};
+
+/// xkb-hot-path-alloc: heap allocation (non-placement new, the malloc
+/// family, make_unique/make_shared) or std::function construction inside
+/// a function carrying [[clang::annotate("xkb::hot")]] (the XKB_HOT
+/// macro).  The engine hot loop budgets zero allocator traffic; oversized
+/// captures must shrink or move off the hot path.
+class HotPathAllocCheck : public ClangTidyCheck {
+ public:
+  HotPathAllocCheck(StringRef Name, ClangTidyContext* Context)
+      : ClangTidyCheck(Name, Context) {}
+  void registerMatchers(ast_matchers::MatchFinder* Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult& Result) override;
+};
+
+/// xkb-silent-lane: observable-state mutation inside a function carrying
+/// [[clang::annotate("xkb::silent")]] (the XKB_SILENT macro) -- calls to
+/// the observable-lane schedulers (schedule_at / schedule_after), metrics
+/// emitters (inc, set_gauge, count_fault, series), trace record adds, or
+/// touching the engine observer.  Silent-lane callbacks must be
+/// bit-invisible when the fault they implement is a no-op.
+class SilentLaneCheck : public ClangTidyCheck {
+ public:
+  SilentLaneCheck(StringRef Name, ClangTidyContext* Context)
+      : ClangTidyCheck(Name, Context) {}
+  void registerMatchers(ast_matchers::MatchFinder* Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult& Result) override;
+};
+
+}  // namespace clang::tidy::xkb

@@ -1,0 +1,38 @@
+// xkb-tidy plugin module: registers the five xkb-* checks with clang-tidy.
+//
+// Usage (requires a clang-tidy with plugin support, 14+):
+//   clang-tidy -load build/tools/lint/libxkb-tidy.so \
+//              -checks='-*,xkb-*' -p build src/sim/engine.cpp
+// The repo wrapper tools/lint/xkb-lint.sh picks the available engine
+// (this plugin, else the portable xkb_lint driver) automatically.
+#include "XkbTidyChecks.h"
+
+#include "clang-tidy/ClangTidyModule.h"
+#include "clang-tidy/ClangTidyModuleRegistry.h"
+
+namespace clang::tidy::xkb {
+
+class XkbTidyModule : public ClangTidyModule {
+ public:
+  void addCheckFactories(ClangTidyCheckFactories& Factories) override {
+    Factories.registerCheck<UnorderedObservableCheck>(
+        "xkb-unordered-observable");
+    Factories.registerCheck<AddressOrderingCheck>("xkb-address-ordering");
+    Factories.registerCheck<WallclockInSimCheck>("xkb-wallclock-in-sim");
+    Factories.registerCheck<HotPathAllocCheck>("xkb-hot-path-alloc");
+    Factories.registerCheck<SilentLaneCheck>("xkb-silent-lane");
+  }
+};
+
+namespace {
+// NOLINTNEXTLINE(cert-err58-cpp): static registry hook, standard clang-tidy plugin idiom
+static ClangTidyModuleRegistry::Add<XkbTidyModule> X(
+    "xkb-tidy-module",
+    "Determinism and hot-path discipline checks for the xkb simulator.");
+}  // namespace
+
+// Anchor so -load keeps the module object alive even under aggressive
+// linkers: referenced nowhere, but exported.
+volatile int XkbTidyModuleAnchorSource = 0;
+
+}  // namespace clang::tidy::xkb

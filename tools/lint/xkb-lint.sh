@@ -1,0 +1,89 @@
+#!/usr/bin/env sh
+# xkb-lint.sh -- one-command entry point for the xkb-tidy suite.
+#
+#   tools/lint/xkb-lint.sh [build-dir] [file...]
+#
+# Picks the best available engine:
+#   1. clang-tidy + the xkb-tidy plugin (AST-accurate), when a clang-tidy
+#      binary exists AND the plugin was built (requires clang-tidy dev
+#      headers at configure time; see tools/lint/CMakeLists.txt).
+#   2. The portable xkb_lint lexical driver otherwise (always built).
+#
+# With no file arguments, sweeps src/.  Exit 0 = clean, 1 = findings,
+# 2 = configuration problem.  The baseline (tools/lint/baseline.txt) and
+# inline NOLINT conventions apply to both engines.
+set -u
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/../.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+[ $# -gt 0 ] && shift
+if [ $# -gt 0 ]; then
+  targets="$*"
+else
+  targets="$repo_root/src"
+fi
+
+plugin=""
+for cand in "$build_dir"/tools/lint/libxkb-tidy.so \
+            "$build_dir"/tools/lint/libxkb-tidy.dylib; do
+  [ -f "$cand" ] && plugin="$cand" && break
+done
+
+clang_tidy=${CLANG_TIDY:-clang-tidy}
+
+if [ -n "$plugin" ] && command -v "$clang_tidy" >/dev/null 2>&1 \
+     && [ -f "$build_dir/compile_commands.json" ]; then
+  echo "xkb-lint: engine=clang-tidy plugin ($plugin)"
+  # Expand directories to translation units; headers are covered through
+  # the TUs that include them (HeaderFilterRegex in .clang-tidy).
+  files=""
+  for t in $targets; do
+    if [ -d "$t" ]; then
+      files="$files $(find "$t" -name '*.cpp' | sort)"
+    else
+      case "$t" in
+        *.cpp) files="$files $t" ;;
+      esac
+    fi
+  done
+  out=$("$clang_tidy" -load "$plugin" --checks='-*,xkb-*' \
+        --header-filter='(src|tools|bench)/' -p "$build_dir" $files 2>&1)
+  status=$?
+  # Apply the shared baseline: drop diagnostics whose file suffix + check
+  # name match an entry (entries are '<path-suffix>:<check>: <why>').
+  filtered=$(printf '%s\n' "$out" | awk -v base="$repo_root/tools/lint/baseline.txt" '
+    BEGIN {
+      n = 0
+      while ((getline line < base) > 0) {
+        if (line ~ /^[ \t]*(#|$)/) continue
+        split(line, parts, ":")
+        suf[n] = parts[1]; chk[n] = parts[2]; n++
+      }
+    }
+    /\[xkb-[a-z-]+\]/ {
+      for (i = 0; i < n; i++) {
+        if (index($0, suf[i]) > 0 && \
+            (chk[i] == "*" || index($0, "[" chk[i] "]") > 0))
+          next
+      }
+    }
+    { print }
+  ')
+  printf '%s\n' "$filtered"
+  if printf '%s\n' "$filtered" | grep -q '\[xkb-[a-z-]*\]'; then
+    exit 1
+  fi
+  # clang-tidy exits non-zero on compile errors even without findings.
+  [ $status -ne 0 ] && exit 2
+  exit 0
+fi
+
+driver="$build_dir/tools/lint/xkb_lint"
+if [ ! -x "$driver" ]; then
+  echo "xkb-lint: neither the clang-tidy plugin nor the xkb_lint driver" >&2
+  echo "xkb-lint: is built; run: cmake -B '$build_dir' -S '$repo_root' && \\" >&2
+  echo "xkb-lint:        cmake --build '$build_dir' --target xkb_lint" >&2
+  exit 2
+fi
+echo "xkb-lint: engine=xkb_lint (portable lexical driver)"
+exec "$driver" --baseline "$repo_root/tools/lint/baseline.txt" $targets
