@@ -7,6 +7,7 @@
 
 #include "baselines/common.hpp"
 #include "fault/injector.hpp"
+#include "obs/ledger.hpp"
 #include "obs/report.hpp"
 
 namespace xkb::baselines {
@@ -290,6 +291,36 @@ BenchResult run_with_spec(const ModelSpec& spec, const BenchConfig& cfg) {
 
   RoutinePlan plan = plan_routine(runtime, cfg.routine, cfg.n, emit, P, Q);
 
+  const auto ledger_meta = [&] {
+    obs::LedgerMeta lm;
+    lm.lib = spec.name;
+    lm.routine = blas3_name(cfg.routine);
+    lm.scenario = cfg.data_on_device ? "data-on-device" : "data-on-host";
+    lm.n = cfg.n;
+    lm.tile = cfg.tile;
+    lm.seed = cfg.fault_plan.seed;
+    return lm;
+  };
+  // Register the run identity so a watchdog-stall dump composed inside the
+  // runtime still names the lib/routine.
+  if (o) o->set_ledger_meta(ledger_meta());
+  // Compose a flight-recorder dump at a failure site.  Runtime::on_stuck
+  // stashes its own dump (with the pre-stall ledger snapshot) before the
+  // StuckProgress throw; "first dump wins", so this only fills in for
+  // failures that bypassed on_stuck (OOM, retries exhausted, data loss,
+  // checker violations seen after the run).
+  const auto compose_flight = [&](const std::string& reason) {
+    if (!o) return;
+    if (o->flight_dump().empty()) {
+      o->finalize_registry();
+      const obs::RunLedger snap = obs::build_ledger(
+          plat.trace(), plat.topology(), o.get(), 0, ledger_meta());
+      o->set_flight_dump(o->flight().dump_json(reason, obs::ledger_json(snap)));
+    }
+    res.flight_json = o->flight_dump();
+    res.obs = o;
+  };
+
   double t0 = 0.0;
   rt::TransferStats s0{};  // stats issued before the measured region
   try {
@@ -314,6 +345,7 @@ BenchResult run_with_spec(const ModelSpec& spec, const BenchConfig& cfg) {
   } catch (const mem::OutOfDeviceMemory& e) {
     res.failed = true;
     res.error = e.what();
+    compose_flight(std::string("oom: ") + e.what());
     return res;
   } catch (const fault::FaultError& e) {
     // Failed-but-diagnosed: the recovery machinery hit its documented
@@ -322,6 +354,7 @@ BenchResult run_with_spec(const ModelSpec& spec, const BenchConfig& cfg) {
     res.error = e.what();
     res.task_remaps = runtime.task_remaps();
     res.task_replays = runtime.task_replays();
+    compose_flight(std::string("fault: ") + e.what());
     return res;
   }
 
@@ -359,6 +392,9 @@ BenchResult run_with_spec(const ModelSpec& spec, const BenchConfig& cfg) {
     const obs::RunReport rep =
         obs::build_report(plat.trace(), plat.topology(), o.get());
     res.metrics_json = obs::report_json(rep, o.get());
+    res.ledger_json = obs::ledger_json(obs::build_ledger(
+        plat.trace(), plat.topology(), o.get(), res.event_hash,
+        ledger_meta()));
     res.obs = o;
     if (runtime.checker()) {
       // Cross-validate the two independent accounting paths: observed event
@@ -387,6 +423,7 @@ BenchResult run_with_spec(const ModelSpec& spec, const BenchConfig& cfg) {
       }
     }
   }
+  if (!res.check_ok) compose_flight("checker-violation");
   return res;
 }
 

@@ -87,6 +87,12 @@ struct BenchResult {
   std::uint64_t event_hash = 0;  ///< FNV-1a over the simulated event stream
   // Populated only when BenchConfig::obs.enabled was set.
   std::string metrics_json;  ///< report_json: span/links/critical-path/metrics
+  std::string ledger_json;   ///< RunLedger artifact (schema xkb.obs.ledger/1)
+  /// Flight-recorder dump (schema xkb.obs.flight/1): last-N observable
+  /// events + decisions + fault marks with a ledger snapshot.  Written only
+  /// when the run failed or the checker flagged a violation -- a clean run
+  /// leaves it empty.
+  std::string flight_json;
   std::shared_ptr<obs::Observability> obs;  ///< the live measurement layer
   // Populated only when BenchConfig::fault_plan was non-empty.
   std::size_t task_remaps = 0;   ///< tasks migrated off a failed device

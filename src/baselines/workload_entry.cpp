@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "fault/injector.hpp"
+#include "obs/ledger.hpp"
 #include "obs/report.hpp"
 #include "workload/bridge.hpp"
 
@@ -74,6 +75,32 @@ BenchResult run_workload(const ModelSpec& spec, const wl::WorkloadGraph& graph,
     bopt.home = place;
   wl::Bridge bridge(runtime, graph, std::move(bopt));
 
+  const auto ledger_meta = [&] {
+    obs::LedgerMeta lm;
+    lm.lib = spec.name;
+    lm.routine = graph.name;
+    lm.scenario = cfg.data_on_device ? "data-on-device" : "data-on-host";
+    lm.seed = cfg.fault_plan.seed;
+    return lm;
+  };
+  // Register the run identity so a watchdog-stall dump composed inside the
+  // runtime still names the lib/routine.
+  if (o) o->set_ledger_meta(ledger_meta());
+  // Same flight-dump contract as run_with_spec: Runtime::on_stuck stashes
+  // the watchdog-stall dump first ("first dump wins"); this fills in for
+  // failures that bypassed it.
+  const auto compose_flight = [&](const std::string& reason) {
+    if (!o) return;
+    if (o->flight_dump().empty()) {
+      o->finalize_registry();
+      const obs::RunLedger snap = obs::build_ledger(
+          plat.trace(), plat.topology(), o.get(), 0, ledger_meta());
+      o->set_flight_dump(o->flight().dump_json(reason, obs::ledger_json(snap)));
+    }
+    res.flight_json = o->flight_dump();
+    res.obs = o;
+  };
+
   double t0 = 0.0;
   rt::TransferStats s0{};  // stats issued before the measured region
   try {
@@ -92,12 +119,14 @@ BenchResult run_workload(const ModelSpec& spec, const wl::WorkloadGraph& graph,
   } catch (const mem::OutOfDeviceMemory& e) {
     res.failed = true;
     res.error = e.what();
+    compose_flight(std::string("oom: ") + e.what());
     return res;
   } catch (const fault::FaultError& e) {
     res.failed = true;
     res.error = e.what();
     res.task_remaps = runtime.task_remaps();
     res.task_replays = runtime.task_replays();
+    compose_flight(std::string("fault: ") + e.what());
     return res;
   }
 
@@ -135,6 +164,9 @@ BenchResult run_workload(const ModelSpec& spec, const wl::WorkloadGraph& graph,
     const obs::RunReport rep =
         obs::build_report(plat.trace(), plat.topology(), o.get());
     res.metrics_json = obs::report_json(rep, o.get());
+    res.ledger_json = obs::ledger_json(obs::build_ledger(
+        plat.trace(), plat.topology(), o.get(), res.event_hash,
+        ledger_meta()));
     res.obs = o;
     if (runtime.checker()) {
       const rt::TransferStats& ts = runtime.data_manager().stats();

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "util/annotations.hpp"
+#include "util/selfprof.hpp"
 
 namespace xkb::mem {
 
@@ -69,6 +70,7 @@ XKB_HOT void DeviceCache::unlink(DataHandle* h) {
 }
 
 XKB_HOT void DeviceCache::touch(DataHandle* h, sim::Time now) {
+  prof::ScopedTimer pt(prof::Phase::kCacheTouch);
   Replica& r = h->dev[device_];
   r.last_use = now;
   if (r.lru_class < 0) return;  // not resident: stamp only
@@ -89,6 +91,7 @@ XKB_HOT void DeviceCache::set_dirty(DataHandle* h, bool dirty) {
 }
 
 XKB_HOT DeviceCache::Reservation DeviceCache::reserve(DataHandle* h) {
+  prof::ScopedTimer pt(prof::Phase::kCacheReserve);
   Reservation out;
   Replica& r = h->dev[device_];
   if (r.resident) return out;  // already accounted

@@ -35,10 +35,11 @@ sim::UsageProbe* Observability::make_link_probe(std::string name,
 
 void Observability::on_kernel(int dev, const std::string& label,
                               sim::Interval iv) {
-  (void)label;
   all_.kernel += iv.duration();
   per_gpu_[static_cast<std::size_t>(dev)].kernel += iv.duration();
   if (iv.end > last_event_) last_event_ = iv.end;
+  flight_.note(iv.end, FlightEntry::Kind::kKernel, dev, -1, 0, 0,
+               label.c_str());
 }
 
 void Observability::on_cache_ref(int dev, CacheRef ref) {
@@ -60,16 +61,19 @@ void Observability::on_evict(int dev, bool dirty) {
 
 void Observability::on_wait(std::uint64_t handle, int src, int dst,
                             bool forced) {
-  (void)src;
   if (forced)
     ++forced_waits_;
   else
     ++opt_waits_;
   pending_wait_[rx_key(handle, dst)] = forced;
+  flight_.note(last_event_, FlightEntry::Kind::kWait, src, dst, handle, 0,
+               forced ? "forced" : "optimistic");
 }
 
 void Observability::on_decision(Decision d) {
   if (d.t > last_event_) last_event_ = d.t;
+  flight_.note(d.t, FlightEntry::Kind::kDecision, d.picked_dev, d.dst,
+               d.handle, 0, to_string(d.pick));
   decisions_.push_back(std::move(d));
 }
 
@@ -77,6 +81,7 @@ void Observability::on_fault_mark(sim::Time t, std::string what,
                                   std::string detail) {
   if (t > last_event_) last_event_ = t;
   count_fault(what);
+  flight_.note(t, FlightEntry::Kind::kFault, -1, -1, 0, 0, what.c_str());
   fault_marks_.push_back(FaultMark{t, std::move(what), std::move(detail)});
 }
 
@@ -94,6 +99,15 @@ void Observability::on_transfer(Xfer k, std::uint64_t handle, int src, int dst,
                                 bool chained) {
   const double dur = iv.duration();
   if (iv.end > last_event_) last_event_ = iv.end;
+  {
+    const char* tag = k == Xfer::kH2D ? "h2d" : k == Xfer::kD2D ? "d2d"
+                                                                : "d2h";
+    flight_.note(iv.end, FlightEntry::Kind::kTransfer,
+                 k == Xfer::kH2D ? -1 : src, k == Xfer::kD2H ? -1 : dst,
+                 handle, bytes, chained ? (k == Xfer::kD2D ? "d2d-chained"
+                                                           : tag)
+                                        : tag);
+  }
   switch (k) {
     case Xfer::kH2D: {
       auto& g = per_gpu_[static_cast<std::size_t>(dst)];
@@ -179,6 +193,8 @@ void Observability::clear() {
   last_event_ = 0.0;
   pending_rx_.clear();
   pending_wait_.clear();
+  flight_.clear();
+  flight_dump_.clear();
   reg_.reset_values();
 }
 

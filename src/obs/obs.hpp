@@ -25,10 +25,27 @@
 #include <utility>
 #include <vector>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/probes.hpp"
 #include "sim/engine.hpp"
 #include "sim/resource.hpp"
+
+namespace xkb::obs {
+
+/// Caller-supplied identity of the run a ledger describes.  Lives here
+/// (not ledger.hpp) because the Observability instance carries it: crash
+/// dumps composed deep inside the runtime -- where lib/routine are not in
+/// scope -- reuse the registered identity.
+struct LedgerMeta {
+  std::string lib;       ///< "xkblas", "nohint-notopo", ...
+  std::string routine;   ///< "gemm", "trsm", workload name, ...
+  std::string scenario;  ///< "data-on-host" | "data-on-device"
+  std::size_t n = 0, tile = 0;
+  std::uint64_t seed = 0;
+};
+
+}  // namespace xkb::obs
 
 namespace xkb::obs {
 
@@ -136,6 +153,24 @@ class Observability {
   /// caches the pointer and samples it on every scheduling event.
   Series* ready_series(int dev);
 
+  // --- run identity ---
+  /// Registered by the bench skeleton before the run so crash dumps
+  /// composed inside the runtime (watchdog stall) still name the run.
+  void set_ledger_meta(LedgerMeta m) { ledger_meta_ = std::move(m); }
+  const LedgerMeta& ledger_meta() const { return ledger_meta_; }
+
+  // --- flight recorder ---
+  /// Last-N ring fed by the hooks above; always recording while attached.
+  FlightRecorder& flight() { return flight_; }
+  const FlightRecorder& flight() const { return flight_; }
+  /// Stash the crash dump composed at the failure site (watchdog stall,
+  /// checker violation, exception unwind); the bench skeleton retrieves it
+  /// after the catch.  First dump wins -- the failure closest to the cause.
+  void set_flight_dump(std::string json) {
+    if (flight_dump_.empty()) flight_dump_ = std::move(json);
+  }
+  const std::string& flight_dump() const { return flight_dump_; }
+
   // --- results ---
   const std::vector<std::unique_ptr<LinkProbe>>& links() const {
     return links_;
@@ -182,6 +217,10 @@ class Observability {
   OpTotals all_;
   std::vector<OpTotals> per_gpu_;
   std::vector<Series*> ready_;  ///< cached "ready.gpu<g>" series
+
+  FlightRecorder flight_;
+  std::string flight_dump_;
+  LedgerMeta ledger_meta_;
 
   std::vector<std::uint64_t> hits_, misses_, inflight_hits_;
   std::vector<std::uint64_t> evict_clean_, evict_dirty_;

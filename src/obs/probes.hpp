@@ -38,6 +38,14 @@ struct DelayHistogram {
   /// `max` for the last bucket.  Coarse by design: the histogram keeps no
   /// raw samples.
   double quantile(double q) const;
+  /// Pointwise accumulation: bucket counts, n and sum add; max takes the
+  /// larger.  Exact because buckets share the fixed kBounds edges.
+  void merge(const DelayHistogram& o) {
+    for (int i = 0; i < kBuckets; ++i) count[i] += o.count[i];
+    n += o.n;
+    sum += o.sum;
+    if (o.max > max) max = o.max;
+  }
   void clear() { *this = DelayHistogram{}; }
 };
 

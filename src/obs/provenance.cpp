@@ -1,0 +1,48 @@
+#include "obs/provenance.hpp"
+
+#include <cstdlib>
+
+#include "trace/export.hpp"
+
+#ifndef XKB_GIT_DESCRIBE
+#define XKB_GIT_DESCRIBE "unknown"
+#endif
+#ifndef XKB_BUILD_TYPE
+#define XKB_BUILD_TYPE "unknown"
+#endif
+
+namespace xkb::obs {
+
+namespace {
+
+std::string env_or(const char* var, const char* dflt) {
+  const char* v = std::getenv(var);
+  return (v && *v) ? std::string(v) : std::string(dflt);
+}
+
+}  // namespace
+
+Provenance Provenance::current(std::string schema, int version,
+                               std::uint64_t seed) {
+  Provenance p;
+  p.schema = std::move(schema);
+  p.version = version;
+  p.git = env_or("XKB_GIT_DESCRIBE", XKB_GIT_DESCRIBE);
+  p.build_type = env_or("XKB_BUILD_TYPE", XKB_BUILD_TYPE);
+  p.date = env_or("XKB_RUN_DATE", "unset");
+  p.seed = seed;
+  return p;
+}
+
+std::string Provenance::to_json() const {
+  std::string out = "{";
+  out += "\"schema\": \"" + trace::json_escape(tag()) + "\", ";
+  out += "\"git\": \"" + trace::json_escape(git) + "\", ";
+  out += "\"build_type\": \"" + trace::json_escape(build_type) + "\", ";
+  out += "\"date\": \"" + trace::json_escape(date) + "\", ";
+  out += "\"seed\": " + std::to_string(seed);
+  out += "}";
+  return out;
+}
+
+}  // namespace xkb::obs

@@ -1,0 +1,42 @@
+// Artifact provenance: every JSON file the simulator or its tools emit
+// (metrics reports, run ledgers, chaos/workload/perf bench results,
+// flight-recorder dumps) carries a "provenance" object identifying the
+// schema it conforms to and the build that produced it.  Without it a
+// BENCH point or a ledger on disk is unmoored -- you cannot tell whether
+// two artifacts are comparable, which commit a regression first appeared
+// in, or whether a Debug build polluted a perf trajectory.
+//
+// Determinism: nothing here reads a clock.  The git revision and build
+// type are baked in at configure time (XKB_GIT_DESCRIBE / XKB_BUILD_TYPE
+// compile definitions) and overridable via same-named environment
+// variables; the date is *passed in by the harness* (XKB_RUN_DATE env or
+// an explicit tool flag) and defaults to "unset", so two runs in the same
+// environment produce byte-identical artifacts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace xkb::obs {
+
+struct Provenance {
+  std::string schema;      ///< schema id, e.g. "xkb.obs.ledger"
+  int version = 1;         ///< schema version; together: "<schema>/<version>"
+  std::string git;         ///< git describe of the producing build
+  std::string build_type;  ///< CMAKE_BUILD_TYPE of the producing build
+  std::string date;        ///< harness-supplied timestamp ("unset" if none)
+  std::uint64_t seed = 0;  ///< dominant seed of the run (0 when seedless)
+
+  /// Combined schema tag, e.g. "xkb.obs.ledger/1".
+  std::string tag() const { return schema + "/" + std::to_string(version); }
+
+  /// Provenance for this build: git/build_type from compile definitions
+  /// (environment overrides honoured), date from XKB_RUN_DATE.
+  static Provenance current(std::string schema, int version,
+                            std::uint64_t seed = 0);
+
+  /// Canonical JSON object (fixed key order; embed under "provenance").
+  std::string to_json() const;
+};
+
+}  // namespace xkb::obs

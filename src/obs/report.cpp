@@ -5,6 +5,7 @@
 #include <map>
 #include <sstream>
 
+#include "obs/provenance.hpp"
 #include "trace/export.hpp"
 
 namespace xkb::obs {
@@ -188,6 +189,8 @@ std::string report_json(const RunReport& r, const Observability* o) {
   std::ostringstream out;
   out.precision(15);
   out << "{\n";
+  out << "  \"provenance\": "
+      << Provenance::current("xkb.obs.metrics", 1).to_json() << ",\n";
   out << "  \"span\": " << r.span << ",\n";
   out << "  \"breakdown\": {\"kernel\": " << r.breakdown.kernel
       << ", \"htod\": " << r.breakdown.htod << ", \"dtoh\": "
@@ -333,7 +336,11 @@ std::string to_chrome_json(const trace::Trace& tr, const Observability& o) {
     ++id;
   }
 
-  return base + out.str() + "\n]\n";
+  // Object form (Chrome/Perfetto accept both): lets the export carry the
+  // same provenance stamp as every other emitted artifact.
+  return "{\n\"provenance\": " +
+         Provenance::current("xkb.obs.trace", 1).to_json() +
+         ",\n\"traceEvents\": " + base + out.str() + "\n]\n}\n";
 }
 
 }  // namespace xkb::obs

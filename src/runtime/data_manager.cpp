@@ -9,6 +9,7 @@
 #include "check/check.hpp"
 #include "fault/injector.hpp"
 #include "obs/obs.hpp"
+#include "util/selfprof.hpp"
 
 namespace xkb::rt {
 
@@ -116,6 +117,7 @@ void DataManager::ensure_valid(mem::DataHandle* h, int dev,
 }
 
 void DataManager::plan_fetch(mem::DataHandle* h, int dev) {
+  prof::ScopedTimer pt(prof::Phase::kDmFetch);
   mem::Replica& r = h->dev[dev];
   assert(r.state == mem::ReplicaState::kInFlight);
   // Mask the destination while choosing: a re-planned fetch is itself

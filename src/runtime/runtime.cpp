@@ -7,6 +7,7 @@
 #include <string>
 
 #include "fault/injector.hpp"
+#include "obs/ledger.hpp"
 #include "obs/obs.hpp"
 
 namespace xkb::rt {
@@ -545,6 +546,19 @@ void Runtime::on_stuck(std::uint64_t pending) {
        << t->device << " deps=" << t->pending_deps
        << " operands_missing=" << t->operands_missing
        << (t->prepared ? " (preparing)" : "");
+  }
+  // Compose the flight-recorder dump at the stall site, where the last-N
+  // timeline still shows the events leading up to it.  The dump is stashed
+  // on the Observability instance; the bench skeleton retrieves it after
+  // the throw unwinds Engine::run.
+  if (obs::Observability* o = plat_->obs()) {
+    o->finalize_registry();
+    obs::LedgerMeta lm = o->ledger_meta();  // registered by the skeleton
+    if (lm.lib.empty()) lm.lib = "(stalled)";
+    const obs::RunLedger snap = obs::build_ledger(
+        plat_->trace(), plat_->topology(), o, 0, std::move(lm));
+    o->set_flight_dump(o->flight().dump_json("watchdog-stall: " + os.str(),
+                                             obs::ledger_json(snap)));
   }
   throw fault::StuckProgress(os.str());
 }

@@ -58,6 +58,7 @@ XKB_HOT void EventQueue::sorted_insert(Entry e) {
 }
 
 XKB_HOT void EventQueue::adopt(std::size_t k) {
+  prof::ScopedTimer pt(prof::Phase::kQueueAdopt);
   auto desc = [](const Entry& a, const Entry& b) {
     if (a.t != b.t) return a.t > b.t;
     return a.seq > b.seq;
@@ -133,6 +134,7 @@ bool EventQueue::advance() {
 // simply stays in overflow and is redistributed by a later (cheap, rare)
 // rebuild when the cursor gets there.
 void EventQueue::rebuild() {
+  prof::ScopedTimer pt(prof::Phase::kQueueRebuild);
   Time mn = overflow_.front().t;
   Time mx = mn;
   for (const Entry& e : overflow_) {

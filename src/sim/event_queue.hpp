@@ -43,6 +43,7 @@
 
 #include "sim/small_fn.hpp"
 #include "util/annotations.hpp"
+#include "util/selfprof.hpp"
 
 namespace xkb::sim {
 
@@ -128,6 +129,7 @@ class EventArena {
     if (slabs_.empty() || next_in_slab_ == kSlabNodes) {
       slabs_.push_back(std::make_unique<RawSlot[]>(kSlabNodes));
       next_in_slab_ = 0;
+      prof::count(prof::Counter::kArenaSlabs);
     }
     return &slabs_.back()[next_in_slab_++];
   }

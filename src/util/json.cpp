@@ -1,0 +1,321 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace xkb::util {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  JsonValue parse_document() {
+    skip_ws();
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    std::size_t line = 1, col = 1;
+    for (std::size_t i = 0; i < pos_ && i < s_.size(); ++i) {
+      if (s_[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    std::ostringstream os;
+    os << "json: " << why << " at " << line << ":" << col;
+    throw std::runtime_error(os.str());
+  }
+
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  char get() {
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_++];
+  }
+  void skip_ws() {
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r')
+        ++pos_;
+      else
+        break;
+    }
+  }
+  void expect_lit(const char* lit) {
+    for (const char* p = lit; *p; ++p)
+      if (pos_ >= s_.size() || s_[pos_++] != *p)
+        fail(std::string("expected literal \"") + lit + "\"");
+  }
+
+  JsonValue parse_value() {
+    if (++depth_ > kMaxDepth) fail("nesting deeper than 200 levels");
+    JsonValue v;
+    switch (peek()) {
+      case '{': v = parse_object(); break;
+      case '[': v = parse_array(); break;
+      case '"': v = JsonValue(parse_string()); break;
+      case 't': expect_lit("true"); v = JsonValue(true); break;
+      case 'f': expect_lit("false"); v = JsonValue(false); break;
+      case 'n': expect_lit("null"); v = JsonValue(); break;
+      default: v = parse_number(); break;
+    }
+    --depth_;
+    return v;
+  }
+
+  JsonValue parse_object() {
+    get();  // '{'
+    JsonObject obj;
+    skip_ws();
+    if (peek() == '}') {
+      get();
+      return JsonValue(std::move(obj));
+    }
+    for (;;) {
+      skip_ws();
+      if (peek() != '"') fail("expected object key string");
+      std::string key = parse_string();
+      skip_ws();
+      if (get() != ':') fail("expected ':' after object key");
+      skip_ws();
+      obj.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      const char c = get();
+      if (c == '}') break;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+    return JsonValue(std::move(obj));
+  }
+
+  JsonValue parse_array() {
+    get();  // '['
+    JsonArray arr;
+    skip_ws();
+    if (peek() == ']') {
+      get();
+      return JsonValue(std::move(arr));
+    }
+    for (;;) {
+      skip_ws();
+      arr.push_back(parse_value());
+      skip_ws();
+      const char c = get();
+      if (c == ']') break;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+    return JsonValue(std::move(arr));
+  }
+
+  std::string parse_string() {
+    get();  // '"'
+    std::string out;
+    for (;;) {
+      const char c = get();
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20)
+        fail("unescaped control character in string");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      const char e = get();
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': append_escape(out); break;
+        default: fail("invalid escape sequence");
+      }
+    }
+  }
+
+  unsigned hex4() {
+    unsigned v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = get();
+      v <<= 4;
+      if (c >= '0' && c <= '9') v |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') v |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') v |= static_cast<unsigned>(c - 'A' + 10);
+      else fail("invalid \\u escape digit");
+    }
+    return v;
+  }
+
+  /// \uXXXX (with surrogate pairing) -> UTF-8 bytes.
+  void append_escape(std::string& out) {
+    unsigned cp = hex4();
+    if (cp >= 0xD800 && cp <= 0xDBFF) {
+      if (pos_ + 1 < s_.size() && s_[pos_] == '\\' && s_[pos_ + 1] == 'u') {
+        pos_ += 2;
+        const unsigned lo = hex4();
+        if (lo < 0xDC00 || lo > 0xDFFF) fail("unpaired UTF-16 surrogate");
+        cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+      } else {
+        fail("unpaired UTF-16 surrogate");
+      }
+    } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+      fail("unpaired UTF-16 surrogate");
+    }
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (!std::isdigit(static_cast<unsigned char>(peek())))
+      fail("expected a value");
+    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    if (peek() == '.') {
+      ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek())))
+        fail("expected digits after decimal point");
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek())))
+        fail("expected digits in exponent");
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    const std::string tok = s_.substr(start, pos_ - start);
+    return JsonValue(std::strtod(tok.c_str(), nullptr));
+  }
+
+  static constexpr int kMaxDepth = 200;
+  const std::string& s_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+JsonValue json_parse(const std::string& text) {
+  return Parser(text).parse_document();
+}
+
+JsonValue json_parse_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("json: cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  try {
+    return json_parse(buf.str());
+  } catch (const std::runtime_error& e) {
+    throw std::runtime_error(std::string(e.what()) + " (" + path + ")");
+  }
+}
+
+namespace {
+
+void dump_string(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);  // multi-byte UTF-8 passes through unchanged
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void dump_value(const JsonValue& v, std::string* out) {
+  switch (v.kind()) {
+    case JsonValue::Kind::kNull:
+      *out += "null";
+      break;
+    case JsonValue::Kind::kBool:
+      *out += v.as_bool() ? "true" : "false";
+      break;
+    case JsonValue::Kind::kNumber: {
+      const double d = v.as_number();
+      char buf[32];
+      // Integers (the common case in our artifacts) render without a
+      // fraction; everything else keeps full double precision.
+      if (d == static_cast<double>(static_cast<long long>(d)) &&
+          d >= -9.0e15 && d <= 9.0e15)
+        std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(d));
+      else
+        std::snprintf(buf, sizeof buf, "%.17g", d);
+      *out += buf;
+      break;
+    }
+    case JsonValue::Kind::kString:
+      dump_string(v.as_string(), out);
+      break;
+    case JsonValue::Kind::kArray: {
+      out->push_back('[');
+      const JsonArray& a = v.as_array();
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        if (i) *out += ", ";
+        dump_value(a[i], out);
+      }
+      out->push_back(']');
+      break;
+    }
+    case JsonValue::Kind::kObject: {
+      out->push_back('{');
+      const JsonObject& o = v.as_object();
+      for (std::size_t i = 0; i < o.size(); ++i) {
+        if (i) *out += ", ";
+        dump_string(o[i].first, out);
+        *out += ": ";
+        dump_value(o[i].second, out);
+      }
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string json_dump(const JsonValue& v) {
+  std::string out;
+  dump_value(v, &out);
+  return out;
+}
+
+}  // namespace xkb::util

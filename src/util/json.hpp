@@ -1,0 +1,121 @@
+// Minimal recursive-descent JSON reader for the repo's own artifacts
+// (run ledgers, BENCH trajectory files).  This is deliberately a *reader
+// for JSON we wrote ourselves*, not a general-purpose library: it accepts
+// strict RFC 8259 input, keeps object keys in insertion order (so a
+// parse -> serialize round trip of our canonical artifacts is stable), and
+// fails with a line/column-bearing std::runtime_error on anything
+// malformed.  Numbers are held as double -- every numeric field our
+// emitters produce (printf %.17g / %.15g) survives that representation.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace xkb::util {
+
+class JsonValue;
+
+/// Order-preserving object: keys in the order they appeared in the input.
+using JsonObject = std::vector<std::pair<std::string, JsonValue>>;
+using JsonArray = std::vector<JsonValue>;
+
+class JsonValue {
+ public:
+  enum class Kind : unsigned char { kNull, kBool, kNumber, kString, kArray,
+                                    kObject };
+
+  JsonValue() = default;
+  explicit JsonValue(bool b) : kind_(Kind::kBool), bool_(b) {}
+  explicit JsonValue(double d) : kind_(Kind::kNumber), num_(d) {}
+  explicit JsonValue(std::string s)
+      : kind_(Kind::kString), str_(std::move(s)) {}
+  explicit JsonValue(JsonArray a)
+      : kind_(Kind::kArray), arr_(std::make_shared<JsonArray>(std::move(a))) {}
+  explicit JsonValue(JsonObject o)
+      : kind_(Kind::kObject),
+        obj_(std::make_shared<JsonObject>(std::move(o))) {}
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+
+  bool as_bool() const { expect(Kind::kBool, "bool"); return bool_; }
+  double as_number() const { expect(Kind::kNumber, "number"); return num_; }
+  const std::string& as_string() const {
+    expect(Kind::kString, "string");
+    return str_;
+  }
+  const JsonArray& as_array() const {
+    expect(Kind::kArray, "array");
+    return *arr_;
+  }
+  const JsonObject& as_object() const {
+    expect(Kind::kObject, "object");
+    return *obj_;
+  }
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  const JsonValue* find(const std::string& key) const {
+    if (kind_ != Kind::kObject) return nullptr;
+    for (const auto& [k, v] : *obj_)
+      if (k == key) return &v;
+    return nullptr;
+  }
+  /// Object member that must exist; throws naming the missing key.
+  const JsonValue& at(const std::string& key) const {
+    const JsonValue* v = find(key);
+    if (!v)
+      throw std::runtime_error("json: missing required key \"" + key + "\"");
+    return *v;
+  }
+
+  /// Typed convenience accessors with defaults, for optional fields.
+  double number_or(const std::string& key, double dflt) const {
+    const JsonValue* v = find(key);
+    return v && v->is_number() ? v->num_ : dflt;
+  }
+  std::string string_or(const std::string& key, std::string dflt) const {
+    const JsonValue* v = find(key);
+    return v && v->is_string() ? v->str_ : std::move(dflt);
+  }
+
+ private:
+  void expect(Kind k, const char* what) const {
+    if (kind_ != k)
+      throw std::runtime_error(std::string("json: value is not a ") + what);
+  }
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  // shared_ptr keeps JsonValue copyable while JsonObject/JsonArray contain
+  // JsonValue (incomplete at member declaration time).
+  std::shared_ptr<JsonArray> arr_;
+  std::shared_ptr<JsonObject> obj_;
+};
+
+/// Parse a complete JSON document (trailing whitespace allowed, trailing
+/// garbage rejected).  Throws std::runtime_error with 1-based line:column
+/// on malformed input.
+JsonValue json_parse(const std::string& text);
+
+/// json_parse over a whole file; the error message names the path.
+JsonValue json_parse_file(const std::string& path);
+
+/// Serialize a value back to compact JSON: insertion-order keys, %.17g
+/// numbers (integers render without a fraction), escaped strings.  A
+/// parse -> dump -> parse round trip of our canonical artifacts is stable,
+/// which is what lets perf_bench --append re-emit prior trajectory points
+/// byte-identically.
+std::string json_dump(const JsonValue& v);
+
+}  // namespace xkb::util

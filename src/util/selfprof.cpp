@@ -1,0 +1,104 @@
+#include "util/selfprof.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace xkb::prof {
+
+namespace detail {
+SelfProfiler* g_active = nullptr;
+}  // namespace detail
+
+const char* phase_name(Phase p) {
+  switch (p) {
+    case Phase::kEngineRun: return "engine.run";
+    case Phase::kQueueAdopt: return "queue.adopt";
+    case Phase::kQueueRebuild: return "queue.rebuild";
+    case Phase::kCacheTouch: return "cache.touch";
+    case Phase::kCacheReserve: return "cache.reserve";
+    case Phase::kDmFetch: return "dm.fetch";
+    case Phase::kCount: break;
+  }
+  return "?";
+}
+
+const char* counter_name(Counter c) {
+  switch (c) {
+    case Counter::kEngineEvents: return "engine.events";
+    case Counter::kArenaSlabs: return "arena.slabs";
+    case Counter::kPeakPending: return "queue.peak_pending";
+    case Counter::kCount: break;
+  }
+  return "?";
+}
+
+namespace {
+
+/// Estimated total over *all* calls: timed calls carry the measured time;
+/// untimed calls are assumed to match the sampled mean.
+double est_total_s(const PhaseStats& st) {
+  if (st.timed_calls == 0) return 0.0;
+  const double mean_ns =
+      static_cast<double>(st.total_ns) / static_cast<double>(st.timed_calls);
+  return mean_ns * static_cast<double>(st.calls) * 1e-9;
+}
+
+}  // namespace
+
+std::string SelfProfiler::table_text() const {
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof line, "%-14s %12s %10s %11s %9s %9s\n", "phase",
+                "calls", "timed", "est total", "mean", "max");
+  out += line;
+  for (int i = 0; i < static_cast<int>(Phase::kCount); ++i) {
+    const PhaseStats& st = phases_[i];
+    const double mean_ns =
+        st.timed_calls
+            ? static_cast<double>(st.total_ns) /
+                  static_cast<double>(st.timed_calls)
+            : 0.0;
+    std::snprintf(line, sizeof line,
+                  "%-14s %12" PRIu64 " %10" PRIu64 " %9.3fms %7.0fns %7.0fns\n",
+                  phase_name(static_cast<Phase>(i)), st.calls, st.timed_calls,
+                  est_total_s(st) * 1e3, mean_ns,
+                  static_cast<double>(st.max_ns));
+    out += line;
+  }
+  for (int i = 0; i < static_cast<int>(Counter::kCount); ++i) {
+    std::snprintf(line, sizeof line, "%-14s %12" PRIu64 "\n",
+                  counter_name(static_cast<Counter>(i)), counters_[i]);
+    out += line;
+  }
+  return out;
+}
+
+std::string SelfProfiler::to_json_fragment() const {
+  std::string out = "{\"phases\":[";
+  char buf[256];
+  for (int i = 0; i < static_cast<int>(Phase::kCount); ++i) {
+    const PhaseStats& st = phases_[i];
+    const double mean_ns =
+        st.timed_calls
+            ? static_cast<double>(st.total_ns) /
+                  static_cast<double>(st.timed_calls)
+            : 0.0;
+    std::snprintf(
+        buf, sizeof buf,
+        "%s{\"phase\":\"%s\",\"calls\":%" PRIu64 ",\"timed_calls\":%" PRIu64
+        ",\"est_total_s\":%.9g,\"mean_ns\":%.6g,\"max_ns\":%" PRIu64 "}",
+        i ? "," : "", phase_name(static_cast<Phase>(i)), st.calls,
+        st.timed_calls, est_total_s(st), mean_ns, st.max_ns);
+    out += buf;
+  }
+  out += "],\"counters\":{";
+  for (int i = 0; i < static_cast<int>(Counter::kCount); ++i) {
+    std::snprintf(buf, sizeof buf, "%s\"%s\":%" PRIu64, i ? "," : "",
+                  counter_name(static_cast<Counter>(i)), counters_[i]);
+    out += buf;
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace xkb::prof

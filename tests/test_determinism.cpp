@@ -9,6 +9,7 @@
 
 #include "baselines/library_model.hpp"
 #include "baselines/workload_entry.hpp"
+#include "util/selfprof.hpp"
 
 namespace xkb::baselines {
 namespace {
@@ -217,6 +218,22 @@ TEST(Determinism, HashDistinguishesHeuristicConfigurations) {
   BenchResult off =
       run_once(rt::HeuristicConfig::no_heuristic_no_topo(), Blas3::kGemm);
   EXPECT_NE(on.event_hash, off.event_hash);
+}
+
+// The host self-profiler reads wall clock on hot paths but must never feed
+// virtual time: a run with the profiler attached has to replay the exact
+// same event stream as one without it.
+TEST(Determinism, SelfProfilerAttachDoesNotPerturbTheEventStream) {
+  BenchResult off = run_once(rt::HeuristicConfig::xkblas(), Blas3::kGemm);
+  prof::SelfProfiler sp;
+  prof::SelfProfiler::activate(&sp);
+  BenchResult on = run_once(rt::HeuristicConfig::xkblas(), Blas3::kGemm);
+  prof::SelfProfiler::activate(nullptr);
+  expect_identical(off, on, "selfprof-attach");
+  // The profiler did observe the run it was attached to.
+  const std::string table = sp.table_text();
+  EXPECT_NE(std::string::npos, table.find("engine.run"));
+  EXPECT_NE(std::string::npos, table.find("dm.fetch"));
 }
 
 }  // namespace

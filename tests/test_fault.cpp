@@ -17,8 +17,10 @@
 
 #include "baselines/library_model.hpp"
 #include "fault/injector.hpp"
+#include "obs/ledger.hpp"
 #include "runtime/runtime.hpp"
 #include "sim/watchdog.hpp"
+#include "util/json.hpp"
 
 namespace xkb::rt {
 namespace {
@@ -203,6 +205,45 @@ TEST(FaultEffects, RetriesExhaustedIsDiagnosed) {
   const baselines::BenchResult r = bench(Blas3::kGemm, false, plan);
   EXPECT_TRUE(r.failed);
   EXPECT_NE(r.error.find("retr"), std::string::npos) << r.error;
+}
+
+// A forced watchdog stall (dropped task completion + armed watchdog) must
+// produce a flight-recorder dump: the last-N observable timeline, the stall
+// reason, and a parseable ledger snapshot of the run state at death.
+TEST(FaultEffects, WatchdogStallProducesAValidFlightDump) {
+  baselines::BenchConfig cfg;
+  cfg.routine = Blas3::kGemm;
+  cfg.n = 8192;
+  cfg.tile = 2048;
+  cfg.check.enabled = true;
+  cfg.check.faults.drop_completion_task = 10;
+  cfg.obs.enabled = true;
+  cfg.fault_plan.seed = 42;
+  fault::FaultEvent e;
+  e.kind = fault::FaultKind::kBrownout;
+  e.t = 1.0;  // never reached; the plan only arms the watchdog
+  e.a = 0;
+  e.b = 1;
+  e.fraction = 0.5;
+  e.duration = 0.1;
+  cfg.fault_plan.events.push_back(e);
+
+  auto model = baselines::make_xkblas(HeuristicConfig::xkblas());
+  const baselines::BenchResult r = model->run(cfg);
+  ASSERT_TRUE(r.failed);
+  EXPECT_NE(r.error.find("no observable progress"), std::string::npos)
+      << r.error;
+  ASSERT_FALSE(r.flight_json.empty());
+
+  const util::JsonValue doc = util::json_parse(r.flight_json);
+  EXPECT_EQ("xkb.obs.flight/1",
+            doc.at("provenance").at("schema").as_string());
+  EXPECT_FALSE(doc.at("timeline").as_array().empty());
+  EXPECT_NE(doc.at("reason").as_string().find("watchdog-stall"),
+            std::string::npos);
+  // The embedded snapshot round-trips through the ledger parser.
+  const obs::RunLedger snap = obs::ledger_from_json(doc.at("ledger"));
+  EXPECT_EQ("GEMM", snap.meta.routine);
 }
 
 // -------------------------------------------------------- device failure --

@@ -12,14 +12,19 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 
 #include "baselines/common.hpp"
 #include "baselines/library_model.hpp"
 #include "blas/tiled.hpp"
 #include "obs/critical_path.hpp"
+#include "obs/ledger.hpp"
 #include "obs/report.hpp"
+#include "util/json.hpp"
 #include "runtime/runtime.hpp"
 #include "runtime/scheduler.hpp"
 #include "trace/export.hpp"
@@ -96,6 +101,54 @@ TEST(DelayHistogram, ZerosLandInBucketZeroAndQuantileIsCappedByMax) {
   // max; the estimate must not.
   EXPECT_DOUBLE_EQ(3e-3, h.quantile(0.95));
   EXPECT_DOUBLE_EQ(3e-3, h.max);
+}
+
+TEST(DelayHistogram, EmptyHistogramReportsZeroEverywhere) {
+  const DelayHistogram h;
+  EXPECT_EQ(0u, h.n);
+  EXPECT_EQ(0.0, h.mean());
+  EXPECT_EQ(0.0, h.max);
+  for (double q : {0.0, 0.5, 0.95, 1.0}) EXPECT_EQ(0.0, h.quantile(q));
+}
+
+TEST(DelayHistogram, SingleBucketQuantilesClampToObservedMax) {
+  DelayHistogram h;
+  for (int i = 0; i < 5; ++i) h.add(5e-6);  // all in the (1e-6, 1e-5] bucket
+  EXPECT_EQ(5u, h.count[2]);
+  // Every non-degenerate quantile lands in the one occupied bucket, whose
+  // upper bound (1e-5) must be clamped to the observed max.
+  for (double q : {0.01, 0.5, 0.95, 1.0}) EXPECT_DOUBLE_EQ(5e-6, h.quantile(q));
+}
+
+TEST(DelayHistogram, SaturatedSamplesLandInTheUnboundedTailBucket) {
+  DelayHistogram h;
+  h.add(0.5);  // beyond the last finite bound (1e-1)
+  h.add(0.7);
+  EXPECT_EQ(2u, h.count[DelayHistogram::kBuckets - 1]);
+  // The tail bucket has no upper bound; the only honest estimate is max.
+  EXPECT_DOUBLE_EQ(0.7, h.quantile(0.5));
+  EXPECT_DOUBLE_EQ(0.7, h.quantile(1.0));
+  EXPECT_DOUBLE_EQ(0.6, h.mean());
+}
+
+TEST(DelayHistogram, MergeOfDisjointRangesAddsPointwise) {
+  DelayHistogram lo, hi;
+  for (int i = 0; i < 4; ++i) lo.add(0.0);
+  for (int i = 0; i < 4; ++i) hi.add(2e-2);  // (1e-2, 1e-1] bucket
+  DelayHistogram m = lo;
+  m.merge(hi);
+  EXPECT_EQ(8u, m.n);
+  EXPECT_EQ(4u, m.count[0]);
+  EXPECT_EQ(4u, m.count[6]);
+  EXPECT_DOUBLE_EQ(8e-2, m.sum);
+  EXPECT_DOUBLE_EQ(2e-2, m.max);
+  EXPECT_EQ(0.0, m.quantile(0.5));           // median still uncontended
+  EXPECT_DOUBLE_EQ(2e-2, m.quantile(0.75));  // upper quartile from hi
+  // Merging an empty histogram is the identity.
+  DelayHistogram copy = m;
+  m.merge(DelayHistogram{});
+  EXPECT_EQ(copy.n, m.n);
+  EXPECT_EQ(copy.sum, m.sum);
 }
 
 // ----------------------------------------------------------- critical path
@@ -337,10 +390,13 @@ TEST(Export, EnrichedChromeJsonCarriesDecisionFlowAndCounterTracks) {
   EXPECT_NE(std::string::npos, j.find("ready-queue"));     // counter track
   EXPECT_NE(std::string::npos, j.find("\"decide\""));      // decision track
   EXPECT_NE(std::string::npos, j.find("pick:"));
-  // Still a JSON array from first to last byte.
-  EXPECT_EQ('[', j.front());
+  // Object form with a provenance stamp wrapping the traceEvents array.
+  EXPECT_EQ('{', j.front());
+  EXPECT_NE(std::string::npos, j.find("\"provenance\""));
+  EXPECT_NE(std::string::npos, j.find("\"xkb.obs.trace/1\""));
+  EXPECT_NE(std::string::npos, j.find("\"traceEvents\": ["));
   EXPECT_EQ('\n', j.back());
-  EXPECT_EQ(']', j[j.size() - 2]);
+  EXPECT_EQ('}', j[j.size() - 2]);
 }
 
 TEST(Export, JsonEscapeHandlesControlCharacters) {
@@ -348,6 +404,69 @@ TEST(Export, JsonEscapeHandlesControlCharacters) {
   EXPECT_EQ("\\\"\\\\", trace::json_escape("\"\\"));
   EXPECT_EQ("\\n\\t\\r", trace::json_escape("\n\t\r"));
   EXPECT_EQ("\\u001f", trace::json_escape("\x1f"));
+}
+
+TEST(Export, JsonEscapePassesMultiByteUtf8Through) {
+  // Continuation bytes are >= 0x80; a signed-char comparison against 0x20
+  // would mangle them into \u00xx escapes.  They must pass through intact.
+  EXPECT_EQ("caf\xc3\xa9", trace::json_escape("caf\xc3\xa9"));  // 2-byte é
+  EXPECT_EQ("\xe6\x97\xa5\xe6\x9c\xac",                         // 3-byte 日本
+            trace::json_escape("\xe6\x97\xa5\xe6\x9c\xac"));
+  EXPECT_EQ("\xf0\x9f\x98\x80",                                 // 4-byte 😀
+            trace::json_escape("\xf0\x9f\x98\x80"));
+  // Mixed with characters that do need escaping.
+  EXPECT_EQ("\\\"\xc3\xa9\\n", trace::json_escape("\"\xc3\xa9\n"));
+}
+
+TEST(Ledger, JsonRoundTripIsByteLossless) {
+  ObservedRun r(Blas3::kGemm, 4096, 512);
+  LedgerMeta m;
+  m.lib = "XKBlas";
+  m.routine = "GEMM";
+  m.scenario = "data-on-host";
+  m.n = 4096;
+  m.tile = 512;
+  m.seed = 7;
+  const RunLedger l = build_ledger(r.plat.trace(), r.plat.topology(), &r.o,
+                                   0xdeadbeefcafef00dULL, m);
+  const std::string j1 = ledger_json(l);
+  const RunLedger l2 = ledger_from_json(util::json_parse(j1));
+  // Serialize -> parse -> serialize must be a fixed point: run_diff's file
+  // mode and the flight recorder's embedded snapshot both rely on it.
+  EXPECT_EQ(j1, ledger_json(l2));
+  EXPECT_EQ(l.event_hash, l2.event_hash);
+  EXPECT_EQ(l.decisions.size(), l2.decisions.size());
+}
+
+// Byte-for-byte golden pin of the enriched Perfetto/Chrome export on a tiny
+// fixed run.  Any intentional change to the export format must regenerate
+// the golden with XKB_UPDATE_GOLDEN=1.
+TEST(Export, PerfettoGoldenFileIsByteForByteStable) {
+  // Pin the provenance stamp so the artifact does not vary per commit.
+  setenv("XKB_GIT_DESCRIBE", "golden", 1);
+  setenv("XKB_BUILD_TYPE", "golden", 1);
+  setenv("XKB_RUN_DATE", "golden", 1);
+  ObservedRun r(Blas3::kGemm, 2048, 1024);
+  const std::string j = to_chrome_json(r.plat.trace(), r.o);
+  unsetenv("XKB_GIT_DESCRIBE");
+  unsetenv("XKB_BUILD_TYPE");
+  unsetenv("XKB_RUN_DATE");
+
+  const std::string path = std::string(XKB_GOLDEN_DIR) + "/perfetto_tiny.json";
+  if (std::getenv("XKB_UPDATE_GOLDEN")) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << j;
+    GTEST_SKIP() << "golden regenerated at " << path;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in) << "missing " << path
+                  << " (run with XKB_UPDATE_GOLDEN=1 to generate)";
+  std::stringstream want;
+  want << in.rdbuf();
+  ASSERT_EQ(want.str().size(), j.size())
+      << "Perfetto export size drifted; regenerate the golden if intended";
+  EXPECT_EQ(want.str(), j);
 }
 
 TEST(Export, HostileLabelsRoundTripThroughCsv) {

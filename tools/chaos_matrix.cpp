@@ -27,6 +27,11 @@
 //   chaos_matrix                     default matrix (GEMM/TRSM, n=8192)
 //   chaos_matrix --n 16384           larger sweep
 //   chaos_matrix --report chaos.json JSON fault report per run
+//   chaos_matrix --flight-probe [--flight-out F]
+//       force a watchdog stall (a dropped task completion under an armed
+//       fault plan) and validate the crash flight recorder's dump: last-N
+//       observable timeline + embedded ledger snapshot, schema
+//       xkb.obs.flight/1
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -35,7 +40,10 @@
 
 #include "baselines/library_model.hpp"
 #include "fault/fault.hpp"
+#include "obs/ledger.hpp"
+#include "obs/provenance.hpp"
 #include "util/flops.hpp"
+#include "util/json.hpp"
 
 using namespace xkb;
 using namespace xkb::baselines;
@@ -144,22 +152,91 @@ Outcome run_one(const std::string& lib, Blas3 routine, bool dod,
   return o;
 }
 
+/// --flight-probe: force a watchdog stall and validate the flight dump.
+/// A dropped task completion (checker test fault) starves the successors
+/// while a non-empty fault plan keeps the watchdog armed; the watchdog
+/// notices the dead run, Runtime::on_stuck snapshots the ledger, dumps the
+/// flight ring, and throws StuckProgress.  The dump must carry a non-empty
+/// last-N timeline, a parseable ledger snapshot, and the stall reason.
+int run_flight_probe(std::size_t n, std::size_t tile,
+                     const std::string& out_path) {
+  BenchConfig cfg;
+  cfg.routine = Blas3::kGemm;
+  cfg.n = n;
+  cfg.tile = tile;
+  cfg.check.enabled = true;
+  cfg.check.faults.drop_completion_task = 10;
+  cfg.obs.enabled = true;
+  cfg.fault_plan.seed = 42;
+  fault::FaultEvent e;
+  e.kind = fault::FaultKind::kBrownout;
+  e.t = 1.0;  // never reached; the plan exists only to arm the watchdog
+  e.a = 0;
+  e.b = 1;
+  e.fraction = 0.5;
+  e.duration = 0.1;
+  cfg.fault_plan.events.push_back(e);
+
+  auto model = make_xkblas(rt::HeuristicConfig::xkblas());
+  const BenchResult r = model->run(cfg);
+  if (!r.failed) {
+    std::fprintf(stderr,
+                 "flight-probe: expected a watchdog stall, run completed\n");
+    return 3;
+  }
+  if (r.flight_json.empty()) {
+    std::fprintf(stderr, "flight-probe: stall produced no flight dump "
+                 "(error was: %s)\n", r.error.c_str());
+    return 3;
+  }
+  try {
+    const util::JsonValue doc = util::json_parse(r.flight_json);
+    const std::string schema = doc.at("provenance").at("schema").as_string();
+    if (schema != "xkb.obs.flight/1")
+      throw std::runtime_error("unexpected dump schema " + schema);
+    if (doc.at("timeline").as_array().empty())
+      throw std::runtime_error("flight timeline is empty");
+    if (doc.at("reason").as_string().find("watchdog-stall") ==
+        std::string::npos)
+      throw std::runtime_error("dump reason does not name the stall: " +
+                               doc.at("reason").as_string());
+    // The embedded ledger snapshot must itself be a valid ledger.
+    obs::ledger_from_json(doc.at("ledger"));
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "flight-probe: invalid dump: %s\n", ex.what());
+    return 3;
+  }
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    out << r.flight_json;
+    std::printf("flight dump -> %s\n", out_path.c_str());
+  }
+  std::printf("flight-probe: stall diagnosed (%s), dump valid\n",
+              r.error.substr(0, 60).c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::size_t n = 8192, tile = 2048;
-  std::string report_path;
+  std::string report_path, flight_out;
+  bool flight_probe = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--n" && i + 1 < argc) n = std::stoul(argv[++i]);
     else if (arg == "--tile" && i + 1 < argc) tile = std::stoul(argv[++i]);
     else if (arg == "--report" && i + 1 < argc) report_path = argv[++i];
+    else if (arg == "--flight-probe") flight_probe = true;
+    else if (arg == "--flight-out" && i + 1 < argc) flight_out = argv[++i];
     else {
       std::fprintf(stderr,
-                   "usage: chaos_matrix [--n N] [--tile T] [--report F]\n");
+                   "usage: chaos_matrix [--n N] [--tile T] [--report F] "
+                   "[--flight-probe [--flight-out F]]\n");
       return 2;
     }
   }
+  if (flight_probe) return run_flight_probe(n, tile, flight_out);
 
   const Blas3 routines[] = {Blas3::kGemm, Blas3::kTrsm};
   const char* libs[] = {"xkblas", "chameleon-tile"};
@@ -268,7 +345,9 @@ int main(int argc, char** argv) {
 
   if (!report_path.empty()) {
     std::ofstream out(report_path);
-    out << "{\"n\":" << n << ",\"tile\":" << tile << ",\"runs\":[";
+    out << "{\"provenance\":"
+        << obs::Provenance::current("xkb.bench.chaos", 1, 42).to_json()
+        << ",\"n\":" << n << ",\"tile\":" << tile << ",\"runs\":[";
     for (std::size_t i = 0; i < outcomes.size(); ++i) {
       const Outcome& o = outcomes[i];
       if (i) out << ",";

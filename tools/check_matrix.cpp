@@ -14,12 +14,18 @@
 //                                clock on a GEMM workload (exit 4 beyond
 //                                2x), and obs-on-vs-off (exit 4 beyond
 //                                1.3x)
+//   check_matrix --selfprof      also measure the host self-profiler's
+//                                attach overhead on the same workload
+//                                (exit 4 beyond 1.3x) and verify the
+//                                pinned event hash is unchanged with the
+//                                profiler attached
 #include <chrono>
 #include <cstdio>
 #include <string>
 
 #include "baselines/library_model.hpp"
 #include "util/flops.hpp"
+#include "util/selfprof.hpp"
 
 using namespace xkb;
 using namespace xkb::baselines;
@@ -53,16 +59,17 @@ double wall_seconds(const BenchConfig& cfg, bool checked, bool obs = false) {
 
 int main(int argc, char** argv) {
   std::size_t n = 8192, tile = 2048;
-  bool overhead = false, obs = false;
+  bool overhead = false, obs = false, selfprof = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--n" && i + 1 < argc) n = std::stoul(argv[++i]);
     else if (arg == "--tile" && i + 1 < argc) tile = std::stoul(argv[++i]);
     else if (arg == "--overhead") overhead = true;
     else if (arg == "--obs") obs = true;
+    else if (arg == "--selfprof") selfprof = true;
     else {
       std::fprintf(stderr, "usage: check_matrix [--n N] [--tile T] "
-                           "[--obs] [--overhead]\n");
+                           "[--obs] [--overhead] [--selfprof]\n");
       return 2;
     }
   }
@@ -137,6 +144,50 @@ int main(int argc, char** argv) {
                 obs_ratio, off, obs_on);
     if (obs_ratio > 1.3) {
       std::fprintf(stderr, "obs overhead budget exceeded (limit 1.3x)\n");
+      return 4;
+    }
+  }
+
+  if (selfprof) {
+    BenchConfig cfg;
+    cfg.routine = Blas3::kGemm;
+    cfg.n = 16384;
+    cfg.tile = 2048;
+    // Hash invariance: the profiler must not perturb the event stream.
+    BenchConfig hcfg = cfg;
+    hcfg.check.enabled = true;
+    auto model = make_xkblas(rt::HeuristicConfig::xkblas());
+    const BenchResult off_run = model->run(hcfg);
+    prof::SelfProfiler sp;
+    prof::SelfProfiler::activate(&sp);
+    const BenchResult on_run = model->run(hcfg);
+    prof::SelfProfiler::activate(nullptr);
+    if (off_run.failed || on_run.failed ||
+        off_run.event_hash != on_run.event_hash) {
+      std::fprintf(stderr,
+                   "self-profiler changed the pinned event hash "
+                   "(%016llx vs %016llx)\n",
+                   static_cast<unsigned long long>(off_run.event_hash),
+                   static_cast<unsigned long long>(on_run.event_hash));
+      return 4;
+    }
+    // Attach overhead under the same 1.3x budget as the obs layer.
+    const double off = wall_seconds(cfg, false);
+    sp.clear();
+    prof::SelfProfiler::activate(&sp);
+    const double on = wall_seconds(cfg, false);
+    prof::SelfProfiler::activate(nullptr);
+    if (off <= 0.0 || on <= 0.0) {
+      std::fprintf(stderr, "selfprof overhead probe failed to run\n");
+      return 4;
+    }
+    const double ratio = on / off;
+    std::printf(
+        "selfprof-mode overhead: %.2fx (%.3fs -> %.3fs over 20 reps), "
+        "hash invariant\n",
+        ratio, off, on);
+    if (ratio > 1.3) {
+      std::fprintf(stderr, "selfprof overhead budget exceeded (limit 1.3x)\n");
       return 4;
     }
   }

@@ -21,12 +21,27 @@
 //                         sweeps, plus the xkb::check / xkb::obs wall-clock
 //                         overhead ratios.
 //
+//   BENCH_selfprof.json -- (--selfprof) per-phase host self-times of the
+//                         instrumented hot paths (engine dispatch, queue
+//                         adopt/rebuild, cache touch/reserve, DM fetch)
+//                         over a checked GEMM sweep, plus the measured
+//                         attach overhead and an event-hash invariance
+//                         verdict (profiler on vs off; a changed hash is a
+//                         correctness failure, exit 4).
+//
 //   perf_bench [--smoke] [--out-engine F] [--out-e2e F]
 //              [--churn-events N] [--reps R] [--min-speedup X]
+//              [--append] [--selfprof] [--out-selfprof F]
 //
 // --smoke shrinks every dimension for a seconds-long ctest run and disables
 // the speedup gate by default (shared CI machines make tiny timings noisy);
 // the perf CI job runs the full version with the gate armed.
+//
+// --append keeps the prior artifacts' trajectory arrays: each emitted file
+// carries "trajectory": [...points keyed by git describe...] and --append
+// re-parses the existing file, preserves its points, and adds this run's.
+// A new point whose events/sec falls >= 15% below the previous one prints
+// a regression warning (stderr; the hard gates stay --min-speedup and CI).
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
@@ -39,8 +54,11 @@
 
 #include "baselines/library_model.hpp"
 #include "baselines/workload_entry.hpp"
+#include "obs/provenance.hpp"
 #include "sim/engine.hpp"
 #include "util/flops.hpp"
+#include "util/json.hpp"
+#include "util/selfprof.hpp"
 #include "workload/workload.hpp"
 
 using namespace xkb;
@@ -238,10 +256,65 @@ double eps_of(const ChurnResult& r) {
   return r.seconds > 0.0 ? static_cast<double>(r.events) / r.seconds : 0.0;
 }
 
+// Prior trajectory points recovered from an existing artifact (--append),
+// plus the newest prior events/sec for the regression warning.
+struct Trajectory {
+  std::vector<std::string> points;  ///< serialized JSON objects, oldest first
+  double prev_eps = -1.0;
+};
+
+Trajectory load_trajectory(const std::string& path) {
+  Trajectory t;
+  try {
+    const util::JsonValue doc = util::json_parse_file(path);
+    if (const util::JsonValue* traj = doc.find("trajectory")) {
+      for (const util::JsonValue& p : traj->as_array()) {
+        t.points.push_back(util::json_dump(p));
+        t.prev_eps = p.number_or("events_per_sec", t.prev_eps);
+      }
+    }
+  } catch (const std::exception&) {
+    // Missing file or pre-trajectory schema: start a fresh trajectory.
+  }
+  return t;
+}
+
+/// Emit "trajectory": [prior..., current] (current last = newest).
+void emit_trajectory(std::FILE* f, const Trajectory& t,
+                     const std::string& current) {
+  std::fprintf(f, "  \"trajectory\": [\n");
+  for (const std::string& p : t.points)
+    std::fprintf(f, "    %s,\n", p.c_str());
+  std::fprintf(f, "    %s\n  ],\n", current.c_str());
+}
+
+void warn_regression(const char* what, const Trajectory& t, double eps) {
+  if (t.prev_eps > 0.0 && eps < 0.85 * t.prev_eps)
+    std::fprintf(stderr,
+                 "WARNING: %s events/sec regressed %.1f%% vs the previous "
+                 "trajectory point (%.0f -> %.0f)\n",
+                 what, 100.0 * (1.0 - eps / t.prev_eps), t.prev_eps, eps);
+}
+
+std::string trajectory_point(const obs::Provenance& prov, const char* mode,
+                             double eps, const char* extra_key,
+                             double extra_val) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "{\"git\": \"%s\", \"date\": \"%s\", \"mode\": \"%s\", "
+                "\"events_per_sec\": %.0f, \"%s\": %.2f}",
+                prov.git.c_str(), prov.date.c_str(), mode, eps, extra_key,
+                extra_val);
+  return buf;
+}
+
 void emit_engine_json(std::FILE* f, const char* mode, std::uint64_t events,
                       int reps, const std::vector<DepthPoint>& points,
-                      bool all_identical) {
-  std::fprintf(f, "{\n  \"schema\": \"xkb.bench.engine/1\",\n");
+                      bool all_identical, const std::string& prov,
+                      const Trajectory& traj, const std::string& cur_point) {
+  std::fprintf(f, "{\n  \"schema\": \"xkb.bench.engine/2\",\n");
+  std::fprintf(f, "  \"provenance\": %s,\n", prov.c_str());
+  emit_trajectory(f, traj, cur_point);
   std::fprintf(f, "  \"mode\": \"%s\",\n", mode);
   std::fprintf(f, "  \"churn\": {\"events\": %llu, \"reps\": %d},\n",
                static_cast<unsigned long long>(events), reps);
@@ -287,7 +360,9 @@ void emit_engine_json(std::FILE* f, const char* mode, std::uint64_t events,
 
 void emit_e2e_json(std::FILE* f, const char* mode, std::size_t n,
                    std::size_t tile, const std::vector<E2eRow>& rows,
-                   int overhead_reps, double check_ratio, double obs_ratio) {
+                   int overhead_reps, double check_ratio, double obs_ratio,
+                   const std::string& prov, const Trajectory& traj,
+                   const std::string& cur_point) {
   auto aggregate = [&](const char* kind, double* wall, double* events,
                        std::size_t* count) {
     *wall = 0.0;
@@ -300,7 +375,9 @@ void emit_e2e_json(std::FILE* f, const char* mode, std::size_t n,
       ++*count;
     }
   };
-  std::fprintf(f, "{\n  \"schema\": \"xkb.bench.e2e/1\",\n");
+  std::fprintf(f, "{\n  \"schema\": \"xkb.bench.e2e/2\",\n");
+  std::fprintf(f, "  \"provenance\": %s,\n", prov.c_str());
+  emit_trajectory(f, traj, cur_point);
   std::fprintf(f, "  \"mode\": \"%s\",\n", mode);
   for (const char* kind : {"blas", "workload"}) {
     const bool blas = std::strcmp(kind, "blas") == 0;
@@ -358,9 +435,10 @@ double overhead_wall(const BenchConfig& base, bool checked, bool obs,
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool smoke = false;
+  bool smoke = false, append = false, selfprof = false;
   std::string out_engine = "BENCH_engine.json";
   std::string out_e2e = "BENCH_e2e.json";
+  std::string out_selfprof = "BENCH_selfprof.json";
   std::uint64_t churn_events = 0;  // 0 = mode default
   std::uint64_t churn_chains = 0;  // 0 = mode default
   int reps = 0;                    // 0 = mode default
@@ -368,8 +446,12 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--smoke") smoke = true;
+    else if (arg == "--append") append = true;
+    else if (arg == "--selfprof") selfprof = true;
     else if (arg == "--out-engine" && i + 1 < argc) out_engine = argv[++i];
     else if (arg == "--out-e2e" && i + 1 < argc) out_e2e = argv[++i];
+    else if (arg == "--out-selfprof" && i + 1 < argc)
+      out_selfprof = argv[++i];
     else if (arg == "--churn-events" && i + 1 < argc)
       churn_events = std::stoull(argv[++i]);
     else if (arg == "--churn-chains" && i + 1 < argc)
@@ -381,7 +463,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: perf_bench [--smoke] [--out-engine F] [--out-e2e F]"
                    " [--churn-events N] [--churn-chains C] [--reps R]"
-                   " [--min-speedup X]\n");
+                   " [--min-speedup X] [--append] [--selfprof]"
+                   " [--out-selfprof F]\n");
       return 2;
     }
   }
@@ -427,12 +510,22 @@ int main(int argc, char** argv) {
     points.push_back(p);
   }
   {
+    const obs::Provenance prov =
+        obs::Provenance::current("xkb.bench.engine", 2, 0);
+    const double gate_eps = eps_of(points.back().cal);
+    Trajectory traj;
+    if (append) traj = load_trajectory(out_engine);
+    warn_regression("engine calendar", traj, gate_eps);
+    const std::string cur = trajectory_point(
+        prov, mode, gate_eps, "speedup",
+        gate_eps / eps_of(points.back().legacy));
     std::FILE* f = std::fopen(out_engine.c_str(), "w");
     if (!f) {
       std::perror(out_engine.c_str());
       return 2;
     }
-    emit_engine_json(f, mode, churn_events, reps, points, all_identical);
+    emit_engine_json(f, mode, churn_events, reps, points, all_identical,
+                     prov.to_json(), traj, cur);
     std::fclose(f);
   }
   std::printf("engine churn (%llu events, best of %d):\n",
@@ -507,13 +600,29 @@ int main(int argc, char** argv) {
   const double obs_ratio = obsd / plain;
 
   {
+    const obs::Provenance prov = obs::Provenance::current("xkb.bench.e2e", 2, 0);
+    double blas_wall_t = 0.0, blas_events = 0.0;
+    std::size_t blas_count = 0;
+    for (const E2eRow& r : rows)
+      if (r.kind == "blas") {
+        blas_wall_t += r.wall;
+        blas_events += static_cast<double>(r.res.events_processed);
+        ++blas_count;
+      }
+    const double e2e_eps = blas_wall_t > 0.0 ? blas_events / blas_wall_t : 0.0;
+    Trajectory traj;
+    if (append) traj = load_trajectory(out_e2e);
+    warn_regression("e2e fig5", traj, e2e_eps);
+    const std::string cur = trajectory_point(
+        prov, mode, e2e_eps, "runs_per_sec",
+        blas_wall_t > 0.0 ? blas_count / blas_wall_t : 0.0);
     std::FILE* f = std::fopen(out_e2e.c_str(), "w");
     if (!f) {
       std::perror(out_e2e.c_str());
       return 2;
     }
     emit_e2e_json(f, mode, n, tile, rows, overhead_reps, check_ratio,
-                  obs_ratio);
+                  obs_ratio, prov.to_json(), traj, cur);
     std::fclose(f);
   }
   double blas_wall = 0.0;
@@ -529,6 +638,78 @@ int main(int argc, char** argv) {
   std::printf("overhead: check %.2fx, obs %.2fx (over %d reps)\n", check_ratio,
               obs_ratio, overhead_reps);
   std::printf("wrote %s and %s\n", out_engine.c_str(), out_e2e.c_str());
+
+  // ---- self-profiler sweep (--selfprof) ----
+  if (selfprof) {
+    BenchConfig scfg;
+    scfg.routine = Blas3::kGemm;
+    scfg.n = smoke ? 8192 : 16384;
+    scfg.tile = 2048;
+    scfg.check.enabled = true;
+    auto model = make_xkblas(rt::HeuristicConfig::xkblas());
+    const int sp_reps = smoke ? 2 : 5;
+
+    // Hash invariance first: the profiler must be observably inert.  One
+    // checked run per side; any hash drift is a correctness failure.
+    const BenchResult off_run = model->run(scfg);
+    prof::SelfProfiler sp;
+    prof::SelfProfiler::activate(&sp);
+    const BenchResult on_run = model->run(scfg);
+    prof::SelfProfiler::activate(nullptr);
+    const bool hash_ok = !off_run.failed && !on_run.failed &&
+                         on_run.event_hash == off_run.event_hash;
+
+    // Attach overhead on unchecked runs (the checker's own cost would
+    // dilute the ratio); the accumulated profile from these reps is what
+    // the artifact reports.
+    BenchConfig wcfg = scfg;
+    wcfg.check.enabled = false;
+    const double wall_off = wall_of([&] {
+      for (int r = 0; r < sp_reps; ++r)
+        if (model->run(wcfg).failed) std::exit(2);
+    });
+    sp.clear();
+    prof::SelfProfiler::activate(&sp);
+    const double wall_on = wall_of([&] {
+      for (int r = 0; r < sp_reps; ++r)
+        if (model->run(wcfg).failed) std::exit(2);
+    });
+    prof::SelfProfiler::activate(nullptr);
+    const double sp_overhead = wall_off > 0.0 ? wall_on / wall_off : 0.0;
+
+    const obs::Provenance prov =
+        obs::Provenance::current("xkb.bench.selfprof", 1, 0);
+    std::FILE* f = std::fopen(out_selfprof.c_str(), "w");
+    if (!f) {
+      std::perror(out_selfprof.c_str());
+      return 2;
+    }
+    std::fprintf(f, "{\n  \"schema\": \"xkb.bench.selfprof/1\",\n");
+    std::fprintf(f, "  \"provenance\": %s,\n", prov.to_json().c_str());
+    std::fprintf(f, "  \"mode\": \"%s\",\n", mode);
+    std::fprintf(f,
+                 "  \"sweep\": {\"routine\": \"GEMM\", \"n\": %zu, "
+                 "\"tile\": %zu, \"reps\": %d},\n",
+                 scfg.n, scfg.tile, sp_reps);
+    std::fprintf(f, "  \"hash_invariant\": %s,\n", hash_ok ? "true" : "false");
+    std::fprintf(f, "  \"overhead_ratio\": %.3f,\n", sp_overhead);
+    std::fprintf(f, "  \"selfprof\": %s\n}\n", sp.to_json_fragment().c_str());
+    std::fclose(f);
+
+    std::printf(
+        "self-profiler (GEMM n=%zu, %d reps): overhead %.2fx, hashes %s\n%s",
+        scfg.n, sp_reps, sp_overhead, hash_ok ? "identical" : "DIVERGED",
+        sp.table_text().c_str());
+    std::printf("wrote %s\n", out_selfprof.c_str());
+    if (!hash_ok) {
+      std::fprintf(stderr,
+                   "FAIL: self-profiler attachment changed the pinned event "
+                   "hash (%016llx vs %016llx)\n",
+                   static_cast<unsigned long long>(on_run.event_hash),
+                   static_cast<unsigned long long>(off_run.event_hash));
+      return 4;
+    }
+  }
 
   if (gate_speedup < min_speedup) {
     std::fprintf(stderr,

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "baselines/workload_entry.hpp"
+#include "obs/provenance.hpp"
 #include "obs/report.hpp"
 #include "runtime/scheduler.hpp"
 #include "workload/bridge.hpp"
@@ -369,7 +370,9 @@ int main(int argc, char** argv) {
       std::ofstream out(json_path);
       if (!out)
         throw std::invalid_argument("cannot write " + json_path);
-      out << "{\n\"topology\": \"" << topo.name() << "\",\n\"runs\": [\n";
+      out << "{\n\"provenance\": "
+          << obs::Provenance::current("xkb.bench.workloads", 1).to_json()
+          << ",\n\"topology\": \"" << topo.name() << "\",\n\"runs\": [\n";
       for (std::size_t i = 0; i < rows.size(); ++i) {
         const SweepRow& r = rows[i];
         out << "  {\"workload\": \"" << r.workload << "\", \"lib\": \""

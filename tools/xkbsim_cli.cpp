@@ -11,6 +11,7 @@
 //   xkbsim_cli --workload stencil_1d:width=16,depth=32 --check
 //   xkbsim_cli --workload-file traces/pipeline.wlg --lib xkblas --csv
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -20,9 +21,11 @@
 #include <fstream>
 
 #include "fault/fault.hpp"
+#include "obs/ledger.hpp"
 #include "obs/report.hpp"
 #include "trace/export.hpp"
 #include "trace/gantt.hpp"
+#include "util/selfprof.hpp"
 #include "util/table.hpp"
 #include "workload/workload.hpp"
 
@@ -71,6 +74,15 @@ void usage() {
       "  --metrics-out F  xkb::obs metrics + link-utilization + critical-path\n"
       "                 JSON to file F (any --lib; with --trace-out the same\n"
       "                 direct run feeds both files)\n"
+      "  --ledger-out F run ledger (schema xkb.obs.ledger/1: decisions,\n"
+      "                 link histograms, critical path, event hash) to file\n"
+      "                 F, for offline diffing with tools/run_diff\n"
+      "  --selfprof     attach the host self-profiler and print the\n"
+      "                 per-phase self-time table after the run (also via\n"
+      "                 XKB_SELFPROF=1 in the environment)\n"
+      "  --flight-out F write the crash flight-recorder dump (last-N\n"
+      "                 observable events + decisions + ledger snapshot,\n"
+      "                 schema xkb.obs.flight/1) to F if the run fails\n"
       "  --trace-out F  own XKBlas run, Chrome trace-event JSON to file F,\n"
       "                 enriched with decision/flow/counter tracks\n"
       "                 (--trace-json is an alias; BLAS routines only)\n"
@@ -168,8 +180,9 @@ int main(int argc, char** argv) {
   std::string routine = "gemm", lib = "xkblas", topo_name = "dgx1";
   std::size_t n = 32768, tile = 2048;
   bool no_heur = false, no_topo = false, dod = false, gantt = false,
-       csv = false, check = false, hash = false;
-  std::string trace_json, metrics_out, fault_plan_file;
+       csv = false, check = false, hash = false, selfprof = false;
+  std::string trace_json, metrics_out, ledger_out, flight_out,
+      fault_plan_file;
   std::string workload, workload_file;
   std::uint64_t fault_seed = 0;
   bool have_fault_seed = false;
@@ -197,6 +210,9 @@ int main(int argc, char** argv) {
       else if (arg == "--trace-json" || arg == "--trace-out")
         trace_json = next();
       else if (arg == "--metrics-out") metrics_out = next();
+      else if (arg == "--ledger-out") ledger_out = next();
+      else if (arg == "--flight-out") flight_out = next();
+      else if (arg == "--selfprof") selfprof = true;
       else if (arg == "--csv") csv = true;
       else if (arg == "--check") check = true;
       else if (arg == "--hash") { hash = true; check = true; }
@@ -218,6 +234,18 @@ int main(int argc, char** argv) {
     usage();
     return 2;
   }
+
+  // The self-profiler reads wall clock only; it never feeds virtual time,
+  // so the pinned event hash is identical with and without it attached.
+  prof::SelfProfiler sprof;
+  const bool selfprof_on =
+      selfprof || std::getenv("XKB_SELFPROF") != nullptr;
+  if (selfprof_on) prof::SelfProfiler::activate(&sprof);
+  const auto selfprof_report = [&] {
+    if (!selfprof_on) return;
+    prof::SelfProfiler::activate(nullptr);
+    std::printf("%s", sprof.table_text().c_str());
+  };
 
   try {
     rt::HeuristicConfig heur = rt::HeuristicConfig::xkblas();
@@ -287,6 +315,22 @@ int main(int argc, char** argv) {
         mout << obs::report_json(rep, &o);
         std::printf("metrics -> %s\n", metrics_out.c_str());
       }
+      if (!ledger_out.empty()) {
+        obs::LedgerMeta lm;
+        lm.lib = "xkblas";
+        lm.routine = blas3_name(cfg.routine);
+        lm.scenario = "direct";
+        lm.n = cfg.n;
+        lm.tile = cfg.tile;
+        lm.seed = fault_plan.seed;
+        std::uint64_t h = 0;
+        if (const check::Checker* c = runtime.checker()) h = c->event_hash();
+        std::ofstream lout(ledger_out);
+        lout << obs::ledger_json(
+            obs::build_ledger(plat.trace(), plat.topology(), &o, h, lm));
+        std::printf("ledger -> %s\n", ledger_out.c_str());
+      }
+      selfprof_report();
       return 0;
     }
 
@@ -303,7 +347,8 @@ int main(int argc, char** argv) {
       wcfg.data_on_device = dod;
       wcfg.topology = topology;
       wcfg.check.enabled = check;
-      wcfg.obs.enabled = !metrics_out.empty();
+      wcfg.obs.enabled = !metrics_out.empty() || !ledger_out.empty() ||
+                         !flight_out.empty();
       wcfg.fault_plan = fault_plan;
       r = run_workload(spec, g, wcfg);
       experiment = g.name;
@@ -318,7 +363,8 @@ int main(int argc, char** argv) {
       cfg.topology = topology;
       cfg.data_on_device = dod;
       cfg.check.enabled = check;
-      cfg.obs.enabled = !metrics_out.empty();
+      cfg.obs.enabled = !metrics_out.empty() || !ledger_out.empty() ||
+                        !flight_out.empty();
       cfg.fault_plan = fault_plan;
       auto model = parse_lib(lib, heur);
       if (!model->supports(cfg.routine)) {
@@ -336,6 +382,11 @@ int main(int argc, char** argv) {
 
     if (r.failed) {
       std::fprintf(stderr, "run failed: %s\n", r.error.c_str());
+      if (!flight_out.empty() && !r.flight_json.empty()) {
+        std::ofstream fout(flight_out);
+        fout << r.flight_json;
+        std::fprintf(stderr, "flight dump -> %s\n", flight_out.c_str());
+      }
       return 1;
     }
     if (hash)
@@ -351,6 +402,15 @@ int main(int argc, char** argv) {
       mout << r.metrics_json;
       std::printf("metrics -> %s\n", metrics_out.c_str());
     }
+    if (!ledger_out.empty()) {
+      if (r.ledger_json.empty()) {
+        std::fprintf(stderr, "warning: run produced no ledger\n");
+      } else {
+        std::ofstream lout(ledger_out);
+        lout << r.ledger_json;
+        std::printf("ledger -> %s\n", ledger_out.c_str());
+      }
+    }
 
     if (csv) {
       std::printf("lib,experiment,n,tile,topo,dod,seconds,tflops,h2d,d2d,"
@@ -362,6 +422,7 @@ int main(int argc, char** argv) {
                   r.transfers.d2d, r.transfers.d2h,
                   r.transfers.optimistic_waits, r.transfers.forced_waits,
                   r.steals, r.tasks);
+      selfprof_report();
       return 0;
     }
 
@@ -396,5 +457,6 @@ int main(int argc, char** argv) {
     usage();
     return 2;
   }
+  selfprof_report();
   return 0;
 }
