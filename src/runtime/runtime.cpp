@@ -198,11 +198,13 @@ Task* Runtime::submit_replay(TaskDesc desc, mem::DataHandle* out) {
   return t;
 }
 
-void Runtime::coherent_async(mem::DataHandle* h) {
+void Runtime::coherent_async(mem::DataHandle* h,
+                             std::function<void()> on_complete) {
   TaskDesc d;
   d.label = "coherent";
   d.accesses.push_back({h, Access::kR});
   d.host_task = true;
+  d.on_complete = std::move(on_complete);
   submit(std::move(d));
 }
 
@@ -563,8 +565,14 @@ void Runtime::on_stuck(std::uint64_t pending) {
   throw fault::StuckProgress(os.str());
 }
 
-double Runtime::run() {
+double Runtime::drain() {
   plat_->engine().run();
+  // Silent events (fault plans, watchdog ticks) may outlive the workload;
+  // the makespan is the instant of the last observable event.
+  return plat_->engine().last_observable_time();
+}
+
+void Runtime::finalize_checks() {
   if (checker_) {
     const TransferStats& ts = dm_.stats();
     check::StatsView sv;
@@ -580,9 +588,12 @@ double Runtime::run() {
   } else {
     assert(completed_ == submitted_ && "tasks stuck: dependency or data bug");
   }
-  // Silent events (fault plans, watchdog ticks) may outlive the workload;
-  // the makespan is the instant of the last observable event.
-  return plat_->engine().last_observable_time();
+}
+
+double Runtime::run() {
+  const double t = drain();
+  finalize_checks();
+  return t;
 }
 
 }  // namespace xkb::rt

@@ -80,15 +80,33 @@ class Runtime {
   void submit(TaskDesc desc);
 
   /// Make the host copy of `h` valid once all producing tasks completed
-  /// (the paper's xkblas_memory_coherent_async).
-  void coherent_async(mem::DataHandle* h);
+  /// (the paper's xkblas_memory_coherent_async).  `on_complete` (optional)
+  /// is invoked when the flush task finishes -- the service layer uses it
+  /// to count a job's coherence tasks like any other task.
+  void coherent_async(mem::DataHandle* h, std::function<void()> on_complete = {});
 
   /// Drain the simulation; returns the virtual completion time (the instant
   /// of the last *observable* event, so silent fault-plan or watchdog ticks
   /// never stretch the measured makespan).  When a checker is attached this
   /// also runs its end-of-run audit (counter reconciliation, completion
   /// check, final protocol scan).
+  ///
+  /// Exactly drain() followed by finalize_checks() -- the one-workload,
+  /// one-exit entry point.  Long-running callers (xkb::svc) use the two
+  /// halves directly: drain() may be re-entered after a caught FaultError
+  /// to keep serving the surviving jobs, and finalize_checks() runs once,
+  /// at end of service, only when no jobs were abandoned mid-flight.
   double run();
+
+  /// First half of run(): drain the engine's event queue and return the
+  /// last observable instant.  No end-of-run audit, no completion assert --
+  /// callable again after a FaultError unwound the dispatch loop.
+  double drain();
+
+  /// Second half of run(): the checker's end-of-run audit when one is
+  /// attached, otherwise the completed == submitted sanity assert.  Call
+  /// once, when every submitted task is expected to have finished.
+  void finalize_checks();
 
   /// The validation layer, or nullptr when RuntimeOptions::check.enabled
   /// was false.  Inspect checker()->ok() / report() / event_hash() after

@@ -31,6 +31,8 @@ XKB_HOT void Engine::dispatch(EventNode* n) {
   now_ = n->t;
   ++processed_;
   if (n->observable) {
+    assert(observable_pending_ > 0);
+    --observable_pending_;
     ++observable_processed_;
     last_observable_time_ = n->t;
     if (observer_) observer_(n->t, observable_seq_);
@@ -105,6 +107,7 @@ void Engine::reset() {
 
 void Engine::clear_events() {
   queue_.drain_all([this](EventNode* n) { arena_.destroy(n); });
+  observable_pending_ = 0;
 }
 
 }  // namespace xkb::sim

@@ -55,6 +55,7 @@ class Engine {
   XKB_HOT void schedule_at(Time t, F&& cb) {
     assert(t >= now_ && "cannot schedule into the past");
     if (t < now_) t = now_;  // release builds: clamp (see contract above)
+    ++observable_pending_;
     queue_.push(
         arena_.create(t, seq_++, /*observable=*/true, std::forward<F>(cb)));
   }
@@ -110,6 +111,14 @@ class Engine {
   bool empty() const { return queue_.empty(); }
   std::size_t pending() const { return queue_.size(); }
 
+  /// Observable events currently queued.  This is the "is progress still
+  /// scheduled?" signal: as long as at least one observable event is
+  /// pending, the simulation is legitimately *waiting* (a future arrival,
+  /// a kernel completion, a retry timer), not stuck.  The watchdog uses it
+  /// to distinguish "no runnable work right now" from "work outstanding
+  /// with nothing left that could ever complete it".
+  std::size_t observable_pending() const { return observable_pending_; }
+
   /// High-water mark of simultaneously pending events over the engine's
   /// lifetime (not reset by reset()): the resident queue depth this
   /// run actually exercised.
@@ -139,6 +148,7 @@ class Engine {
   std::uint64_t processed_ = 0;
   std::uint64_t observable_seq_ = 0;
   std::uint64_t observable_processed_ = 0;
+  std::size_t observable_pending_ = 0;
   Time last_observable_time_ = 0.0;
   Observer observer_;
 };

@@ -65,7 +65,17 @@ class Watchdog {
     const std::uint64_t seen = eng_->observable_processed();
     quiet_ticks_ = (seen == last_observable_) ? quiet_ticks_ + 1 : 0;
     last_observable_ = seen;
-    if (quiet_ticks_ >= opt_.stuck_ticks) {
+    // Stuckness needs two conditions, not one.  Progress-free ticks alone
+    // also describe a *legitimately idle* service: work is outstanding at
+    // the caller's level (a queued job waiting for its retry timer, a
+    // tenant stream between arrivals) while the next step is already
+    // scheduled as a future observable event.  Only when no observable
+    // event is pending either can nothing ever complete the outstanding
+    // work -- that is the genuinely stuck state worth a dump.  Keep
+    // ticking through idle gaps; quiet_ticks_ keeps counting, so the
+    // moment the last scheduled event has run with work still pending,
+    // the next tick declares stuckness without a fresh grace period.
+    if (quiet_ticks_ >= opt_.stuck_ticks && eng_->observable_pending() == 0) {
       armed_ = false;
       on_stuck_(pending);
       return;  // on_stuck may not throw; do not re-arm either way

@@ -1,0 +1,84 @@
+// Arrival traces for the service layer: the .svt text format plus the
+// seeded Poisson generator behind tools/service_bench --soak.
+//
+// A trace is the complete, replayable input of a multi-tenant soak: the
+// tenant table and a time-ordered stream of job arrivals.  The text form
+// (one directive per line, '#' comments) mirrors the .wlg / FaultPlan
+// formats -- line-precise errors, a canonical writer, and a fuzz harness
+// (tests/fuzz/fuzz_svc_trace.cpp) over the parser:
+//
+//   service-trace <name>
+//   seed 42
+//   tenant <name> <priority> <share> <queue-cap> <max-in-system> <deadline>
+//   arrive <t> <tenant-index> <job-name> <workload-spec> [<deadline>]
+//
+// Tenant indices refer to `tenant` lines in order (0-based).  The
+// workload spec is the wl::WorkloadSpec string ("stencil_1d:width=4,...");
+// an omitted arrival deadline (-1 in canonical form) means the tenant
+// default.  Arrival times must be finite, non-negative and non-decreasing
+// -- replay order is line order, which keeps the soak deterministic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "svc/svc.hpp"
+
+namespace xkb::svc {
+
+struct Arrival {
+  double t = 0.0;
+  int tenant = 0;
+  std::string job;        ///< stable job label ("interactive-j17")
+  std::string spec;       ///< wl::WorkloadSpec string
+  double deadline = -1.0; ///< per-attempt budget; < 0 = tenant default
+};
+
+struct ArrivalTrace {
+  std::string name = "soak";
+  std::uint64_t seed = 1;  ///< generator seed (provenance; replay ignores it)
+  std::vector<TenantSpec> tenants;
+  std::vector<Arrival> arrivals;
+
+  /// Canonical text (parse(to_text()) round-trips to identical text).
+  std::string to_text() const;
+
+  /// Parse the text format; throws std::invalid_argument naming the line
+  /// and field on malformed input, including any violation of the
+  /// validate() invariants below.
+  static ArrivalTrace parse(const std::string& text);
+  static ArrivalTrace parse_file(const std::string& path);
+
+  /// Structural invariants the service replay relies on: at least one
+  /// tenant, in-range tenant indices, finite non-decreasing times, every
+  /// workload spec parseable.  Throws std::invalid_argument.
+  void validate() const;
+};
+
+/// Weighted catalogue of job shapes a generated tenant draws from.
+struct TrafficMix {
+  struct Entry {
+    std::string spec;   ///< wl::WorkloadSpec string
+    double weight = 1;  ///< relative draw probability
+  };
+  std::vector<Entry> entries;
+
+  /// The default soak blend: small stencil / dnn / random DAGs plus the
+  /// BLAS composition capture -- "BLAS routines + dnn steps + random
+  /// DAGs" on one platform.
+  static TrafficMix mixed();
+};
+
+/// Generate a seeded Poisson trace: every tenant draws exponential
+/// inter-arrival gaps at `rate_hz` from its own Rng::substream of `seed`
+/// (keyed "svc.arrivals"/tenant), and job shapes from "svc.mix"/tenant,
+/// so adding a tenant never perturbs another tenant's stream.  The merged
+/// trace is time-ordered with ties broken by tenant id, capped at
+/// `total_jobs` arrivals overall.
+ArrivalTrace poisson_trace(std::uint64_t seed,
+                           const std::vector<TenantSpec>& tenants,
+                           double rate_hz, std::size_t total_jobs,
+                           const TrafficMix& mix = TrafficMix::mixed());
+
+}  // namespace xkb::svc

@@ -40,6 +40,27 @@ int Bridge::place_of(const TaskSpec& t) const {
   return -1;
 }
 
+// Every bridge submission funnels through here so the completion hook and
+// the submission counter cannot drift apart.  The hook chains *after* any
+// bookkeeping on_complete the bridge attached (e.g. the flush path's
+// replica release): by the time the caller observes "task done", the
+// bridge's own side effects for that task have happened.
+void Bridge::submit(rt::TaskDesc d) {
+  if (opt_.task_done) {
+    if (d.on_complete) {
+      d.on_complete = [first = std::move(d.on_complete),
+                       then = opt_.task_done] {
+        first();
+        then();
+      };
+    } else {
+      d.on_complete = opt_.task_done;
+    }
+  }
+  ++submitted_;
+  rt_.submit(std::move(d));
+}
+
 void Bridge::distribute() {
   // Map each input tile to the device of the first task that touches it
   // (its first consumer under owner-computes), then stage it there with a
@@ -59,7 +80,7 @@ void Bridge::distribute() {
     d.label = "dist";
     d.accesses.push_back({h, rt::Access::kR});
     d.forced_device = dev;
-    rt_.submit(std::move(d));
+    submit(std::move(d));
   }
 }
 
@@ -85,7 +106,7 @@ void Bridge::emit() {
     if (opt_.flush_outputs)
       for (const rt::TaskAccess& a : d.accesses)
         if (a.mode != rt::Access::kR) written.push_back(a.handle);
-    rt_.submit(std::move(d));
+    submit(std::move(d));
     // Host round trip of every written tile (blas::detail::submit_task's
     // flush_outputs_each_task path).
     for (mem::DataHandle* h : written) {
@@ -106,13 +127,16 @@ void Bridge::emit() {
           }
         }
       };
-      rt_.submit(std::move(f));
+      submit(std::move(f));
     }
   }
 }
 
 void Bridge::coherent() {
-  for (std::uint32_t id : g_.coherent) rt_.coherent_async(handles_[id]);
+  for (std::uint32_t id : g_.coherent) {
+    ++submitted_;
+    rt_.coherent_async(handles_[id], opt_.task_done);
+  }
 }
 
 }  // namespace xkb::wl

@@ -35,6 +35,12 @@ struct BridgeOptions {
   /// Base of the synthetic address window (disjoint from the SymbolicMatrix
   /// windows, so workloads compose with BLAS calls in one runtime).
   std::uint64_t base_address = 0x600000000000ull;
+  /// Invoked once per bridge-submitted task on completion (compute tasks,
+  /// dist staging, output flushes and coherence flushes alike), chained
+  /// after any bookkeeping the bridge attaches itself.  With
+  /// tasks_submitted() this lets a caller that multiplexes many graphs
+  /// through one runtime (xkb::svc) detect when *this* graph is done.
+  std::function<void()> task_done;
 };
 
 class Bridge {
@@ -59,13 +65,21 @@ class Bridge {
   /// (xkblas_memory_coherent_async semantics).
   void coherent();
 
+  /// Tasks this bridge has submitted so far (every emit/distribute/flush/
+  /// coherent submission).  Together with BridgeOptions::task_done this is
+  /// the graph's completion ledger: the graph is done when the done
+  /// callback has fired tasks_submitted() times.
+  std::size_t tasks_submitted() const { return submitted_; }
+
  private:
   int place_of(const TaskSpec& t) const;
+  void submit(rt::TaskDesc d);
 
   rt::Runtime& rt_;
   const WorkloadGraph& g_;
   BridgeOptions opt_;
   std::vector<mem::DataHandle*> handles_;
+  std::size_t submitted_ = 0;
 };
 
 }  // namespace xkb::wl

@@ -1,0 +1,57 @@
+// Fuzz target: svc::ArrivalTrace::parse, the .svt service-trace parser.
+//
+// Contract under fuzzing: any byte string either yields a trace whose
+// invariants hold -- at least one tenant, finite non-negative
+// non-decreasing arrival times, in-range tenant indices, positive
+// shares, parseable workload specs -- or throws std::invalid_argument
+// naming the bad line.  On accepted traces, to_text() must round-trip
+// through parse() to the identical text.
+//
+// Found by this harness (fixed in the same change):
+//   * "nan"/"inf" accepted for times/shares/deadlines (NaN defeats every
+//     ordering check, then poisons engine time arithmetic).
+//   * seed parsed as double then cast: large values silently rounded;
+//     now a checked decimal token like the fault-plan parser's.
+//   * an optional trailing deadline of "0.5junk" silently truncated.
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "svc/arrivals.hpp"
+
+#include "fuzz_common.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  try {
+    const xkb::svc::ArrivalTrace tr = xkb::svc::ArrivalTrace::parse(text);
+    // Post-conditions the service replay relies on.
+    if (tr.tenants.empty())
+      throw std::logic_error("accepted a trace with no tenants");
+    for (const xkb::svc::TenantSpec& t : tr.tenants) {
+      if (!std::isfinite(t.share) || t.share <= 0)
+        throw std::logic_error("accepted a bad share");
+      if (!std::isfinite(t.deadline) || t.deadline < 0)
+        throw std::logic_error("accepted a bad tenant deadline");
+    }
+    double last = 0.0;
+    for (const xkb::svc::Arrival& a : tr.arrivals) {
+      if (!std::isfinite(a.t) || a.t < 0 || a.t < last)
+        throw std::logic_error("accepted a bad arrival time");
+      last = a.t;
+      if (a.tenant < 0 || a.tenant >= static_cast<int>(tr.tenants.size()))
+        throw std::logic_error("accepted an out-of-range tenant");
+      if (!std::isfinite(a.deadline))
+        throw std::logic_error("accepted a non-finite deadline");
+    }
+    // Round-trip: canonical text reparses to identical canonical text.
+    const std::string once = tr.to_text();
+    const std::string twice = xkb::svc::ArrivalTrace::parse(once).to_text();
+    if (once != twice) throw std::logic_error("trace round-trip mismatch");
+  } catch (const std::invalid_argument&) {
+    // The one sanctioned failure mode.
+  }
+  return 0;
+}

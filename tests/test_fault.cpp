@@ -412,6 +412,46 @@ TEST(Watchdog, FiresOnceWhenNoProgressHappens) {
   EXPECT_EQ(eng.observable_processed(), 0u);
 }
 
+// Regression: a long but legitimate idle gap -- work outstanding, and an
+// observable event already scheduled far past the stuck horizon -- must
+// not read as a stall.  The service layer's arrival gaps hit exactly
+// this: the next submission may be many stuck-windows away, yet its
+// pending event proves the simulation is waiting, not wedged.
+TEST(Watchdog, StaysQuietAcrossLegitimateIdleGaps) {
+  sim::Engine eng;
+  int fired = 0;
+  std::uint64_t outstanding = 1;
+  sim::Watchdog::Options wo;
+  wo.interval = 1e-3;
+  wo.stuck_ticks = 3;
+  sim::Watchdog wd(
+      eng, wo, [&outstanding] { return outstanding; },
+      [&fired](std::uint64_t) { fired++; });
+  wd.ensure_armed();
+  // 500 stuck-windows of silence before the "arrival" completes the work.
+  eng.schedule_at(1.5, [&outstanding] { outstanding = 0; });
+  eng.run();
+  EXPECT_EQ(fired, 0);
+}
+
+// The complement: once nothing observable is pending, the same quiet
+// stretch IS a stall -- no fresh grace period after the last real event.
+TEST(Watchdog, FiresWhenQuietWithNothingObservablePending) {
+  sim::Engine eng;
+  int fired = 0;
+  sim::Watchdog::Options wo;
+  wo.interval = 1e-3;
+  wo.stuck_ticks = 3;
+  sim::Watchdog wd(
+      eng, wo, [] { return std::uint64_t{1}; },
+      [&fired](std::uint64_t) { fired++; });
+  wd.ensure_armed();
+  eng.schedule_at(1e-4, [] {});  // real progress, then silence
+  eng.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(eng.observable_pending(), 0u);
+}
+
 TEST(Watchdog, DisarmsWhenWorkDrains) {
   sim::Engine eng;
   int fired = 0;
