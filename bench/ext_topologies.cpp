@@ -6,9 +6,14 @@
 //   * Summit-like  : NVLink between CPU and GPU (50 GB/s, dedicated) -- the
 //     paper predicts the optimistic heuristic gains little here because the
 //     host links are no longer the bottleneck.
+//   * Fat-tree 2x8 : a multi-node machine described through xkb::tdl (two
+//     8-GPU hosts behind leaf switches, NIC uplinks to one spine) -- every
+//     row here is a routed tdl machine graph; this one exercises the NIC
+//     tier and cross-node source ranking.
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "tdl/presets.hpp"
 
 using namespace xkb;
 using namespace xkb::baselines;
@@ -27,6 +32,8 @@ int main() {
       {"PCIe-only x8", topo::Topology::pcie_only(8)},
       {"NVSwitch x8", topo::Topology::nvswitch(8)},
       {"Summit-like x6", topo::Topology::summit_like()},
+      {"Fat-tree 2x8",
+       topo::Topology::from_machine(tdl::preset_machine("fat_tree_2x8"))},
   };
 
   auto xkblas = make_xkblas(rt::HeuristicConfig::xkblas());

@@ -141,8 +141,7 @@ inline void submit_task(rt::Runtime& rt, rt::TaskDesc d,
     f.accesses.push_back({h, rt::Access::kR});
     f.host_task = true;
     f.on_complete = [&rt, h] {
-      for (int g = 0; g < rt.num_gpus(); ++g) {
-        mem::Replica& r = h->dev[g];
+      for (auto& [g, r] : h->dev) {
         if (r.resident && r.pins == 0 && !r.dirty &&
             r.state == mem::ReplicaState::kValid) {
           rt.platform().cache(g).release(h);

@@ -473,16 +473,15 @@ void Checker::on_mark_written(const mem::DataHandle* h, int dev,
   if (!cfg_.coherence) return;
   // At most one dirty replica, and it must be the writer's.
   int dirty_count = 0;
-  for (std::size_t g = 0; g < h->dev.size(); ++g) {
-    if (h->dev[g].dirty) ++dirty_count;
-    if (g != static_cast<std::size_t>(dev) &&
-        h->dev[g].state == mem::ReplicaState::kValid)
+  for (const auto& [g, r] : h->dev) {
+    if (r.dirty) ++dirty_count;
+    if (g != dev && r.state == mem::ReplicaState::kValid)
       violation(ViolationKind::kCoherence,
                 "write to tile " + std::to_string(h->id) + " on GPU " +
                     std::to_string(dev) +
                     " left a valid peer replica on GPU " + std::to_string(g));
   }
-  if (dirty_count != 1 || !h->dev[static_cast<std::size_t>(dev)].dirty)
+  if (dirty_count != 1 || !h->dev[dev].dirty)
     violation(ViolationKind::kCoherence,
               "tile " + std::to_string(h->id) + " has " +
                   std::to_string(dirty_count) +
@@ -503,8 +502,8 @@ void Checker::on_host_write(const mem::DataHandle* h) {
   s.host_version = s.version;
   for (auto& v : s.dev_version) v = Shadow::kNoVersion;
   if (!cfg_.coherence) return;
-  for (std::size_t g = 0; g < h->dev.size(); ++g)
-    if (h->dev[g].state != mem::ReplicaState::kInvalid)
+  for (const auto& [g, r] : h->dev)
+    if (r.state != mem::ReplicaState::kInvalid)
       violation(ViolationKind::kCoherence,
                 "host write to tile " + std::to_string(h->id) +
                     " left a non-invalid replica on GPU " + std::to_string(g));
@@ -585,13 +584,13 @@ bool Checker::current_version_survives(const mem::DataHandle* h,
       s.host_version == s.version)
     return true;
   if (s.d2h_inflight) return true;  // a flush of the current version is due
-  for (std::size_t g = 0; g < h->dev.size(); ++g) {
-    if (static_cast<int>(g) == excluding_dev) continue;
-    if (h->dev[g].state == mem::ReplicaState::kValid &&
-        s.dev_version[g] == s.version)
+  for (const auto& [g, r] : h->dev) {
+    if (g == excluding_dev) continue;
+    const auto gi = static_cast<std::size_t>(g);
+    if (r.state == mem::ReplicaState::kValid && s.dev_version[gi] == s.version)
       return true;
-    if (h->dev[g].state == mem::ReplicaState::kInFlight &&
-        s.in_version[g] == s.version)
+    if (r.state == mem::ReplicaState::kInFlight &&
+        s.in_version[gi] == s.version)
       return true;
   }
   return false;
@@ -847,14 +846,13 @@ void Checker::finalize(const StatsView& st) {
       const Shadow& s = shadows_.at(h);
       if (pending_recovery_.count(h)) continue;  // already reported above
       int dirty = 0;
-      for (std::size_t g = 0; g < h->dev.size(); ++g) {
-        if (h->dev[g].dirty) ++dirty;
-        if (h->dev[g].pins != 0)
+      for (const auto& [g, r] : h->dev) {
+        if (r.dirty) ++dirty;
+        if (r.pins != 0)
           violation(ViolationKind::kCoherence,
                     "pin leak: tile " + std::to_string(h->id) + " on GPU " +
                         std::to_string(g) + " still has " +
-                        std::to_string(h->dev[g].pins) +
-                        " pins after the run");
+                        std::to_string(r.pins) + " pins after the run");
       }
       if (dirty > 1)
         violation(ViolationKind::kCoherence,

@@ -1,5 +1,6 @@
 #include "fault/fault.hpp"
 
+#include <cctype>
 #include <cmath>
 #include <fstream>
 #include <sstream>
@@ -30,6 +31,16 @@ const char* to_string(TransferKind k) {
   return "?";
 }
 
+namespace {
+
+/// An endpoint renders as its symbolic name when one was given (so a parsed
+/// plan round-trips through to_text unchanged), else as its index.
+std::string ep(const std::string& name, int idx) {
+  return name.empty() ? std::to_string(idx) : name;
+}
+
+}  // namespace
+
 std::string FaultPlan::to_text() const {
   std::ostringstream os;
   os << "seed " << seed << "\n";
@@ -37,20 +48,21 @@ std::string FaultPlan::to_text() const {
   for (const FaultEvent& e : events) {
     switch (e.kind) {
       case FaultKind::kBrownout:
-        os << "brownout " << e.t << " " << e.a << " " << e.b << " "
-           << e.fraction;
+        os << "brownout " << e.t << " " << ep(e.a_name, e.a) << " "
+           << ep(e.b_name, e.b) << " " << e.fraction;
         if (e.duration > 0) os << " " << e.duration;
         os << "\n";
         break;
       case FaultKind::kLinkDown:
-        os << "link-down " << e.t << " " << e.a << " " << e.b << "\n";
+        os << "link-down " << e.t << " " << ep(e.a_name, e.a) << " "
+           << ep(e.b_name, e.b) << "\n";
         break;
       case FaultKind::kTransferFail:
-        os << "xfail " << e.t << " " << to_string(e.xfer) << " " << e.a << " "
-           << e.b << "\n";
+        os << "xfail " << e.t << " " << to_string(e.xfer) << " "
+           << ep(e.a_name, e.a) << " " << ep(e.b_name, e.b) << "\n";
         break;
       case FaultKind::kDeviceFail:
-        os << "device-fail " << e.t << " " << e.a << "\n";
+        os << "device-fail " << e.t << " " << ep(e.a_name, e.a) << "\n";
         break;
     }
   }
@@ -113,6 +125,35 @@ void want_done(std::istringstream& is, int lineno, const std::string& line) {
   if (is >> extra) bad_line(lineno, line, "trailing junk '" + extra + "'");
 }
 
+/// An endpoint token is either a device index or a .tpo node name.  tdl
+/// names start with a letter, so the two token classes never overlap: a
+/// leading letter or '_' means name, anything else must parse as an
+/// integer under want_int's rules.  The parsed index (or -1 for a name,
+/// resolved at arm time) goes to `idx`, the name (or empty) to `name`.
+void want_endpoint(std::istringstream& is, int lineno, const std::string& line,
+                   const char* what, int& idx, std::string& name) {
+  std::string w;
+  if (!(is >> w)) bad_line(lineno, line, std::string("missing/bad ") + what);
+  if (std::isalpha(static_cast<unsigned char>(w[0])) || w[0] == '_') {
+    name = w;
+    idx = -1;
+    return;
+  }
+  std::istringstream token(w);
+  idx = want_int(token, lineno, line, what);
+  want_done(token, lineno, line);
+  name.clear();
+}
+
+/// True when both endpoints are statically known to be the same node.  A
+/// mixed name/index pair can only be checked after the name resolves, so
+/// that case defers to Injector::arm().
+bool same_endpoint(const FaultEvent& e) {
+  if (e.a_name.empty() && e.b_name.empty()) return e.a == e.b;
+  if (!e.a_name.empty() && !e.b_name.empty()) return e.a_name == e.b_name;
+  return false;
+}
+
 }  // namespace
 
 FaultPlan FaultPlan::parse(const std::string& text) {
@@ -138,8 +179,8 @@ FaultPlan FaultPlan::parse(const std::string& text) {
       FaultEvent e;
       e.kind = FaultKind::kBrownout;
       e.t = want_num(is, lineno, line, "time");
-      e.a = want_int(is, lineno, line, "endpoint a");
-      e.b = want_int(is, lineno, line, "endpoint b");
+      want_endpoint(is, lineno, line, "endpoint a", e.a, e.a_name);
+      want_endpoint(is, lineno, line, "endpoint b", e.b, e.b_name);
       e.fraction = want_num(is, lineno, line, "fraction");
       double dur = 0.0;
       if (is >> dur) {
@@ -149,7 +190,8 @@ FaultPlan FaultPlan::parse(const std::string& text) {
       } else {
         is.clear();
       }
-      if (e.t < 0 || e.a < 0 || e.b < 0 || e.a == e.b)
+      if (e.t < 0 || (e.a_name.empty() && e.a < 0) ||
+          (e.b_name.empty() && e.b < 0) || same_endpoint(e))
         bad_line(lineno, line, "bad brownout endpoints/time");
       if (e.fraction <= 0.0 || e.fraction > 1.0)
         bad_line(lineno, line, "brownout fraction must be in (0, 1]");
@@ -159,10 +201,11 @@ FaultPlan FaultPlan::parse(const std::string& text) {
       FaultEvent e;
       e.kind = FaultKind::kLinkDown;
       e.t = want_num(is, lineno, line, "time");
-      e.a = want_int(is, lineno, line, "endpoint a");
-      e.b = want_int(is, lineno, line, "endpoint b");
+      want_endpoint(is, lineno, line, "endpoint a", e.a, e.a_name);
+      want_endpoint(is, lineno, line, "endpoint b", e.b, e.b_name);
       want_done(is, lineno, line);
-      if (e.t < 0 || e.a < 0 || e.b < 0 || e.a == e.b)
+      if (e.t < 0 || (e.a_name.empty() && e.a < 0) ||
+          (e.b_name.empty() && e.b < 0) || same_endpoint(e))
         bad_line(lineno, line, "bad link-down endpoints/time");
       plan.events.push_back(e);
     } else if (word == "xfail") {
@@ -176,19 +219,23 @@ FaultPlan FaultPlan::parse(const std::string& text) {
       else if (kind == "d2h") e.xfer = TransferKind::kD2H;
       else if (kind == "any") e.xfer = TransferKind::kAny;
       else bad_line(lineno, line, "unknown transfer kind '" + kind + "'");
-      e.a = want_int(is, lineno, line, "src");
-      e.b = want_int(is, lineno, line, "dst");
+      want_endpoint(is, lineno, line, "src", e.a, e.a_name);
+      want_endpoint(is, lineno, line, "dst", e.b, e.b_name);
       want_done(is, lineno, line);
-      if (e.t < 0 || e.a < -1 || e.b < -1)
+      // -1 stays the wildcard for index endpoints; a named endpoint is
+      // never a wildcard (it resolves to a concrete device at arm time).
+      if (e.t < 0 || (e.a_name.empty() && e.a < -1) ||
+          (e.b_name.empty() && e.b < -1))
         bad_line(lineno, line, "bad xfail spec");
       plan.events.push_back(e);
     } else if (word == "device-fail") {
       FaultEvent e;
       e.kind = FaultKind::kDeviceFail;
       e.t = want_num(is, lineno, line, "time");
-      e.a = want_int(is, lineno, line, "device");
+      want_endpoint(is, lineno, line, "device", e.a, e.a_name);
       want_done(is, lineno, line);
-      if (e.t < 0 || e.a < 0) bad_line(lineno, line, "bad device-fail spec");
+      if (e.t < 0 || (e.a_name.empty() && e.a < 0))
+        bad_line(lineno, line, "bad device-fail spec");
       plan.events.push_back(e);
     } else {
       bad_line(lineno, line, "unknown directive '" + word + "'");

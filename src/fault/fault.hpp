@@ -24,6 +24,13 @@
 // aborts the first matching transfer issued at or after <t> (-1 endpoints
 // are wildcards; d2h's dst is the host, use -1).  device-fail removes the
 // GPU for good.
+//
+// Every device endpoint may be given either as an index or as the device's
+// .tpo node name ("brownout 0.01 gpu0 gpu3 0.25"): a token starting with a
+// letter is a name (tdl names never parse as integers), resolved against
+// the armed machine's topology when the Injector arms the plan.  Named
+// plans survive device renumbering across topology descriptions; unknown
+// names fail arm() with the offending event.
 #pragma once
 
 #include <cstdint>
@@ -78,6 +85,11 @@ struct FaultEvent {
   double fraction = 1.0;   ///< brownout: fraction of nominal bandwidth
   sim::Time duration = 0;  ///< brownout: heal after this long (0 = permanent)
   TransferKind xfer = TransferKind::kAny;  ///< xfail: which transfer class
+  /// Symbolic endpoints (.tpo device names).  Non-empty names override the
+  /// index fields; the Injector resolves them against the topology at
+  /// arm() time and writes the indices back into a/b.
+  std::string a_name;
+  std::string b_name;
 };
 
 struct FaultPlan {

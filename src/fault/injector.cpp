@@ -9,12 +9,34 @@ void Injector::bind(Hooks hooks) {
   if (hooks.restore) hooks_.restore = std::move(hooks.restore);
   if (hooks.link_down) hooks_.link_down = std::move(hooks.link_down);
   if (hooks.device_fail) hooks_.device_fail = std::move(hooks.device_fail);
+  if (hooks.resolve_device) hooks_.resolve_device = std::move(hooks.resolve_device);
 }
 
 void Injector::arm(sim::Engine& eng, int num_gpus) {
   if (armed_) return;
   armed_ = true;
   xfail_consumed_.assign(plan_.events.size(), 0);
+  // Resolve symbolic (.tpo-name) endpoints into device indices before any
+  // range check or scheduling: the silent events capture the event by
+  // value, so the indices must be final here.
+  for (FaultEvent& e : plan_.events) {
+    const auto resolve = [&](const std::string& name, int& idx) {
+      if (name.empty()) return;
+      if (!hooks_.resolve_device)
+        throw FaultError("fault plan names device '" + name +
+                         "' but no topology is bound to resolve it");
+      idx = hooks_.resolve_device(name);
+      if (idx < 0)
+        throw FaultError(std::string(to_string(e.kind)) +
+                         " names unknown device '" + name + "'");
+    };
+    resolve(e.a_name, e.a);
+    resolve(e.b_name, e.b);
+    if ((e.kind == FaultKind::kBrownout || e.kind == FaultKind::kLinkDown) &&
+        e.a == e.b)
+      throw FaultError(std::string(to_string(e.kind)) +
+                       " endpoints resolve to the same device");
+  }
   for (const FaultEvent& e : plan_.events) {
     switch (e.kind) {
       case FaultKind::kBrownout: {

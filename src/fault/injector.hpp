@@ -31,6 +31,10 @@ class Injector {
     std::function<void(int, int)> restore;           ///< heal a<->b
     std::function<void(int, int)> link_down;         ///< demote a<->b
     std::function<void(int)> device_fail;
+    /// Map a .tpo device name to its index (-1 = unknown).  Bound by
+    /// Platform::set_fault; arm() needs it only for plans that use
+    /// symbolic endpoints.
+    std::function<int(const std::string&)> resolve_device;
   };
 
   struct Counters {

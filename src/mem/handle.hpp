@@ -19,6 +19,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <vector>
 
 #include "sim/engine.hpp"
@@ -89,6 +90,59 @@ struct Replica {
   std::int8_t lru_class = -1; ///< DeviceCache list index, -1 when unlinked
 };
 
+/// Sparse per-device replica table.  Historically every handle carried a
+/// dense `std::vector<Replica>` sized num_devices -- on a 1024-device fat
+/// tree that is a megabyte-scale allocation per *tile*, dominated by
+/// never-touched entries.  A replica map materialises an entry only when a
+/// device first touches the tile; an absent entry *is* the default Replica
+/// (kInvalid, clean, unpinned), so reads of untouched devices go through the
+/// const accessors and observe exactly what the dense table held.
+///
+/// Entries are never erased: the intrusive LRU pointers inside a Replica are
+/// linked into DeviceCache lists, and std::map's stable node addresses are
+/// what make those links (and the `Replica&` references held across engine
+/// callbacks) safe.  "Active" therefore means ever-touched, which is bounded
+/// by the devices a tile actually visited -- the O(active) the topo_bench
+/// memory gate measures.  Iteration is ascending by device id, matching the
+/// historical `for (g = 0; g < n; ++g)` scan order wherever a dense loop was
+/// converted to an active-entry walk (determinism: identical effect order).
+class ReplicaMap {
+ public:
+  /// Mutable access materialises the entry (default Replica on first touch).
+  Replica& operator[](int g) { return map_[g]; }
+
+  /// Const access never inserts: untouched devices read as the default
+  /// (invalid) replica.
+  const Replica& operator[](int g) const {
+    const auto it = map_.find(g);
+    return it == map_.end() ? kAbsent : it->second;
+  }
+
+  /// Non-inserting lookup for hot read-mostly scans (steal locality,
+  /// device-failure purge): nullptr when the device never touched the tile.
+  const Replica* peek(int g) const {
+    const auto it = map_.find(g);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+  Replica* peek(int g) {
+    const auto it = map_.find(g);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+
+  /// Number of materialised entries (the topo_bench memory gate).
+  std::size_t active() const { return map_.size(); }
+
+  // Ascending-by-device iteration over materialised entries.
+  auto begin() { return map_.begin(); }
+  auto end() { return map_.end(); }
+  auto begin() const { return map_.begin(); }
+  auto end() const { return map_.end(); }
+
+ private:
+  std::map<int, Replica> map_;
+  inline static const Replica kAbsent{};
+};
+
 struct DataHandle {
   std::uint64_t id = 0;
 
@@ -99,8 +153,8 @@ struct DataHandle {
   /// Dense tile size on a device (compact tile form).
   std::size_t bytes() const { return m * n * wordsize; }
 
-  Replica host;                   ///< the host-memory copy
-  std::vector<Replica> dev;       ///< one per GPU
+  Replica host;  ///< the host-memory copy
+  ReplicaMap dev;  ///< per-GPU replicas, materialised on first touch
 
   /// Preferred owner device for owner-computes placement (-1 = none).  Set
   /// by 2D block-cyclic distribution or by the tiled-algorithm emitters.
@@ -115,34 +169,35 @@ struct DataHandle {
   /// timing-only mode.
   std::vector<std::vector<std::byte>> dev_buf;
 
-  /// Devices currently holding a valid copy (host excluded).
+  /// Devices currently holding a valid copy (host excluded), ascending.
   std::vector<int> valid_devices() const {
     std::vector<int> out;
-    for (std::size_t g = 0; g < dev.size(); ++g)
-      if (dev[g].state == ReplicaState::kValid) out.push_back(static_cast<int>(g));
+    for (const auto& [g, r] : dev)
+      if (r.state == ReplicaState::kValid) out.push_back(g);
     return out;
   }
 
   /// Devices with a copy in flight (for the optimistic heuristic).
   std::vector<int> inflight_devices() const {
     std::vector<int> out;
-    for (std::size_t g = 0; g < dev.size(); ++g)
-      if (dev[g].state == ReplicaState::kInFlight)
-        out.push_back(static_cast<int>(g));
+    for (const auto& [g, r] : dev)
+      if (r.state == ReplicaState::kInFlight) out.push_back(g);
     return out;
   }
 
   /// The device holding the dirty (authoritative) copy, or -1.
   int dirty_device() const {
-    for (std::size_t g = 0; g < dev.size(); ++g)
-      if (dev[g].dirty) return static_cast<int>(g);
+    for (const auto& [g, r] : dev)
+      if (r.dirty) return g;
     return -1;
   }
 
   bool valid_anywhere() const {
     if (host.state == ReplicaState::kValid) return true;
-    for (const auto& r : dev)
+    for (const auto& [g, r] : dev) {
+      (void)g;
       if (r.state == ReplicaState::kValid) return true;
+    }
     return false;
   }
 };

@@ -25,7 +25,7 @@ DataHandle* Registry::intern(void* origin, std::size_t m, std::size_t n,
   h->wordsize = wordsize;
   h->host.state = ReplicaState::kValid;  // user data starts on the host
   h->host.resident = true;
-  h->dev.resize(num_devices_);
+  // Device replicas materialise lazily on first touch (ReplicaMap).
   DataHandle* raw = h.get();
   order_.push_back(raw);
   handles_.emplace(origin, std::move(h));

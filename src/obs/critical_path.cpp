@@ -79,6 +79,7 @@ const char* link_class_label(topo::LinkClass c) {
     case topo::LinkClass::kNVLink2: return "2xNVLink";
     case topo::LinkClass::kNVLink1: return "1xNVLink";
     case topo::LinkClass::kPCIeP2P: return "PCIe";
+    case topo::LinkClass::kNIC: return "NIC";
     default: return "none";
   }
 }

@@ -475,9 +475,8 @@ void DataManager::mark_written(mem::DataHandle* h, int dev) {
   // except fetches parked for this very write (a producer replay), which
   // re-plan below once the new version exists.
   std::vector<int> parked;
-  for (int g = 0; g < plat_->num_gpus(); ++g) {
+  for (auto& [g, o] : h->dev) {
     if (g == dev) continue;
-    mem::Replica& o = h->dev[g];
     if (o.state == mem::ReplicaState::kInFlight) {
       if (o.fetch_src == mem::kFetchParked) {
         parked.push_back(g);
@@ -544,8 +543,7 @@ void DataManager::host_write(mem::DataHandle* h) {
   // CPU's new data.
   h->version++;
   std::vector<int> parked;
-  for (int g = 0; g < plat_->num_gpus(); ++g) {
-    mem::Replica& r = h->dev[g];
+  for (auto& [g, r] : h->dev) {
     if (r.state == mem::ReplicaState::kInFlight) {
       if (r.fetch_src == mem::kFetchParked) {
         parked.push_back(g);
@@ -731,7 +729,6 @@ void DataManager::flush_failed(mem::DataHandle* h, int src, bool drop_buffer) {
 void DataManager::on_device_failure(
     int g, const std::vector<mem::DataHandle*>& handles,
     const std::function<bool(mem::DataHandle*, std::string&)>& replay) {
-  const int n = plat_->num_gpus();
   std::vector<std::pair<mem::DataHandle*, bool>> lost;  // (handle, was_dirty)
   std::vector<mem::DataHandle*> flush_aborted;
 
@@ -739,8 +736,11 @@ void DataManager::on_device_failure(
   // later source choice (including the ones replays will trigger) can see
   // the dead device's state.
   for (mem::DataHandle* h : handles) {
-    mem::Replica& r = h->dev[g];
-    if (r.state == mem::ReplicaState::kInFlight) {
+    // peek: a handle the dead device never touched has nothing to purge,
+    // and the scan must not materialise a replica entry per handle.
+    mem::Replica* rp = h->dev.peek(g);
+    if (rp && rp->state == mem::ReplicaState::kInFlight) {
+      mem::Replica& r = *rp;
       // The reception *into* g: detach it from whatever was feeding it.
       if (r.fetch_waiting && r.fetch_src >= 0) {
         auto& cd = h->dev[r.fetch_src].chained_dsts;
@@ -783,7 +783,9 @@ void DataManager::on_device_failure(
       h->host.fetch_src = mem::kFetchIdle;
       flush_aborted.push_back(h);
     }
-    // Purge the replica itself.
+    // Purge the replica itself (nothing to purge when g never touched h).
+    if (!rp) continue;
+    mem::Replica& r = *rp;
     const bool was_valid = r.state == mem::ReplicaState::kValid;
     const bool was_dirty = r.dirty;
     if (r.resident) {
@@ -819,9 +821,9 @@ void DataManager::on_device_failure(
   // instead of tripping the no-copy diagnostic.
   for (auto& [h, was_dirty] : lost) {
     int survivor = -1;
-    for (int d = 0; d < n; ++d)
+    for (const auto& [d, rd] : h->dev)
       if (d != g && !plat_->device_failed(d) &&
-          h->dev[d].state == mem::ReplicaState::kValid) {
+          rd.state == mem::ReplicaState::kValid) {
         survivor = d;
         break;
       }
@@ -872,9 +874,8 @@ void DataManager::on_device_failure(
   // copies out of g (aborted above via the generation bump) and chains
   // registered on its arrivals.
   for (mem::DataHandle* h : handles) {
-    for (int d = 0; d < n; ++d) {
+    for (auto& [d, rd] : h->dev) {
       if (d == g || plat_->device_failed(d)) continue;
-      mem::Replica& rd = h->dev[d];
       if (rd.state != mem::ReplicaState::kInFlight || rd.fetch_src != g)
         continue;
       if (!rd.fetch_waiting) {

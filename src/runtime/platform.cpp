@@ -18,30 +18,24 @@ Platform::Platform(topo::Topology topo, PerfModel perf, PlatformOptions opt)
   const int n = topo_.num_gpus();
   trace_.set_enabled(opt_.tracing);
 
-  // Host links: bandwidth taken from the first GPU on each link.
+  // Host links: bandwidth and route latency taken from the first GPU on
+  // each link (GPUs sharing a switch share its uplink characteristics).
   h2d_.resize(topo_.num_host_links());
   d2h_.resize(topo_.num_host_links());
   for (int g = 0; g < n; ++g) {
     const int l = topo_.host_link_of(g);
     if (!h2d_[l]) {
       const double bw = topo_.host_bandwidth_gbps(g) * kGB;
+      const double lat = topo_.host_transfer_latency(g);
       h2d_[l] = std::make_unique<sim::Channel>(
-          engine_, "h2d" + std::to_string(l), bw, topo_.transfer_latency());
+          engine_, "h2d" + std::to_string(l), bw, lat);
       d2h_[l] = std::make_unique<sim::Channel>(
-          engine_, "d2h" + std::to_string(l), bw, topo_.transfer_latency());
+          engine_, "d2h" + std::to_string(l), bw, lat);
     }
   }
-
-  // Directed peer channels.
-  p2p_.resize(static_cast<std::size_t>(n) * n);
-  for (int s = 0; s < n; ++s)
-    for (int d = 0; d < n; ++d) {
-      if (s == d) continue;
-      if (topo_.link_class(s, d) == topo::LinkClass::kNone) continue;
-      p2p_[static_cast<std::size_t>(s) * n + d] = std::make_unique<sim::Channel>(
-          engine_, "p2p" + std::to_string(s) + "-" + std::to_string(d),
-          topo_.gpu_bandwidth_gbps(s, d) * kGB, topo_.transfer_latency());
-    }
+  // Peer channels are created lazily on first use (p2p_channel): a
+  // 1024-device fat tree has ~10^6 directed pairs, of which a stencil
+  // touches a few thousand.
 
   // Kernel streams enable *submission* concurrency on real GPUs but share
   // the SMs: concurrent kernels time-slice rather than multiply throughput.
@@ -62,7 +56,6 @@ Platform::Platform(topo::Topology topo, PerfModel perf, PlatformOptions opt)
 
 void Platform::set_obs(obs::Observability* o) {
   obs_ = o;
-  const int n = topo_.num_gpus();
   for (int l = 0; l < topo_.num_host_links(); ++l) {
     if (!h2d_[l]) continue;
     h2d_[l]->set_probe(o ? o->make_link_probe("h2d" + std::to_string(l),
@@ -74,19 +67,36 @@ void Platform::set_obs(obs::Observability* o) {
                                               -1)
                          : nullptr);
   }
-  for (int s = 0; s < n; ++s)
-    for (int d = 0; d < n; ++d) {
-      auto* ch = p2p_[static_cast<std::size_t>(s) * n + d].get();
-      if (!ch) continue;
-      ch->set_probe(o ? o->make_link_probe(
-                            ch->name(),
-                            obs::link_class_label(topo_.link_class(s, d)),
-                            obs::LinkDir::kP2P, s, d)
-                      : nullptr);
-    }
+  // Peer channels created after this call pick their probe up at creation
+  // (p2p_channel); channels already materialised are walked here in sorted
+  // pair order.
+  for (auto& [key, ch] : p2p_)
+    ch->set_probe(o ? o->make_link_probe(
+                          ch->name(),
+                          obs::link_class_label(
+                              topo_.link_class(key.first, key.second)),
+                          obs::LinkDir::kP2P, key.first, key.second)
+                    : nullptr);
   host_worker_->set_probe(
       o ? o->make_link_probe("host", "host", obs::LinkDir::kHost, -1, -1)
         : nullptr);
+}
+
+sim::Channel& Platform::p2p_channel(int src, int dst) {
+  const std::pair<int, int> key{src, dst};
+  auto it = p2p_.find(key);
+  if (it == p2p_.end()) {
+    auto ch = std::make_unique<sim::Channel>(
+        engine_, "p2p" + std::to_string(src) + "-" + std::to_string(dst),
+        topo_.gpu_bandwidth_gbps(src, dst) * kGB,
+        topo_.transfer_latency(src, dst));
+    if (obs_)
+      ch->set_probe(obs_->make_link_probe(
+          ch->name(), obs::link_class_label(topo_.link_class(src, dst)),
+          obs::LinkDir::kP2P, src, dst));
+    it = p2p_.emplace(key, std::move(ch)).first;
+  }
+  return *it->second;
 }
 
 void Platform::set_fault(fault::Injector* f) {
@@ -98,15 +108,19 @@ void Platform::set_fault(fault::Injector* f) {
   };
   hooks.restore = [this](int a, int b) { apply_link_heal(a, b); };
   hooks.link_down = [this](int a, int b) { apply_link_down(a, b); };
+  hooks.resolve_device = [this](const std::string& name) {
+    return topo_.device_index(name);
+  };
   f->bind(std::move(hooks));
 }
 
 void Platform::sync_link_bandwidth(int a, int b) {
-  const int n = topo_.num_gpus();
-  if (auto* ch = p2p_[static_cast<std::size_t>(a) * n + b].get())
-    ch->set_bandwidth(topo_.gpu_bandwidth_gbps(a, b) * kGB);
-  if (auto* ch = p2p_[static_cast<std::size_t>(b) * n + a].get())
-    ch->set_bandwidth(topo_.gpu_bandwidth_gbps(b, a) * kGB);
+  // Only live channels need the mirror; a pair whose channel has not been
+  // materialised yet will read the topology's current bandwidth when it is.
+  if (auto it = p2p_.find({a, b}); it != p2p_.end())
+    it->second->set_bandwidth(topo_.gpu_bandwidth_gbps(a, b) * kGB);
+  if (auto it = p2p_.find({b, a}); it != p2p_.end())
+    it->second->set_bandwidth(topo_.gpu_bandwidth_gbps(b, a) * kGB);
 }
 
 void Platform::apply_link_brownout(int a, int b, double fraction) {
@@ -167,10 +181,10 @@ sim::Interval Platform::copy_d2h(int dev, std::size_t bytes,
 
 sim::Interval Platform::copy_p2p(int src, int dst, std::size_t bytes,
                                  sim::Callback done) {
-  auto* ch = p2p_[static_cast<std::size_t>(src) * topo_.num_gpus() + dst].get();
-  assert(ch && "no peer path between GPUs");
+  assert(topo_.link_class(src, dst) != topo::LinkClass::kNone &&
+         "no peer path between GPUs");
   const sim::Time t0 = engine_.now();
-  auto iv = ch->transfer(bytes, std::move(done));
+  auto iv = p2p_channel(src, dst).transfer(bytes, std::move(done));
   // Peer traffic between GPUs that do not share a PCIe switch crosses the
   // host PCIe fabric (switch -> CPU -> QPI -> CPU -> switch) and therefore
   // steals bandwidth from concurrent host transfers on both end links.

@@ -13,8 +13,10 @@
 // All operations are recorded in the Trace.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "mem/cache.hpp"
@@ -117,6 +119,10 @@ class Platform {
   /// Aggregate busy time of all kernel streams of `dev`.
   double kernel_busy(int dev) const;
 
+  /// Peer channels materialised so far (lazy: one per directed pair that
+  /// actually moved bytes -- the topo_bench memory gate reads this).
+  std::size_t num_p2p_channels() const { return p2p_.size(); }
+
  private:
   topo::Topology topo_;
   PerfModel perf_;
@@ -126,7 +132,12 @@ class Platform {
 
   std::vector<std::unique_ptr<sim::Channel>> h2d_;  // per host link
   std::vector<std::unique_ptr<sim::Channel>> d2h_;  // per host link
-  std::vector<std::unique_ptr<sim::Channel>> p2p_;  // src*n+dst
+  /// Directed peer channels, created on first use.  A 1024-device machine
+  /// only pays for the pairs its workload actually exercises; creation is
+  /// deterministic (single-threaded DES, and a Channel's constructor has no
+  /// engine side effects).  std::map so detach/re-attach walks a sorted,
+  /// stable order.
+  std::map<std::pair<int, int>, std::unique_ptr<sim::Channel>> p2p_;
   std::vector<std::vector<std::unique_ptr<sim::FifoResource>>> kstreams_;
   std::unique_ptr<sim::FifoResource> host_worker_;
   std::vector<std::unique_ptr<mem::DeviceCache>> caches_;
@@ -135,6 +146,7 @@ class Platform {
   fault::Injector* fault_ = nullptr;
 
   void sync_link_bandwidth(int a, int b);
+  sim::Channel& p2p_channel(int src, int dst);
 };
 
 }  // namespace xkb::rt

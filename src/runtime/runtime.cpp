@@ -219,11 +219,44 @@ void Runtime::on_ready(Task* t) {
   assert(dev >= 0 && dev < num_gpus() && !plat_->device_failed(dev));
   t->device = dev;
   devs_[dev].assigned.push_back(t);
+  queue_changed(dev);
   fill_all();
 }
 
+void Runtime::queue_changed(int g) {
+  DevState& ds = devs_[g];
+  const bool queued = !ds.assigned.empty();
+  if (queued != ds.in_queued) {
+    if (queued)
+      queued_.insert(g);
+    else
+      queued_.erase(g);
+    ds.in_queued = queued;
+  }
+  const bool eligible =
+      ds.assigned.size() >= static_cast<std::size_t>(opt_.steal_min_victim);
+  if (eligible != ds.steal_eligible) {
+    steal_eligible_ += eligible ? 1 : -1;
+    ds.steal_eligible = eligible;
+  }
+}
+
 void Runtime::fill_all() {
-  for (int g = 0; g < num_gpus(); ++g) fill(g);
+  // A device can start work only if it has queued tasks or can steal some.
+  // When no victim is steal-eligible, fill(g) of an unqueued device is a
+  // no-op (its own queue is empty and steal_for early-outs), so walking the
+  // queued set -- ascending, like the historical 0..n loop visited them --
+  // produces the identical effect sequence at O(active) instead of
+  // O(devices) per event.  With an eligible victim the full scan runs:
+  // any idle device might steal, exactly as before.
+  if (sched_->allows_stealing() && steal_eligible_ > 0) {
+    for (int g = 0; g < num_gpus(); ++g) fill(g);
+  } else {
+    // Local snapshot: fill() mutates queued_, and a zero-operand task can
+    // complete synchronously and re-enter fill_all() mid-walk.
+    const std::vector<int> snapshot(queued_.begin(), queued_.end());
+    for (int g : snapshot) fill(g);
+  }
   if (!ready_series_.empty()) {
     const sim::Time now = plat_->engine().now();
     for (int g = 0; g < num_gpus(); ++g)
@@ -240,6 +273,7 @@ void Runtime::fill(int dev) {
     if (!ds.assigned.empty()) {
       t = ds.assigned.front();
       ds.assigned.pop_front();
+      queue_changed(dev);
     } else if (sched_->allows_stealing()) {
       t = steal_for(dev);
     }
@@ -249,6 +283,11 @@ void Runtime::fill(int dev) {
 }
 
 Task* Runtime::steal_for(int thief) {
+  // No device holds steal_min_victim queued tasks: the victim scan below
+  // cannot find one, so skip its O(devices) walk entirely.  The counter is
+  // exact (queue_changed tracks the >= threshold per device), so this
+  // early-out never changes which task is stolen.
+  if (steal_eligible_ == 0) return nullptr;
   int victim = -1;
   std::size_t most = static_cast<std::size_t>(opt_.steal_min_victim);
   for (int g = 0; g < num_gpus(); ++g) {
@@ -261,18 +300,23 @@ Task* Runtime::steal_for(int thief) {
   if (victim < 0) return nullptr;
   std::deque<Task*>& q = devs_[victim].assigned;
   if (opt_.locality_stealing) {
-    // Prefer a task with at least one operand already on the thief.
+    // Prefer a task with at least one operand already on the thief.  peek()
+    // keeps the probe read-only: a locality scan must not materialise
+    // replica entries on every candidate's operands.
     for (auto it = q.rbegin(); it != q.rend(); ++it) {
       bool local = false;
-      for (const TaskAccess& a : (*it)->desc.accesses)
-        if (a.handle->dev[thief].state == mem::ReplicaState::kValid) {
+      for (const TaskAccess& a : (*it)->desc.accesses) {
+        const mem::Replica* r = a.handle->dev.peek(thief);
+        if (r && r->state == mem::ReplicaState::kValid) {
           local = true;
           break;
         }
+      }
       if (local) {
         Task* t = *it;
         q.erase(std::next(it).base());
         ++steals_;
+        queue_changed(victim);
         return t;
       }
     }
@@ -281,6 +325,7 @@ Task* Runtime::steal_for(int thief) {
   Task* t = q.back();
   q.pop_back();
   ++steals_;
+  queue_changed(victim);
   return t;
 }
 
@@ -423,6 +468,7 @@ void Runtime::on_device_failure(int g) {
   // and replay submissions below must never land on its queues.
   std::deque<Task*> queued = std::move(devs_[g].assigned);
   devs_[g].assigned.clear();
+  queue_changed(g);
   std::vector<Task*> inflight;
   for (const auto& up : tasks_) {
     Task* t = up.get();
@@ -463,12 +509,14 @@ void Runtime::on_device_failure(int g) {
     ++remaps_;
     t->device = nd;
     devs_[nd].assigned.push_front(t);
+    queue_changed(nd);
   }
   // Queued (never-started) tasks just re-place.
   for (Task* t : queued) {
     const int nd = pick_alive_device(t);
     t->device = nd;
     devs_[nd].assigned.push_back(t);
+    queue_changed(nd);
   }
   if (watchdog_) watchdog_->ensure_armed();
   fill_all();

@@ -15,6 +15,7 @@
 
 #include <deque>
 #include <memory>
+#include <set>
 #include <unordered_map>
 #include <vector>
 
@@ -135,6 +136,8 @@ class Runtime {
   struct DevState {
     std::deque<Task*> assigned;
     int preparing = 0;
+    bool in_queued = false;       ///< membership in Runtime::queued_
+    bool steal_eligible = false;  ///< counted in Runtime::steal_eligible_
   };
   struct HandleSeq {
     Task* last_writer = nullptr;
@@ -148,6 +151,10 @@ class Runtime {
   void on_ready(Task* t);
   void fill(int dev);
   void fill_all();
+  /// Re-sync queued_ / steal_eligible_ after any mutation of
+  /// devs_[g].assigned.  Every push/pop site calls this so fill_all can walk
+  /// only devices that can actually start work (O(active), not O(devices)).
+  void queue_changed(int g);
   Task* steal_for(int thief);
   void start_prepare(Task* t, int dev);
   void on_operands_ready(Task* t);
@@ -178,6 +185,11 @@ class Runtime {
   std::vector<std::unique_ptr<Task>> tasks_;
   std::unordered_map<mem::DataHandle*, HandleSeq> seq_;
   std::vector<DevState> devs_;
+  /// Devices with a non-empty assigned queue (ascending, mirrors DevState).
+  std::set<int> queued_;
+  /// Devices holding >= steal_min_victim queued tasks -- when zero, no
+  /// steal_for scan can find a victim and fill_all skips idle devices.
+  int steal_eligible_ = 0;
   /// Cached "ready.gpu<g>" series when an Observability layer was attached
   /// to the platform before construction; empty otherwise.
   std::vector<obs::Series*> ready_series_;

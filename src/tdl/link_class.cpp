@@ -1,0 +1,52 @@
+#include "tdl/link_class.hpp"
+
+#include <cstring>
+
+namespace xkb::tdl {
+
+const char* to_string(LinkClass c) {
+  switch (c) {
+    case LinkClass::kSelf: return "self";
+    case LinkClass::kNVLink2: return "NV2";
+    case LinkClass::kNVLink1: return "NV1";
+    case LinkClass::kPCIeP2P: return "PCIe";
+    case LinkClass::kNIC: return "NIC";
+    case LinkClass::kNone: return "none";
+  }
+  return "?";
+}
+
+int default_rank(LinkClass c) {
+  switch (c) {
+    case LinkClass::kSelf: return 4;
+    case LinkClass::kNVLink2: return 3;
+    case LinkClass::kNVLink1: return 2;
+    case LinkClass::kPCIeP2P: return 1;
+    case LinkClass::kNIC: return 1;
+    case LinkClass::kNone: return 0;
+  }
+  return 0;
+}
+
+const char* tpo_token(LinkClass c) {
+  switch (c) {
+    case LinkClass::kSelf: return "self";
+    case LinkClass::kNVLink2: return "nv2";
+    case LinkClass::kNVLink1: return "nv1";
+    case LinkClass::kPCIeP2P: return "pcie";
+    case LinkClass::kNIC: return "nic";
+    case LinkClass::kNone: return "none";
+  }
+  return "?";
+}
+
+bool link_class_from_token(const char* token, LinkClass* out) {
+  if (std::strcmp(token, "nv2") == 0) *out = LinkClass::kNVLink2;
+  else if (std::strcmp(token, "nv1") == 0) *out = LinkClass::kNVLink1;
+  else if (std::strcmp(token, "pcie") == 0) *out = LinkClass::kPCIeP2P;
+  else if (std::strcmp(token, "nic") == 0) *out = LinkClass::kNIC;
+  else return false;
+  return true;
+}
+
+}  // namespace xkb::tdl

@@ -1,0 +1,43 @@
+// Link classes of the machine model (xkb::tdl).
+//
+// The class of a link is what the paper's topology-aware heuristic actually
+// consumes: `p2p_perf_rank` mirrors cuDeviceGetP2PAttribute(
+// CU_DEVICE_P2P_ATTRIBUTE_PERFORMANCE_RANK), a relative ordering of link
+// quality -- the heuristic never sees raw bandwidths.  The enum lives in
+// xkb::tdl (the layer below xkb::topo) because both the .tpo language and
+// the routed Topology speak it; xkb::topo re-exports it unchanged.
+//
+// Enum order doubles as link strength: a routed path's class is the WEAKEST
+// (largest-valued) class along it, so kNIC must sit between kPCIeP2P and
+// kNone -- a path that crosses a NIC is never reported better than PCIe.
+#pragma once
+
+namespace xkb::tdl {
+
+enum class LinkClass {
+  kSelf,      ///< same device (local memory)
+  kNVLink2,   ///< two bonded NVLink-2 lanes
+  kNVLink1,   ///< one NVLink-2 lane
+  kPCIeP2P,   ///< peer access over PCIe/QPI fabric
+  kNIC,       ///< network interface between nodes (RDMA-style fabric)
+  kNone,      ///< no peer path (must stage through host)
+};
+
+const char* to_string(LinkClass c);
+
+/// Default `p2p_perf_rank` contribution of a link of this class.  A routed
+/// path's rank is the MINIMUM over its links, so the weakest hop decides --
+/// exactly how the dense DGX-1 table ranked whole routes.  NIC defaults to
+/// the PCIe rank (a remote peer is never preferred over a local one; ties
+/// break towards lower device ids as everywhere else); a .tpo link may
+/// override its rank per link.
+int default_rank(LinkClass c);
+
+/// The .tpo token of a link class ("nv2", "nv1", "pcie", "nic").  kSelf and
+/// kNone never appear on a declared link.
+const char* tpo_token(LinkClass c);
+
+/// Parse a .tpo class token; returns false if unknown.
+bool link_class_from_token(const char* token, LinkClass* out);
+
+}  // namespace xkb::tdl

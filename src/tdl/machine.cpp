@@ -1,0 +1,117 @@
+#include "tdl/machine.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+namespace xkb::tdl {
+
+const char* to_string(NodeKind k) {
+  switch (k) {
+    case NodeKind::kDevice: return "dev";
+    case NodeKind::kSwitch: return "switch";
+    case NodeKind::kHost: return "host";
+  }
+  return "?";
+}
+
+int Machine::node_index(const std::string& name) const {
+  for (std::size_t i = 0; i < nodes.size(); ++i)
+    if (nodes[i].name == name) return static_cast<int>(i);
+  return -1;
+}
+
+int Machine::num_devices() const {
+  int n = 0;
+  for (const Node& nd : nodes)
+    if (nd.kind == NodeKind::kDevice) ++n;
+  return n;
+}
+
+int Machine::add_node(const std::string& name, NodeKind kind,
+                      double mem_gbps) {
+  nodes.push_back(Node{name, kind, mem_gbps});
+  return static_cast<int>(nodes.size()) - 1;
+}
+
+int Machine::add_link(const std::string& a, const std::string& b,
+                      LinkClass cls, double bw_gbps) {
+  Link l;
+  l.a = node_index(a);
+  l.b = node_index(b);
+  if (l.a < 0 || l.b < 0)
+    throw std::invalid_argument("machine '" + name + "': link endpoint '" +
+                                (l.a < 0 ? a : b) + "' is not a declared node");
+  l.cls = cls;
+  l.bw_gbps = bw_gbps;
+  l.hostbw_gbps = bw_gbps;
+  l.lat_s = default_latency_s;
+  l.rank = default_rank(cls);
+  links.push_back(l);
+  return static_cast<int>(links.size()) - 1;
+}
+
+bool valid_node_name(const std::string& s) {
+  if (s.empty() || !std::isalpha(static_cast<unsigned char>(s[0])))
+    return false;
+  for (char c : s)
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' && c != '-' &&
+        c != '.')
+      return false;
+  return true;
+}
+
+void Machine::validate() const {
+  auto bad = [this](const std::string& what) {
+    throw std::invalid_argument("machine '" + name + "': " + what);
+  };
+  if (name.empty()) bad("empty machine name");
+  if (!(default_latency_s >= 0.0) || !std::isfinite(default_latency_s))
+    bad("default latency must be finite and non-negative");
+  if (!(pcie_fallback_gbps > 0.0) || !std::isfinite(pcie_fallback_gbps))
+    bad("pcie-fallback bandwidth must be finite and positive");
+
+  std::set<std::string> names;
+  int devs = 0, hosts = 0;
+  for (const Node& nd : nodes) {
+    if (!valid_node_name(nd.name))
+      bad("node name '" + nd.name + "' is not a valid identifier");
+    if (!names.insert(nd.name).second)
+      bad("duplicate node name '" + nd.name + "'");
+    if (nd.kind == NodeKind::kDevice) {
+      ++devs;
+      if (!(nd.mem_gbps > 0.0) || !std::isfinite(nd.mem_gbps))
+        bad("device '" + nd.name + "' local bandwidth must be positive");
+    }
+    if (nd.kind == NodeKind::kHost) ++hosts;
+  }
+  if (devs == 0) bad("no devices declared");
+  if (hosts == 0) bad("no host declared");
+
+  std::set<std::pair<int, int>> pairs;
+  for (const Link& l : links) {
+    if (l.a < 0 || l.b < 0 || l.a >= static_cast<int>(nodes.size()) ||
+        l.b >= static_cast<int>(nodes.size()))
+      bad("link endpoint out of range");
+    if (l.a == l.b) bad("link from '" + nodes[l.a].name + "' to itself");
+    if (l.cls == LinkClass::kSelf || l.cls == LinkClass::kNone)
+      bad("link '" + nodes[l.a].name + " " + nodes[l.b].name +
+          "' must have a transferable class");
+    if (!pairs.insert({std::min(l.a, l.b), std::max(l.a, l.b)}).second)
+      bad("duplicate link '" + nodes[l.a].name + " " + nodes[l.b].name + "'");
+    if (!(l.bw_gbps > 0.0) || !std::isfinite(l.bw_gbps) ||
+        !(l.hostbw_gbps > 0.0) || !std::isfinite(l.hostbw_gbps))
+      bad("link '" + nodes[l.a].name + " " + nodes[l.b].name +
+          "' bandwidth must be finite and positive");
+    if (!(l.lat_s >= 0.0) || !std::isfinite(l.lat_s))
+      bad("link '" + nodes[l.a].name + " " + nodes[l.b].name +
+          "' latency must be finite and non-negative");
+    if (l.rank < 1 || l.rank > 1000)
+      bad("link '" + nodes[l.a].name + " " + nodes[l.b].name +
+          "' rank must be in [1, 1000]");
+  }
+}
+
+}  // namespace xkb::tdl

@@ -1,0 +1,82 @@
+// The machine graph behind a topology: devices, hosts, switches, links.
+//
+// A Machine is the *description* -- what a .tpo file says, or what a preset
+// builder emits.  It knows nothing about routing; xkb::tdl::route() derives
+// the per-pair link classes, bandwidths, latencies and ranks that
+// xkb::topo::Topology serves to the runtime.  Keeping description and
+// derivation apart is the point of the TDL: the DGX-1 tables the paper
+// measures (Fig. 2) become one .tpo file, and every other machine is just a
+// different file.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tdl/link_class.hpp"
+
+namespace xkb::tdl {
+
+enum class NodeKind {
+  kDevice,  ///< a GPU: end point of transfers, owns local memory
+  kSwitch,  ///< a fabric hop (PCIe switch, NVSwitch, leaf/spine switch)
+  kHost,    ///< a CPU/host memory: the origin of H2D / target of D2H
+};
+
+const char* to_string(NodeKind k);
+
+struct Node {
+  std::string name;
+  NodeKind kind = NodeKind::kDevice;
+  /// Local memory bandwidth in GB/s (devices only; HBM2 default).
+  double mem_gbps = 750.0;
+};
+
+/// One bidirectional link between two nodes.  `hostbw_gbps` is the
+/// bandwidth the link sustains for *host* (pinned-memory DMA) traffic; it
+/// defaults to `bw_gbps` and exists because fabric capacity and effective
+/// pinned-host throughput differ on real machines -- the DGX-1's PCIe
+/// switch uplink moves 17.2 GB/s of peer traffic but only 12.3 GB/s of
+/// host traffic (paper Fig. 2).
+struct Link {
+  int a = -1, b = -1;        ///< node indices into Machine::nodes
+  LinkClass cls = LinkClass::kPCIeP2P;
+  double bw_gbps = 0.0;      ///< peer-role bandwidth, GB/s
+  double hostbw_gbps = 0.0;  ///< host-role bandwidth, GB/s (== bw by default)
+  double lat_s = 0.0;        ///< per-transfer latency, seconds
+  int rank = 0;              ///< p2p_perf_rank contribution (class default)
+};
+
+struct Machine {
+  std::string name;
+  double default_latency_s = 10e-6;  ///< per-DMA latency unless a link says otherwise
+  double pcie_fallback_gbps = 17.2;  ///< bandwidth a demoted NVLink route falls to
+
+  std::vector<Node> nodes;  ///< declaration order (devices index in this order)
+  std::vector<Link> links;
+
+  /// Index into `nodes` by name, -1 if unknown.
+  int node_index(const std::string& name) const;
+
+  /// Number of kDevice nodes.
+  int num_devices() const;
+
+  // -- builder helpers (presets and tests; .tpo parsing validates inline) --
+  int add_node(const std::string& name, NodeKind kind, double mem_gbps = 750.0);
+  /// Adds a link with defaults resolved (lat = default_latency_s, hostbw =
+  /// bw, rank = class default).  Returns the link index.
+  int add_link(const std::string& a, const std::string& b, LinkClass cls,
+               double bw_gbps);
+  Link& last_link() { return links.back(); }
+
+  /// Throws std::invalid_argument on an ill-formed description: duplicate
+  /// or non-identifier node names, dangling or duplicate links, non-positive
+  /// bandwidths, no device, or no host.
+  void validate() const;
+};
+
+/// True if `s` is a legal node name: starts with a letter, continues with
+/// letters, digits, '_', '-', '.' -- never parseable as an integer, so fault
+/// plans can accept either device names or indices unambiguously.
+bool valid_node_name(const std::string& s);
+
+}  // namespace xkb::tdl

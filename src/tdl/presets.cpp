@@ -1,0 +1,156 @@
+#include "tdl/presets.hpp"
+
+#include <stdexcept>
+
+namespace xkb::tdl {
+
+namespace {
+
+std::string num(int i) { return std::to_string(i); }
+
+}  // namespace
+
+Machine dgx1_machine() {
+  Machine m;
+  m.name = "DGX-1";
+  m.pcie_fallback_gbps = 17.2;
+  m.add_node("cpu", NodeKind::kHost);
+  for (int s = 0; s < 4; ++s) m.add_node("pcie" + num(s), NodeKind::kSwitch);
+  for (int g = 0; g < 8; ++g) m.add_node("gpu" + num(g), NodeKind::kDevice);
+  // Each PCIe switch serves two adjacent GPUs; its uplink carries 17.2 GB/s
+  // of peer traffic across the QPI fabric but only 12.3 GB/s of pinned-host
+  // DMA (the measured split of the paper's Fig. 2).
+  for (int s = 0; s < 4; ++s) {
+    m.add_link("pcie" + num(s), "cpu", LinkClass::kPCIeP2P, 17.2);
+    m.last_link().hostbw_gbps = 12.3;
+  }
+  for (int g = 0; g < 8; ++g)
+    m.add_link("gpu" + num(g), "pcie" + num(g / 2), LinkClass::kPCIeP2P, 17.2);
+  // Double-NVLink pairs (~96 GB/s measured, Fig. 2 green cells).
+  const int nv2[][2] = {{0, 3}, {0, 4}, {1, 2}, {1, 5},
+                        {2, 3}, {4, 7}, {5, 6}, {6, 7}};
+  for (auto& p : nv2)
+    m.add_link("gpu" + num(p[0]), "gpu" + num(p[1]), LinkClass::kNVLink2,
+               96.4);
+  // Single-NVLink pairs (~48 GB/s, Fig. 2 orange cells).
+  const int nv1[][2] = {{0, 1}, {0, 2}, {1, 3}, {2, 6},
+                        {3, 7}, {4, 5}, {4, 6}, {5, 7}};
+  for (auto& p : nv1)
+    m.add_link("gpu" + num(p[0]), "gpu" + num(p[1]), LinkClass::kNVLink1,
+               48.4);
+  return m;
+}
+
+Machine pcie_only_machine(int num_gpus) {
+  if (num_gpus < 1)
+    throw std::invalid_argument("pcie_only: need at least one GPU");
+  Machine m;
+  m.name = "PCIe-only";
+  m.pcie_fallback_gbps = 12.0;
+  const int switches = (num_gpus + 1) / 2;
+  m.add_node("cpu", NodeKind::kHost);
+  for (int s = 0; s < switches; ++s)
+    m.add_node("pcie" + num(s), NodeKind::kSwitch);
+  for (int g = 0; g < num_gpus; ++g)
+    m.add_node("gpu" + num(g), NodeKind::kDevice);
+  for (int s = 0; s < switches; ++s) {
+    m.add_link("pcie" + num(s), "cpu", LinkClass::kPCIeP2P, 12.0);
+    m.last_link().hostbw_gbps = 16.0;
+  }
+  for (int g = 0; g < num_gpus; ++g) {
+    m.add_link("gpu" + num(g), "pcie" + num(g / 2), LinkClass::kPCIeP2P, 12.0);
+    m.last_link().hostbw_gbps = 16.0;
+  }
+  return m;
+}
+
+Machine nvswitch_machine(int num_gpus, double gpu_gpu_gbps) {
+  if (num_gpus < 1)
+    throw std::invalid_argument("nvswitch: need at least one GPU");
+  Machine m;
+  m.name = "NVSwitch";
+  const int switches = (num_gpus + 1) / 2;
+  m.add_node("cpu", NodeKind::kHost);
+  m.add_node("nvsw", NodeKind::kSwitch);
+  for (int s = 0; s < switches; ++s)
+    m.add_node("pcie" + num(s), NodeKind::kSwitch);
+  for (int g = 0; g < num_gpus; ++g)
+    m.add_node("gpu" + num(g), NodeKind::kDevice);
+  // The NVSwitch plane carries peer traffic only (it has no host uplink);
+  // host traffic funnels through per-pair PCIe switches as before.
+  for (int s = 0; s < switches; ++s)
+    m.add_link("pcie" + num(s), "cpu", LinkClass::kPCIeP2P, 16.0);
+  for (int g = 0; g < num_gpus; ++g) {
+    m.add_link("gpu" + num(g), "nvsw", LinkClass::kNVLink2, gpu_gpu_gbps);
+    m.add_link("gpu" + num(g), "pcie" + num(g / 2), LinkClass::kPCIeP2P, 16.0);
+  }
+  return m;
+}
+
+Machine summit_like_machine() {
+  Machine m;
+  m.name = "Summit-like";
+  m.add_node("cpu0", NodeKind::kHost);
+  m.add_node("cpu1", NodeKind::kHost);
+  for (int g = 0; g < 6; ++g) m.add_node("gpu" + num(g), NodeKind::kDevice);
+  // The X-bus between sockets: cross-socket peer routes stage over it.
+  m.add_link("cpu0", "cpu1", LinkClass::kPCIeP2P, 17.2);
+  // Each GPU has its own 50 GB/s NVLink path to its socket's CPU.
+  for (int g = 0; g < 6; ++g)
+    m.add_link("gpu" + num(g), "cpu" + num(g / 3), LinkClass::kNVLink1, 50.0);
+  // Within a socket group {0,1,2} / {3,4,5}: one NVLink brick each pair.
+  for (int s = 0; s < 2; ++s) {
+    const int base = 3 * s;
+    m.add_link("gpu" + num(base + 0), "gpu" + num(base + 1),
+               LinkClass::kNVLink1, 48.4);
+    m.add_link("gpu" + num(base + 0), "gpu" + num(base + 2),
+               LinkClass::kNVLink1, 48.4);
+    m.add_link("gpu" + num(base + 1), "gpu" + num(base + 2),
+               LinkClass::kNVLink1, 48.4);
+  }
+  return m;
+}
+
+Machine fat_tree_machine(const FatTreeSpec& spec) {
+  if (spec.nodes < 1 || spec.gpus_per_node < 1 || spec.spines < 1)
+    throw std::invalid_argument("fat_tree: nodes, gpus_per_node and spines "
+                                "must be positive");
+  Machine m;
+  m.name = "fat-tree-" + num(spec.nodes) + "x" + num(spec.gpus_per_node);
+  m.pcie_fallback_gbps = spec.leaf_bw_gbps;
+  for (int s = 0; s < spec.spines; ++s)
+    m.add_node("spine" + num(s), NodeKind::kSwitch);
+  for (int k = 0; k < spec.nodes; ++k) {
+    m.add_node("cpu" + num(k), NodeKind::kHost);
+    m.add_node("leaf" + num(k), NodeKind::kSwitch);
+  }
+  for (int g = 0; g < spec.nodes * spec.gpus_per_node; ++g)
+    m.add_node("gpu" + num(g), NodeKind::kDevice);
+  for (int k = 0; k < spec.nodes; ++k) {
+    m.add_link("leaf" + num(k), "cpu" + num(k), LinkClass::kPCIeP2P,
+               spec.leaf_bw_gbps);
+    m.last_link().hostbw_gbps = spec.host_bw_gbps;
+    for (int s = 0; s < spec.spines; ++s) {
+      m.add_link("leaf" + num(k), "spine" + num(s), LinkClass::kNIC,
+                 spec.nic_bw_gbps);
+      m.last_link().lat_s = spec.nic_lat_s;
+    }
+  }
+  for (int g = 0; g < spec.nodes * spec.gpus_per_node; ++g)
+    m.add_link("gpu" + num(g), "leaf" + num(g / spec.gpus_per_node),
+               LinkClass::kPCIeP2P, spec.leaf_bw_gbps);
+  return m;
+}
+
+Machine preset_machine(const std::string& name) {
+  if (name == "dgx1") return dgx1_machine();
+  if (name == "pcie8") return pcie_only_machine(8);
+  if (name == "nvswitch8") return nvswitch_machine(8);
+  if (name == "summit") return summit_like_machine();
+  if (name == "fat_tree_2x8") return fat_tree_machine(FatTreeSpec{});
+  throw std::invalid_argument(
+      "unknown topology preset '" + name +
+      "' (have: dgx1, pcie8, nvswitch8, summit, fat_tree_2x8)");
+}
+
+}  // namespace xkb::tdl

@@ -1,0 +1,44 @@
+// Preset machine descriptions.
+//
+// These builders emit the same graphs as the shipped presets/*.tpo files
+// (gated byte-for-byte in ctest) and, once routed, reproduce the historical
+// hardwired tables of xkb::topo bit-identically -- dgx1() is the paper's
+// DGX-1 of Table I / Figs. 1-2.
+#pragma once
+
+#include <string>
+
+#include "tdl/machine.hpp"
+
+namespace xkb::tdl {
+
+/// The paper's DGX-1: 8 V100s on a hybrid cube-mesh, four PCIe switches.
+Machine dgx1_machine();
+
+/// PCIe-only node: every pair on the shared fabric (ablation worst case).
+Machine pcie_only_machine(int num_gpus);
+
+/// NVSwitch all-to-all node (DGX-2/A100-like).
+Machine nvswitch_machine(int num_gpus, double gpu_gpu_gbps = 240.0);
+
+/// Summit/Sierra-like node: CPU-attached NVLink, two sockets over an X-bus.
+Machine summit_like_machine();
+
+/// A multi-node fat tree: per node one host, one leaf switch and
+/// `gpus_per_node` GPUs; every leaf uplinks to every spine over NIC links.
+struct FatTreeSpec {
+  int nodes = 2;
+  int gpus_per_node = 8;
+  int spines = 1;
+  double leaf_bw_gbps = 16.0;   ///< GPU <-> leaf switch (PCIe)
+  double host_bw_gbps = 16.0;   ///< leaf <-> host, host role
+  double nic_bw_gbps = 12.5;    ///< leaf <-> spine (100 Gb/s class NIC)
+  double nic_lat_s = 2e-6;      ///< NIC hop latency (on top of DMA setup)
+};
+Machine fat_tree_machine(const FatTreeSpec& spec);
+
+/// Preset by name: "dgx1", "pcie8", "nvswitch8", "summit", "fat_tree_2x8".
+/// Throws std::invalid_argument for unknown names.
+Machine preset_machine(const std::string& name);
+
+}  // namespace xkb::tdl

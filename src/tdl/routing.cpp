@@ -1,0 +1,180 @@
+#include "tdl/routing.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace xkb::tdl {
+
+namespace {
+
+constexpr int kNeutralRank = 1 << 20;
+
+LinkClass weaker(LinkClass a, LinkClass b) {
+  return static_cast<int>(a) >= static_cast<int>(b) ? a : b;
+}
+
+}  // namespace
+
+PathMetrics identity_path() {
+  PathMetrics p;
+  p.cls = LinkClass::kSelf;
+  p.bw_gbps = std::numeric_limits<double>::infinity();
+  p.lat_s = 0.0;
+  p.rank = kNeutralRank;
+  p.hops = 0;
+  return p;
+}
+
+PathMetrics extend(const PathMetrics& p, LinkClass cls, double bw_gbps,
+                   double lat_s, int rank) {
+  PathMetrics out;
+  out.cls = weaker(p.cls, cls);
+  out.bw_gbps = std::min(p.bw_gbps, bw_gbps);
+  out.lat_s = std::max(p.lat_s, lat_s);
+  out.rank = std::min(p.rank, rank);
+  out.hops = p.hops + 1;
+  return out;
+}
+
+bool path_better(const PathMetrics& a, const PathMetrics& b) {
+  if (a.bw_gbps != b.bw_gbps) return a.bw_gbps > b.bw_gbps;
+  return a.hops < b.hops;
+}
+
+std::vector<PathMetrics> widest_paths(const InfraGraph& g, int src,
+                                      bool host_role) {
+  const int n = static_cast<int>(g.names.size());
+  std::vector<PathMetrics> best(n);
+  std::vector<char> settled(static_cast<std::size_t>(n), 0);
+  best[src] = identity_path();
+  // Dijkstra on the bottleneck semiring.  The infrastructure graph is small
+  // (O(devices/16) nodes), so the quadratic node selection is fine and the
+  // ascending-index scan makes every tie-break deterministic.
+  for (int round = 0; round < n; ++round) {
+    int u = -1;
+    for (int v = 0; v < n; ++v) {
+      if (settled[v] || !best[v].ok()) continue;
+      if (u < 0 || path_better(best[v], best[u])) u = v;
+    }
+    if (u < 0) break;
+    settled[u] = 1;
+    for (const InfraEdge& e : g.adj[u]) {
+      const PathMetrics cand =
+          extend(best[u], e.cls, host_role ? e.hostbw_gbps : e.bw_gbps,
+                 e.lat_s, e.rank);
+      if (!settled[e.peer] && path_better(cand, best[e.peer]))
+        best[e.peer] = cand;
+    }
+  }
+  return best;
+}
+
+Routed route(const Machine& m) {
+  m.validate();
+  Routed r;
+  r.machine_name = m.name;
+  r.default_latency_s = m.default_latency_s;
+  r.pcie_fallback_gbps = m.pcie_fallback_gbps;
+
+  // Split nodes into devices (indexed in declaration order -- these ARE the
+  // GPU ids) and infrastructure (switches + hosts).
+  const int total = static_cast<int>(m.nodes.size());
+  std::vector<int> dev_of(static_cast<std::size_t>(total), -1);
+  std::vector<int> infra_of(static_cast<std::size_t>(total), -1);
+  for (int i = 0; i < total; ++i) {
+    const Node& nd = m.nodes[static_cast<std::size_t>(i)];
+    if (nd.kind == NodeKind::kDevice) {
+      dev_of[static_cast<std::size_t>(i)] = r.num_devices++;
+      r.dev_names.push_back(nd.name);
+      r.local_bw_gbps.push_back(nd.mem_gbps);
+    } else {
+      infra_of[static_cast<std::size_t>(i)] =
+          static_cast<int>(r.infra.names.size());
+      r.infra.names.push_back(nd.name);
+      r.infra.is_host.push_back(nd.kind == NodeKind::kHost ? 1 : 0);
+    }
+  }
+  r.infra.adj.resize(r.infra.names.size());
+  r.attach.resize(static_cast<std::size_t>(r.num_devices));
+
+  for (const Link& l : m.links) {
+    const int da = dev_of[static_cast<std::size_t>(l.a)];
+    const int db = dev_of[static_cast<std::size_t>(l.b)];
+    if (da >= 0 && db >= 0) {
+      PathMetrics pm;
+      pm.cls = l.cls;
+      pm.bw_gbps = l.bw_gbps;
+      pm.lat_s = l.lat_s;
+      pm.rank = l.rank;
+      pm.hops = 1;
+      r.direct[{std::min(da, db), std::max(da, db)}] = pm;
+    } else if (da < 0 && db < 0) {
+      const int ia = infra_of[static_cast<std::size_t>(l.a)];
+      const int ib = infra_of[static_cast<std::size_t>(l.b)];
+      r.infra.adj[static_cast<std::size_t>(ia)].push_back(
+          InfraEdge{ib, l.cls, l.bw_gbps, l.hostbw_gbps, l.lat_s, l.rank});
+      r.infra.adj[static_cast<std::size_t>(ib)].push_back(
+          InfraEdge{ia, l.cls, l.bw_gbps, l.hostbw_gbps, l.lat_s, l.rank});
+    } else {
+      const int dev = da >= 0 ? da : db;
+      const int inf = infra_of[static_cast<std::size_t>(da >= 0 ? l.b : l.a)];
+      r.attach[static_cast<std::size_t>(dev)].push_back(
+          Attach{inf, l.cls, l.bw_gbps, l.hostbw_gbps, l.lat_s, l.rank});
+    }
+  }
+  for (auto& edges : r.infra.adj)
+    std::sort(edges.begin(), edges.end(),
+              [](const InfraEdge& a, const InfraEdge& b) {
+                return a.peer < b.peer;
+              });
+  for (auto& at : r.attach)
+    std::sort(at.begin(), at.end(),
+              [](const Attach& a, const Attach& b) { return a.infra < b.infra; });
+
+  // Host resolution: for every device, the widest dev->host path in the
+  // host role.  The first infrastructure node on that path identifies the
+  // host link; devices entering through the same switch share the link
+  // (DGX-1: two GPUs per PCIe switch), a device attached straight to a
+  // host gets a dedicated link (Summit: one NVLink brick per GPU).
+  std::map<int, std::vector<PathMetrics>> host_rows;  // per attach node
+  std::map<std::pair<int, int>, int> link_ids;        // (attach, dev|-1) -> id
+  r.host_link_of.resize(static_cast<std::size_t>(r.num_devices), -1);
+  r.host_bw_gbps.resize(static_cast<std::size_t>(r.num_devices), 0.0);
+  r.host_lat_s.resize(static_cast<std::size_t>(r.num_devices), 0.0);
+  for (int g = 0; g < r.num_devices; ++g) {
+    PathMetrics best;
+    int best_attach = -1;
+    for (const Attach& a : r.attach[static_cast<std::size_t>(g)]) {
+      auto it = host_rows.find(a.infra);
+      if (it == host_rows.end())
+        it = host_rows.emplace(a.infra, widest_paths(r.infra, a.infra, true))
+                 .first;
+      const std::vector<PathMetrics>& row = it->second;
+      for (std::size_t h = 0; h < row.size(); ++h) {
+        if (!r.infra.is_host[h] || !row[h].ok()) continue;
+        const PathMetrics cand = extend(row[h], a.cls, a.hostbw_gbps, a.lat_s,
+                                        a.rank);
+        if (!best.ok() || path_better(cand, best)) {
+          best = cand;
+          best_attach = a.infra;
+        }
+      }
+    }
+    if (!best.ok())
+      throw std::invalid_argument(
+          "machine '" + m.name + "': device '" +
+          r.dev_names[static_cast<std::size_t>(g)] + "' has no path to a host");
+    r.host_bw_gbps[static_cast<std::size_t>(g)] = best.bw_gbps;
+    r.host_lat_s[static_cast<std::size_t>(g)] = best.lat_s;
+    const bool dedicated =
+        r.infra.is_host[static_cast<std::size_t>(best_attach)] != 0;
+    const std::pair<int, int> key{best_attach, dedicated ? g : -1};
+    auto [it, inserted] = link_ids.emplace(key, r.num_host_links);
+    if (inserted) ++r.num_host_links;
+    r.host_link_of[static_cast<std::size_t>(g)] = it->second;
+  }
+  return r;
+}
+
+}  // namespace xkb::tdl

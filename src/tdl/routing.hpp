@@ -1,0 +1,118 @@
+// Route derivation: from a Machine graph to the tables a Topology serves.
+//
+// Every quantity the runtime consumes is derived from shortest-bottleneck
+// (widest) paths over the graph -- no special cases per machine:
+//   * pair bandwidth  = MIN of link bandwidths along the widest path,
+//   * pair class      = WEAKEST link class along it (NVLink path stays
+//     NVLink, anything crossing PCIe reports PCIe, anything crossing a NIC
+//     reports NIC),
+//   * pair latency    = MAX of link latencies along it (DMA setup costs
+//     overlap stage-by-stage; they do not add up, which is also what keeps
+//     a default-latency graph at exactly the historical global 10 us),
+//   * pair rank       = MIN of link ranks (the weakest hop decides, like
+//     the dense DGX-1 table did),
+//   * host link/bandwidth = the widest dev->host path in the host role
+//     (links may sustain less pinned-host traffic than peer traffic).
+// Ties break by fewer hops, then lower node index: fully deterministic.
+//
+// A direct device-device link is authoritative for its pair -- the driver
+// does not re-route around a browned-out NVLink, and neither do we.  All
+// other pairs route through the infrastructure graph (switches + hosts);
+// devices are never intermediate hops.
+//
+// Scale: the infrastructure graph is small (O(devices/16) nodes even on a
+// fat tree), and per-pair fabric queries combine a per-device attachment
+// list (1-2 entries) with lazily computed widest-path rows, so a
+// 1024-device machine never materialises a 1024x1024 table.
+#pragma once
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tdl/machine.hpp"
+
+namespace xkb::tdl {
+
+/// Aggregated metrics of one routed path (or one direct link).
+struct PathMetrics {
+  LinkClass cls = LinkClass::kNone;
+  double bw_gbps = 0.0;  ///< bottleneck bandwidth; 0 = unreachable
+  double lat_s = 0.0;    ///< max per-link latency
+  int rank = 0;          ///< min per-link rank
+  int hops = 0;
+  bool ok() const { return bw_gbps > 0.0; }
+};
+
+/// One infrastructure edge (switch/host to switch/host).
+struct InfraEdge {
+  int peer = -1;
+  LinkClass cls = LinkClass::kNone;
+  double bw_gbps = 0.0;
+  double hostbw_gbps = 0.0;
+  double lat_s = 0.0;
+  int rank = 0;
+};
+
+/// The switch/host subgraph, over which fabric paths are computed.
+struct InfraGraph {
+  std::vector<std::string> names;
+  std::vector<char> is_host;
+  std::vector<std::vector<InfraEdge>> adj;  ///< per node, sorted by peer
+};
+
+/// A device's direct link into the infrastructure.
+struct Attach {
+  int infra = -1;
+  LinkClass cls = LinkClass::kNone;
+  double bw_gbps = 0.0;
+  double hostbw_gbps = 0.0;
+  double lat_s = 0.0;
+  int rank = 0;
+};
+
+/// Everything a Topology needs, in sparse form.
+struct Routed {
+  std::string machine_name;
+  double default_latency_s = 10e-6;
+  double pcie_fallback_gbps = 17.2;
+  int num_devices = 0;
+  std::vector<std::string> dev_names;
+  std::vector<double> local_bw_gbps;
+
+  /// Direct device-device links, keyed (min, max) device index.
+  std::map<std::pair<int, int>, PathMetrics> direct;
+  /// Per device, its infrastructure attachments (sorted by infra index).
+  std::vector<std::vector<Attach>> attach;
+  InfraGraph infra;
+
+  std::vector<int> host_link_of;
+  std::vector<double> host_bw_gbps;
+  std::vector<double> host_lat_s;
+  int num_host_links = 0;
+};
+
+/// Widest-path metrics from `src` to every infrastructure node.  In the
+/// host role, link `hostbw` replaces `bw` as the bottleneck quantity.
+/// Deterministic: ties break by hop count, then node index.
+std::vector<PathMetrics> widest_paths(const InfraGraph& g, int src,
+                                      bool host_role);
+
+/// The zero-length path (neutral element of extend()): infinite bandwidth,
+/// kSelf class, zero latency, neutral rank.
+PathMetrics identity_path();
+
+/// Extend a path by one link (bottleneck bw, weakest class, max latency,
+/// min rank, +1 hop).
+PathMetrics extend(const PathMetrics& p, LinkClass cls, double bw_gbps,
+                   double lat_s, int rank);
+
+/// True if `a` beats `b`: wider, or equally wide with fewer hops.
+bool path_better(const PathMetrics& a, const PathMetrics& b);
+
+/// Derive the sparse routing tables.  Throws std::invalid_argument if the
+/// machine is ill-formed or some device cannot reach a host.
+Routed route(const Machine& m);
+
+}  // namespace xkb::tdl

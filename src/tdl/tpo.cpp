@@ -1,0 +1,245 @@
+#include "tdl/tpo.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace xkb::tdl {
+
+namespace {
+
+/// Shortest decimal form that parses back to the same double ("96.4", not
+/// "96.400000000000006").  Canonical: the same value always prints the same.
+std::string fmt_double(double v) {
+  for (int prec = 1; prec <= 17; ++prec) {
+    std::ostringstream os;
+    os.precision(prec);
+    os << v;
+    if (std::stod(os.str()) == v) return os.str();
+  }
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+/// Context for one line being parsed; all field errors funnel through fail().
+struct LineCtx {
+  const std::string& origin;
+  std::size_t line = 0;
+  std::string directive;
+
+  [[noreturn]] void fail(const std::string& field,
+                         const std::string& what) const {
+    throw std::invalid_argument(origin + ":" + std::to_string(line) + ": " +
+                                directive + ": field '" + field + "': " +
+                                what);
+  }
+
+  std::string word(std::istringstream& in, const char* field) const {
+    std::string w;
+    if (!(in >> w)) fail(field, "missing value");
+    return w;
+  }
+
+  double double_field(std::istringstream& in, const char* field) const {
+    const std::string w = word(in, field);
+    std::size_t pos = 0;
+    double x = 0.0;
+    try {
+      x = std::stod(w, &pos);
+    } catch (const std::exception&) {
+      pos = 0;
+    }
+    if (pos != w.size()) fail(field, "'" + w + "' is not a number");
+    // stod accepts "nan" and "inf", which defeat every downstream range
+    // check and poison the widest-path arithmetic; a .tpo file never
+    // legitimately contains either.
+    if (!std::isfinite(x)) fail(field, "'" + w + "' is not finite");
+    return x;
+  }
+
+  int int_field(std::istringstream& in, const char* field) const {
+    const std::string w = word(in, field);
+    std::size_t pos = 0;
+    long x = 0;
+    try {
+      x = std::stol(w, &pos);
+    } catch (const std::exception&) {
+      pos = 0;
+    }
+    if (pos != w.size()) fail(field, "'" + w + "' is not an integer");
+    return static_cast<int>(x);
+  }
+
+  std::string name_field(std::istringstream& in, const char* field) const {
+    const std::string w = word(in, field);
+    if (!valid_node_name(w))
+      fail(field, "'" + w +
+                      "' is not a valid name (letter first, then letters, "
+                      "digits, '_', '-', '.')");
+    return w;
+  }
+
+  void want_done(std::istringstream& in) const {
+    std::string extra;
+    if (in >> extra) fail("trailing", "unexpected token '" + extra + "'");
+  }
+};
+
+}  // namespace
+
+Machine parse_tpo(const std::string& text, const std::string& origin) {
+  Machine m;
+  std::istringstream in(text);
+  std::string raw;
+  std::size_t lineno = 0;
+  bool saw_machine = false;
+  std::set<std::pair<int, int>> linked;
+
+  while (std::getline(in, raw)) {
+    ++lineno;
+    const std::size_t hash = raw.find('#');
+    std::string line = hash == std::string::npos ? raw : raw.substr(0, hash);
+    std::istringstream ls(line);
+    std::string directive;
+    if (!(ls >> directive)) continue;  // blank / comment-only line
+    LineCtx ctx{origin, lineno, directive};
+
+    if (directive == "machine") {
+      if (saw_machine) ctx.fail("name", "duplicate 'machine' directive");
+      m.name = ctx.name_field(ls, "name");
+      saw_machine = true;
+      ctx.want_done(ls);
+      continue;
+    }
+    if (!saw_machine)
+      ctx.fail("directive", "'machine <name>' must come first");
+
+    if (directive == "latency") {
+      m.default_latency_s = ctx.double_field(ls, "seconds");
+      if (m.default_latency_s < 0.0)
+        ctx.fail("seconds", "latency must be non-negative");
+      ctx.want_done(ls);
+    } else if (directive == "pcie-fallback") {
+      m.pcie_fallback_gbps = ctx.double_field(ls, "gbps");
+      if (!(m.pcie_fallback_gbps > 0.0))
+        ctx.fail("gbps", "bandwidth must be positive");
+      ctx.want_done(ls);
+    } else if (directive == "host" || directive == "switch" ||
+               directive == "dev") {
+      Node nd;
+      nd.name = ctx.name_field(ls, "name");
+      nd.kind = directive == "host"     ? NodeKind::kHost
+                : directive == "switch" ? NodeKind::kSwitch
+                                        : NodeKind::kDevice;
+      if (m.node_index(nd.name) >= 0)
+        ctx.fail("name", "duplicate node name '" + nd.name + "'");
+      std::string key;
+      while (ls >> key) {
+        if (key == "mem" && nd.kind == NodeKind::kDevice) {
+          nd.mem_gbps = ctx.double_field(ls, "mem");
+          if (!(nd.mem_gbps > 0.0))
+            ctx.fail("mem", "bandwidth must be positive");
+        } else {
+          ctx.fail("option", "unknown option '" + key + "'");
+        }
+      }
+      m.nodes.push_back(nd);
+    } else if (directive == "link") {
+      Link l;
+      const std::string a = ctx.word(ls, "a");
+      const std::string b = ctx.word(ls, "b");
+      l.a = m.node_index(a);
+      l.b = m.node_index(b);
+      if (l.a < 0)
+        ctx.fail("a", "node '" + a + "' not declared before this link");
+      if (l.b < 0)
+        ctx.fail("b", "node '" + b + "' not declared before this link");
+      if (l.a == l.b) ctx.fail("b", "link from '" + a + "' to itself");
+      if (!linked.insert({std::min(l.a, l.b), std::max(l.a, l.b)}).second)
+        ctx.fail("b", "pair '" + a + " " + b + "' already linked");
+      const std::string cls = ctx.word(ls, "class");
+      if (!link_class_from_token(cls.c_str(), &l.cls))
+        ctx.fail("class",
+                 "'" + cls + "' is not one of nv2, nv1, pcie, nic");
+      l.bw_gbps = ctx.double_field(ls, "gbps");
+      if (!(l.bw_gbps > 0.0)) ctx.fail("gbps", "bandwidth must be positive");
+      l.hostbw_gbps = -1.0;
+      l.lat_s = -1.0;
+      l.rank = -1;
+      std::string key;
+      while (ls >> key) {
+        if (key == "lat") {
+          if (l.lat_s >= 0.0) ctx.fail("lat", "duplicate option");
+          l.lat_s = ctx.double_field(ls, "lat");
+          if (l.lat_s < 0.0) ctx.fail("lat", "latency must be non-negative");
+        } else if (key == "hostbw") {
+          if (l.hostbw_gbps > 0.0) ctx.fail("hostbw", "duplicate option");
+          l.hostbw_gbps = ctx.double_field(ls, "hostbw");
+          if (!(l.hostbw_gbps > 0.0))
+            ctx.fail("hostbw", "bandwidth must be positive");
+        } else if (key == "rank") {
+          if (l.rank >= 0) ctx.fail("rank", "duplicate option");
+          l.rank = ctx.int_field(ls, "rank");
+          if (l.rank < 1 || l.rank > 1000)
+            ctx.fail("rank", "rank must be in [1, 1000]");
+        } else {
+          ctx.fail("option", "unknown option '" + key +
+                                 "' (accepted: lat, hostbw, rank)");
+        }
+      }
+      if (l.lat_s < 0.0) l.lat_s = m.default_latency_s;
+      if (l.hostbw_gbps < 0.0) l.hostbw_gbps = l.bw_gbps;
+      if (l.rank < 0) l.rank = default_rank(l.cls);
+      m.links.push_back(l);
+    } else {
+      ctx.fail("directive",
+               "unknown directive (accepted: machine, latency, "
+               "pcie-fallback, host, switch, dev, link)");
+    }
+  }
+  if (!saw_machine)
+    throw std::invalid_argument(
+        origin + ":1: machine: field 'name': missing 'machine <name>' header");
+  m.validate();
+  return m;
+}
+
+Machine parse_tpo_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f)
+    throw std::invalid_argument("topology file '" + path +
+                                "': cannot open for reading");
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return parse_tpo(buf.str(), path);
+}
+
+std::string write_tpo(const Machine& m) {
+  std::ostringstream os;
+  os << "# xkb topology\n";
+  os << "machine " << m.name << "\n";
+  os << "latency " << fmt_double(m.default_latency_s) << "\n";
+  os << "pcie-fallback " << fmt_double(m.pcie_fallback_gbps) << "\n";
+  for (const Node& nd : m.nodes) {
+    os << to_string(nd.kind) << " " << nd.name;
+    if (nd.kind == NodeKind::kDevice && nd.mem_gbps != 750.0)
+      os << " mem " << fmt_double(nd.mem_gbps);
+    os << "\n";
+  }
+  for (const Link& l : m.links) {
+    os << "link " << m.nodes[l.a].name << " " << m.nodes[l.b].name << " "
+       << tpo_token(l.cls) << " " << fmt_double(l.bw_gbps);
+    if (l.lat_s != m.default_latency_s) os << " lat " << fmt_double(l.lat_s);
+    if (l.hostbw_gbps != l.bw_gbps)
+      os << " hostbw " << fmt_double(l.hostbw_gbps);
+    if (l.rank != default_rank(l.cls)) os << " rank " << l.rank;
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace xkb::tdl

@@ -1,0 +1,32 @@
+// The .tpo text format: a canonical writer and a line-precise parser.
+//
+// Same contract as the .wlg and .svt formats: every parse failure is one
+// std::invalid_argument whose message is
+//   "<origin>:<line>: <directive>: field '<name>': <what>"
+// and the writer emits a canonical form that is a fixed point of
+// write(parse(.)) -- optional fields equal to their default are dropped,
+// doubles print in the shortest round-tripping form.
+//
+// Grammar (one directive per line, '#' starts a comment):
+//   machine <name>                     required, once, before any node/link
+//   latency <seconds>                  default per-DMA latency (10 us)
+//   pcie-fallback <gbps>               demoted-NVLink floor bandwidth (17.2)
+//   host <name>
+//   switch <name>
+//   dev <name> [mem <gbps>]            devices index in declaration order
+//   link <a> <b> <class> <gbps> [lat <s>] [hostbw <gbps>] [rank <n>]
+// where <class> is one of nv2, nv1, pcie, nic and <a>/<b> are previously
+// declared nodes.  Links are bidirectional; a pair may be linked once.
+#pragma once
+
+#include <string>
+
+#include "tdl/machine.hpp"
+
+namespace xkb::tdl {
+
+Machine parse_tpo(const std::string& text, const std::string& origin);
+Machine parse_tpo_file(const std::string& path);
+std::string write_tpo(const Machine& m);
+
+}  // namespace xkb::tdl

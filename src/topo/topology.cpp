@@ -3,63 +3,134 @@
 #include <algorithm>
 #include <cassert>
 
+#include "tdl/presets.hpp"
+#include "tdl/tpo.hpp"
+
 namespace xkb::topo {
 
-const char* to_string(LinkClass c) {
-  switch (c) {
-    case LinkClass::kSelf: return "self";
-    case LinkClass::kNVLink2: return "NV2";
-    case LinkClass::kNVLink1: return "NV1";
-    case LinkClass::kPCIeP2P: return "PCIe";
-    case LinkClass::kNone: return "none";
-  }
-  return "?";
+Topology Topology::from_machine(const tdl::Machine& m) {
+  tdl::Routed r = tdl::route(m);
+  Topology t;
+  t.machine_ = m;
+  t.name_ = r.machine_name;
+  t.num_gpus_ = r.num_devices;
+  t.dev_names_ = std::move(r.dev_names);
+  t.local_bw_gbps_ = std::move(r.local_bw_gbps);
+  t.direct_ = std::move(r.direct);
+  t.attach_ = std::move(r.attach);
+  t.infra_ = std::move(r.infra);
+  t.host_link_of_ = std::move(r.host_link_of);
+  t.host_bw_gbps_ = std::move(r.host_bw_gbps);
+  t.host_lat_s_ = std::move(r.host_lat_s);
+  t.num_host_links_ = r.num_host_links;
+  t.latency_s_ = r.default_latency_s;
+  t.pcie_fallback_gbps_ = r.pcie_fallback_gbps;
+  return t;
 }
 
-Topology::Topology(std::string name, int n)
-    : name_(std::move(name)),
-      num_gpus_(n),
-      link_(static_cast<std::size_t>(n) * n, LinkClass::kNone),
-      bw_gbps_(static_cast<std::size_t>(n) * n, 0.0),
-      host_link_of_(n, 0),
-      host_bw_gbps_(n, 16.0) {
-  for (int i = 0; i < n; ++i) {
-    link_[static_cast<std::size_t>(i) * n + i] = LinkClass::kSelf;
-    bw_gbps_[static_cast<std::size_t>(i) * n + i] = 750.0;  // HBM2 local
-  }
+Topology Topology::from_tpo_text(const std::string& text,
+                                 const std::string& origin) {
+  return from_machine(tdl::parse_tpo(text, origin));
 }
 
-void Topology::set_link(int a, int b, LinkClass c, double gbps) {
-  assert(a != b);
-  link_[static_cast<std::size_t>(a) * num_gpus_ + b] = c;
-  link_[static_cast<std::size_t>(b) * num_gpus_ + a] = c;
-  bw_gbps_[static_cast<std::size_t>(a) * num_gpus_ + b] = gbps;
-  bw_gbps_[static_cast<std::size_t>(b) * num_gpus_ + a] = gbps;
+Topology Topology::from_tpo_file(const std::string& path) {
+  return from_machine(tdl::parse_tpo_file(path));
+}
+
+Topology Topology::dgx1() { return from_machine(tdl::dgx1_machine()); }
+
+Topology Topology::pcie_only(int num_gpus) {
+  return from_machine(tdl::pcie_only_machine(num_gpus));
+}
+
+Topology Topology::nvswitch(int num_gpus, double gpu_gpu_gbps) {
+  return from_machine(tdl::nvswitch_machine(num_gpus, gpu_gpu_gbps));
+}
+
+Topology Topology::summit_like() {
+  return from_machine(tdl::summit_like_machine());
+}
+
+int Topology::device_index(const std::string& name) const {
+  for (std::size_t g = 0; g < dev_names_.size(); ++g)
+    if (dev_names_[g] == name) return static_cast<int>(g);
+  return -1;
+}
+
+const std::vector<tdl::PathMetrics>& Topology::fabric_row(int infra) const {
+  auto it = fabric_rows_.find(infra);
+  if (it == fabric_rows_.end())
+    it = fabric_rows_
+             .emplace(infra, tdl::widest_paths(infra_, infra, false))
+             .first;
+  return it->second;
+}
+
+tdl::PathMetrics Topology::fabric(int a, int b) const {
+  tdl::PathMetrics best;  // bw 0 = unreachable
+  for (const tdl::Attach& aa : attach_[static_cast<std::size_t>(a)]) {
+    const tdl::PathMetrics head =
+        tdl::extend(tdl::identity_path(), aa.cls, aa.bw_gbps, aa.lat_s,
+                    aa.rank);
+    for (const tdl::Attach& ab : attach_[static_cast<std::size_t>(b)]) {
+      tdl::PathMetrics cand;
+      if (aa.infra == ab.infra) {
+        cand = tdl::extend(head, ab.cls, ab.bw_gbps, ab.lat_s, ab.rank);
+      } else {
+        const tdl::PathMetrics& mid =
+            fabric_row(aa.infra)[static_cast<std::size_t>(ab.infra)];
+        if (!mid.ok()) continue;
+        cand = head;
+        cand.cls = std::max(cand.cls, mid.cls);
+        cand.bw_gbps = std::min(cand.bw_gbps, mid.bw_gbps);
+        cand.lat_s = std::max(cand.lat_s, mid.lat_s);
+        cand.rank = std::min(cand.rank, mid.rank);
+        cand.hops += mid.hops;
+        cand = tdl::extend(cand, ab.cls, ab.bw_gbps, ab.lat_s, ab.rank);
+      }
+      if (!best.ok() || tdl::path_better(cand, best)) best = cand;
+    }
+  }
+  return best;
+}
+
+tdl::PathMetrics Topology::pair(int a, int b) const {
+  tdl::PathMetrics pm;
+  if (a == b) {
+    pm.cls = LinkClass::kSelf;
+    pm.bw_gbps = local_bw_gbps_[static_cast<std::size_t>(a)];
+    pm.lat_s = 0.0;
+    pm.rank = tdl::default_rank(LinkClass::kSelf);
+    return pm;
+  }
+  const auto it = direct_.find(norm(a, b));
+  if (it != direct_.end()) return it->second;
+  return fabric(a, b);
 }
 
 LinkClass Topology::link_class(int src, int dst) const {
-  return link_[static_cast<std::size_t>(src) * num_gpus_ + dst];
+  return pair(src, dst).cls;
 }
 
 double Topology::gpu_bandwidth_gbps(int src, int dst) const {
-  return bw_gbps_[static_cast<std::size_t>(src) * num_gpus_ + dst];
+  return pair(src, dst).bw_gbps;
 }
 
 int Topology::p2p_perf_rank(int src, int dst) const {
   if (device_failed(src) || device_failed(dst)) return 0;
-  switch (link_class(src, dst)) {
-    case LinkClass::kSelf: return 4;
-    case LinkClass::kNVLink2: return 3;
-    case LinkClass::kNVLink1: return 2;
-    case LinkClass::kPCIeP2P: return 1;
-    case LinkClass::kNone: return 0;
-  }
-  return 0;
+  const tdl::PathMetrics pm = pair(src, dst);
+  if (!pm.ok()) return 0;
+  return std::min(pm.rank, tdl::default_rank(LinkClass::kSelf));
+}
+
+double Topology::transfer_latency(int src, int dst) const {
+  if (src == dst) return 0.0;
+  return pair(src, dst).lat_s;
 }
 
 std::vector<int> Topology::peers_by_rank(int dst) const {
   std::vector<int> peers;
-  peers.reserve(num_gpus_ - 1);
+  peers.reserve(static_cast<std::size_t>(num_gpus_ > 0 ? num_gpus_ - 1 : 0));
   for (int g = 0; g < num_gpus_; ++g)
     if (g != dst) peers.push_back(g);
   std::stable_sort(peers.begin(), peers.end(), [&](int a, int b) {
@@ -68,47 +139,62 @@ std::vector<int> Topology::peers_by_rank(int dst) const {
   return peers;
 }
 
-void Topology::snapshot_nominal() {
-  if (nominal_link_.empty()) {
-    nominal_link_ = link_;
-    nominal_bw_ = bw_gbps_;
+tdl::PathMetrics* Topology::ensure_entry(int a, int b) {
+  const std::pair<int, int> key = norm(a, b);
+  auto it = direct_.find(key);
+  if (it != direct_.end()) {
+    nominal_.emplace(key, Nominal{true, it->second});
+    return &it->second;
   }
+  const tdl::PathMetrics pm = fabric(a, b);
+  if (!pm.ok()) return nullptr;  // no route at all: nothing to mutate
+  nominal_.emplace(key, Nominal{false, pm});
+  return &direct_.emplace(key, pm).first->second;
 }
 
 LinkClass Topology::demote_link(int a, int b) {
   assert(a != b && a >= 0 && b >= 0 && a < num_gpus_ && b < num_gpus_);
-  snapshot_nominal();
-  LinkClass next = link_[at(a, b)];
-  double bw = bw_gbps_[at(a, b)];
-  switch (link_[at(a, b)]) {
-    case LinkClass::kNVLink2:
+  const tdl::PathMetrics cur = pair(a, b);
+  switch (cur.cls) {
+    case LinkClass::kNVLink2: {
+      tdl::PathMetrics* e = ensure_entry(a, b);
       // One of the two bonded lanes retires: half the nominal pair rate.
-      next = LinkClass::kNVLink1;
-      bw = nominal_bw_[at(a, b)] * 0.5;
-      break;
-    case LinkClass::kNVLink1:
-      next = LinkClass::kPCIeP2P;
-      bw = pcie_fallback_gbps_;
-      break;
+      e->cls = LinkClass::kNVLink1;
+      e->bw_gbps = nominal_.at(norm(a, b)).m.bw_gbps * 0.5;
+      e->rank = tdl::default_rank(LinkClass::kNVLink1);
+      return e->cls;
+    }
+    case LinkClass::kNVLink1: {
+      tdl::PathMetrics* e = ensure_entry(a, b);
+      e->cls = LinkClass::kPCIeP2P;
+      e->bw_gbps = pcie_fallback_gbps_;
+      e->rank = tdl::default_rank(LinkClass::kPCIeP2P);
+      return e->cls;
+    }
     case LinkClass::kPCIeP2P:  // the floor: the fabric route remains
+    case LinkClass::kNIC:
     case LinkClass::kSelf:
     case LinkClass::kNone:
-      return link_[at(a, b)];
+      return cur.cls;
   }
-  set_link(a, b, next, bw);
-  return next;
+  return cur.cls;
 }
 
 void Topology::scale_link_bandwidth(int a, int b, double fraction) {
   assert(a != b && fraction > 0.0);
-  snapshot_nominal();
-  set_link(a, b, link_[at(a, b)], nominal_bw_[at(a, b)] * fraction);
+  tdl::PathMetrics* e = ensure_entry(a, b);
+  if (!e) return;
+  e->bw_gbps = nominal_.at(norm(a, b)).m.bw_gbps * fraction;
 }
 
 void Topology::restore_link(int a, int b) {
   assert(a != b);
-  if (nominal_link_.empty()) return;  // never mutated: nothing to heal
-  set_link(a, b, nominal_link_[at(a, b)], nominal_bw_[at(a, b)]);
+  const auto it = nominal_.find(norm(a, b));
+  if (it == nominal_.end()) return;  // never mutated: nothing to heal
+  if (it->second.had_direct)
+    direct_[norm(a, b)] = it->second.m;
+  else
+    direct_.erase(norm(a, b));  // fabric pair: drop the override again
 }
 
 void Topology::set_device_failed(int gpu) {
@@ -125,79 +211,37 @@ int Topology::num_alive_gpus() const {
   return n;
 }
 
-Topology Topology::dgx1() {
-  Topology t("DGX-1", 8);
-  // Double-NVLink pairs (~96 GB/s measured, Fig. 2 green cells).
-  const int nv2[][2] = {{0, 3}, {0, 4}, {1, 2}, {1, 5},
-                        {2, 3}, {4, 7}, {5, 6}, {6, 7}};
-  for (auto& p : nv2) t.set_link(p[0], p[1], LinkClass::kNVLink2, 96.4);
-  // Single-NVLink pairs (~48 GB/s, Fig. 2 orange cells).
-  const int nv1[][2] = {{0, 1}, {0, 2}, {1, 3}, {2, 6},
-                        {3, 7}, {4, 5}, {4, 6}, {5, 7}};
-  for (auto& p : nv1) t.set_link(p[0], p[1], LinkClass::kNVLink1, 48.4);
-  // Everything else goes over PCIe/QPI (~17 GB/s).
-  for (int a = 0; a < 8; ++a)
-    for (int b = a + 1; b < 8; ++b)
-      if (t.link_class(a, b) == LinkClass::kNone)
-        t.set_link(a, b, LinkClass::kPCIeP2P, 17.2);
-  // Four PCIe Gen3 x16 switches, each shared by two adjacent GPUs.  The
-  // effective pinned-memory bandwidth of a Gen3 x16 link is ~12 GB/s, well
-  // below the 16 GB/s signalling rate.
-  for (int g = 0; g < 8; ++g) {
-    t.host_link_of_[g] = g / 2;
-    t.host_bw_gbps_[g] = 12.3;
+std::size_t Topology::sparse_bytes() const {
+  // Map nodes cost key + value + ~3 pointers of bookkeeping each.
+  constexpr std::size_t kNode = 3 * sizeof(void*);
+  std::size_t total = 0;
+  total += direct_.size() *
+           (sizeof(std::pair<int, int>) + sizeof(tdl::PathMetrics) + kNode);
+  total += nominal_.size() *
+           (sizeof(std::pair<int, int>) + sizeof(Nominal) + kNode);
+  for (const auto& at : attach_) total += at.size() * sizeof(tdl::Attach);
+  total += attach_.size() * sizeof(std::vector<tdl::Attach>);
+  for (const auto& adj : infra_.adj)
+    total += adj.size() * sizeof(tdl::InfraEdge);
+  total += infra_.adj.size() *
+           (sizeof(std::vector<tdl::InfraEdge>) + sizeof(char));
+  for (const auto& [k, row] : fabric_rows_) {
+    (void)k;
+    total += row.size() * sizeof(tdl::PathMetrics) + kNode + sizeof(int);
   }
-  t.num_host_links_ = 4;
-  return t;
+  total += host_link_of_.size() * sizeof(int);
+  total += host_bw_gbps_.size() * sizeof(double);
+  total += host_lat_s_.size() * sizeof(double);
+  total += local_bw_gbps_.size() * sizeof(double);
+  total += failed_.size();
+  return total;
 }
 
-Topology Topology::pcie_only(int num_gpus) {
-  Topology t("PCIe-only", num_gpus);
-  t.pcie_fallback_gbps_ = 12.0;
-  for (int a = 0; a < num_gpus; ++a)
-    for (int b = a + 1; b < num_gpus; ++b)
-      t.set_link(a, b, LinkClass::kPCIeP2P, 12.0);
-  for (int g = 0; g < num_gpus; ++g) {
-    t.host_link_of_[g] = g / 2;
-    t.host_bw_gbps_[g] = 16.0;
-  }
-  t.num_host_links_ = (num_gpus + 1) / 2;
-  return t;
-}
-
-Topology Topology::nvswitch(int num_gpus, double gpu_gpu_gbps) {
-  Topology t("NVSwitch", num_gpus);
-  for (int a = 0; a < num_gpus; ++a)
-    for (int b = a + 1; b < num_gpus; ++b)
-      t.set_link(a, b, LinkClass::kNVLink2, gpu_gpu_gbps);
-  for (int g = 0; g < num_gpus; ++g) {
-    t.host_link_of_[g] = g / 2;
-    t.host_bw_gbps_[g] = 16.0;
-  }
-  t.num_host_links_ = (num_gpus + 1) / 2;
-  return t;
-}
-
-Topology Topology::summit_like() {
-  Topology t("Summit-like", 6);
-  // Within a socket group {0,1,2} / {3,4,5}: one NVLink brick each pair.
-  for (int s = 0; s < 2; ++s) {
-    const int base = 3 * s;
-    t.set_link(base + 0, base + 1, LinkClass::kNVLink1, 48.4);
-    t.set_link(base + 0, base + 2, LinkClass::kNVLink1, 48.4);
-    t.set_link(base + 1, base + 2, LinkClass::kNVLink1, 48.4);
-  }
-  // Across sockets: staged over the X-bus.
-  for (int a = 0; a < 3; ++a)
-    for (int b = 3; b < 6; ++b)
-      t.set_link(a, b, LinkClass::kPCIeP2P, 17.2);
-  // Each GPU has its own 50 GB/s NVLink path to its CPU.
-  for (int g = 0; g < 6; ++g) {
-    t.host_link_of_[g] = g;  // dedicated, not shared
-    t.host_bw_gbps_[g] = 50.0;
-  }
-  t.num_host_links_ = 6;
-  return t;
+std::size_t Topology::dense_bytes(int num_gpus) {
+  const std::size_t n = static_cast<std::size_t>(num_gpus);
+  // The historical representation: n*n link classes and n*n bandwidths
+  // (doubled again by the nominal snapshot after the first fault mutation).
+  return n * n * (sizeof(LinkClass) + sizeof(double));
 }
 
 }  // namespace xkb::topo

@@ -1,12 +1,19 @@
-// Interconnect topology models of multi-GPU nodes.
+// Interconnect topology models of multi-GPU (and multi-node) machines.
 //
-// The central model is the NVIDIA DGX-1 hybrid cube-mesh of the paper's
-// Fig. 1: eight V100s, each with six NVLink-2 lanes arranged so that some
-// GPU pairs share two lanes (~96 GB/s measured), some one lane (~48 GB/s),
-// and the remaining pairs fall back to PCIe/QPI paths (~17 GB/s).  Hosts
-// reach GPUs through four PCIe Gen3 x16 switches (~16 GB/s each), each
-// shared by two GPUs.  The bandwidth numbers below are the measured values
-// of the paper's Fig. 2.
+// Historically this class carried hardwired n*n tables for one DGX-1 plus
+// three ad-hoc presets.  It is now a *routed view* over an xkb::tdl machine
+// graph: a .tpo description (or a preset builder) declares devices, hosts,
+// switches and links, and every quantity served here -- link_class,
+// gpu_bandwidth_gbps, p2p_perf_rank, host_link_of, transfer latencies -- is
+// derived from shortest-bottleneck paths over that graph (tdl/routing.hpp).
+// The DGX-1 of the paper's Fig. 1/2 is just presets/dgx1.tpo, and routing
+// reproduces its historical tables bit-identically (pinned by
+// test_topology and the determinism hashes).
+//
+// Representation is sparse: direct links per pair, a per-device attachment
+// list, and lazily computed fabric rows over the small switch/host graph.
+// A 1024-device fat tree never materialises a 1024x1024 table; memory is
+// O(active links), which tools/topo_bench gates.
 //
 // `p2p_perf_rank` mirrors CUDA's cuDeviceGetP2PAttribute(
 // CU_DEVICE_P2P_ATTRIBUTE_PERFORMANCE_RANK): a relative ordering of link
@@ -15,20 +22,18 @@
 #pragma once
 
 #include <cstddef>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "tdl/machine.hpp"
+#include "tdl/routing.hpp"
 
 namespace xkb::topo {
 
-enum class LinkClass {
-  kSelf,      ///< same device (local memory)
-  kNVLink2,   ///< two bonded NVLink-2 lanes
-  kNVLink1,   ///< one NVLink-2 lane
-  kPCIeP2P,   ///< peer access over PCIe/QPI fabric
-  kNone,      ///< no peer path (must stage through host)
-};
-
-const char* to_string(LinkClass c);
+using tdl::LinkClass;
+using tdl::to_string;
 
 class Topology {
  public:
@@ -49,8 +54,26 @@ class Topology {
   /// bottleneck -- bench/ext_topologies tests that prediction.
   static Topology summit_like();
 
+  /// Route any machine description (throws std::invalid_argument if some
+  /// device cannot reach a host).
+  static Topology from_machine(const tdl::Machine& m);
+  static Topology from_tpo_text(const std::string& text,
+                                const std::string& origin);
+  static Topology from_tpo_file(const std::string& path);
+
   int num_gpus() const { return num_gpus_; }
   const std::string& name() const { return name_; }
+
+  /// The machine description this topology was routed from (canonical
+  /// source for write_tpo round-trips and tools).
+  const tdl::Machine& machine() const { return machine_; }
+
+  /// Device node name ("gpu3"), and the inverse lookup (-1 if unknown) --
+  /// fault plans may target links by device name instead of index.
+  const std::string& device_name(int gpu) const {
+    return dev_names_[static_cast<std::size_t>(gpu)];
+  }
+  int device_index(const std::string& name) const;
 
   LinkClass link_class(int src, int dst) const;
 
@@ -64,13 +87,25 @@ class Topology {
 
   /// Index of the host link (PCIe switch or NVLink brick) a GPU hangs off.
   /// GPUs may share a host link (DGX-1: two GPUs per PCIe switch).
-  int host_link_of(int gpu) const { return host_link_of_[gpu]; }
+  int host_link_of(int gpu) const {
+    return host_link_of_[static_cast<std::size_t>(gpu)];
+  }
   int num_host_links() const { return num_host_links_; }
   /// Unidirectional host<->GPU bandwidth of that link, GB/s.
-  double host_bandwidth_gbps(int gpu) const { return host_bw_gbps_[gpu]; }
+  double host_bandwidth_gbps(int gpu) const {
+    return host_bw_gbps_[static_cast<std::size_t>(gpu)];
+  }
 
-  /// Per-transfer latency (seconds) for any DMA on this machine.
+  /// Default per-transfer DMA latency (seconds) of this machine.
   double transfer_latency() const { return latency_s_; }
+  /// Per-route latency: the MAX of per-link latencies along the path (DMA
+  /// setup overlaps stage-by-stage; an all-default graph reports exactly
+  /// the global value).
+  double transfer_latency(int src, int dst) const;
+  /// Latency of the GPU's host link route.
+  double host_transfer_latency(int gpu) const {
+    return host_lat_s_[static_cast<std::size_t>(gpu)];
+  }
 
   /// GPUs sorted by decreasing link quality from `dst`'s perspective,
   /// excluding `dst` itself (helper for the topology-aware heuristic).
@@ -79,16 +114,19 @@ class Topology {
   // --- dynamic link state (xkb::fault) -------------------------------------
   //
   // A topology is immutable hardware description until a fault plan starts
-  // mutating it.  The first mutation snapshots the nominal link table so
-  // brownouts can be healed and demotions expressed as fractions of the
-  // machine's real capability.  Mutations re-shape `p2p_perf_rank` (and
-  // therefore `choose_source` / dmdas ETA estimates) immediately; the
+  // mutating it.  Mutations are graph-edge operations on the routed pair:
+  // the first mutation of a pair snapshots its nominal metrics so brownouts
+  // can be healed and demotions expressed as fractions of the machine's
+  // real capability.  A mutated fabric pair materialises a sparse override
+  // entry; healing removes it again.  Mutations re-shape `p2p_perf_rank`
+  // (and therefore `choose_source` / dmdas ETA estimates) immediately; the
   // Platform mirrors the bandwidth changes onto the live sim::Channels.
 
   /// Demote a P2P route one step down the paper's link hierarchy:
   /// 2xNVLink -> 1xNVLink (half nominal bandwidth) -> PCIe fabric fallback.
-  /// PCIe is the floor -- total disconnection of a *device* is modelled by
-  /// set_device_failed, not by removing routes.  Returns the new class.
+  /// PCIe (and NIC) is the floor -- total disconnection of a *device* is
+  /// modelled by set_device_failed, not by removing routes.  Returns the
+  /// new class.
   LinkClass demote_link(int a, int b);
 
   /// Brownout: scale the link's bandwidth to `fraction` of nominal without
@@ -107,24 +145,53 @@ class Topology {
   /// Bandwidth of the PCIe fabric a demoted route falls back to, GB/s.
   double pcie_fallback_gbps() const { return pcie_fallback_gbps_; }
 
+  // --- scale accounting (tools/topo_bench memory gate) ---------------------
+
+  /// Bytes held by the sparse routing state (direct links + overrides,
+  /// attachment lists, infra graph, cached fabric rows).  The dense
+  /// counterfactual is dense_bytes(): n*n link-class + bandwidth tables.
+  std::size_t sparse_bytes() const;
+  static std::size_t dense_bytes(int num_gpus);
+  /// Number of lazily materialised fabric rows (grows with *used* routes).
+  std::size_t fabric_rows_cached() const { return fabric_rows_.size(); }
+
  private:
-  Topology(std::string name, int n);
+  Topology() = default;
 
-  void set_link(int a, int b, LinkClass c, double gbps);  // symmetric
-  void snapshot_nominal();
-  std::size_t at(int a, int b) const {
-    return static_cast<std::size_t>(a) * num_gpus_ + b;
+  /// Routed metrics for a pair: the direct link if one exists (authoritative,
+  /// including fault overrides), otherwise the best fabric route.
+  tdl::PathMetrics pair(int a, int b) const;
+  tdl::PathMetrics fabric(int a, int b) const;
+  const std::vector<tdl::PathMetrics>& fabric_row(int infra) const;
+  std::pair<int, int> norm(int a, int b) const {
+    return {a < b ? a : b, a < b ? b : a};
   }
+  /// Direct entry for mutation, materialising a fabric override if needed;
+  /// snapshots the pair's nominal metrics on first mutation.  Returns null
+  /// for pairs with no route at all.
+  tdl::PathMetrics* ensure_entry(int a, int b);
 
+  tdl::Machine machine_;
   std::string name_;
   int num_gpus_ = 0;
-  std::vector<LinkClass> link_;   // n*n
-  std::vector<double> bw_gbps_;   // n*n
-  std::vector<LinkClass> nominal_link_;  // empty until first fault mutation
-  std::vector<double> nominal_bw_;
-  std::vector<char> failed_;      // empty until first device failure
+  std::vector<std::string> dev_names_;
+  std::vector<double> local_bw_gbps_;
+
+  std::map<std::pair<int, int>, tdl::PathMetrics> direct_;
+  struct Nominal {
+    bool had_direct = false;
+    tdl::PathMetrics m;
+  };
+  std::map<std::pair<int, int>, Nominal> nominal_;  // per mutated pair
+
+  std::vector<std::vector<tdl::Attach>> attach_;
+  tdl::InfraGraph infra_;
+  mutable std::map<int, std::vector<tdl::PathMetrics>> fabric_rows_;
+
+  std::vector<char> failed_;  // empty until first device failure
   std::vector<int> host_link_of_;
   std::vector<double> host_bw_gbps_;
+  std::vector<double> host_lat_s_;
   int num_host_links_ = 0;
   double latency_s_ = 10e-6;
   double pcie_fallback_gbps_ = 17.2;

@@ -115,8 +115,7 @@ void Bridge::emit() {
       f.accesses.push_back({h, rt::Access::kR});
       f.host_task = true;
       f.on_complete = [this, h] {
-        for (int g = 0; g < rt_.num_gpus(); ++g) {
-          mem::Replica& r = h->dev[g];
+        for (auto& [g, r] : h->dev) {
           if (r.resident && r.pins == 0 && !r.dirty &&
               r.state == mem::ReplicaState::kValid) {
             rt_.platform().cache(g).release(h);

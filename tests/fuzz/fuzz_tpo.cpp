@@ -1,0 +1,58 @@
+// Fuzz target: tdl::parse_tpo, the .tpo machine-description parser.
+//
+// Contract under fuzzing: any byte string either yields a validated
+// Machine -- finite positive bandwidths, non-negative latencies, every
+// link between declared nodes, every device reaching a host -- or throws
+// std::invalid_argument with an origin:line:directive:field message.  On
+// accepted machines, write_tpo() must be a fixed point through parse_tpo()
+// (the canonical-writer property the committed presets are gated on), and
+// routing the machine into a Topology must never throw for a validated
+// description.
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "tdl/machine.hpp"
+#include "tdl/tpo.hpp"
+#include "topo/topology.hpp"
+
+#include "fuzz_common.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  try {
+    const xkb::tdl::Machine m = xkb::tdl::parse_tpo(text, "fuzz.tpo");
+    // Post-conditions the routing engine relies on.
+    if (!std::isfinite(m.default_latency_s) || m.default_latency_s < 0)
+      throw std::logic_error("accepted bad default latency");
+    if (!std::isfinite(m.pcie_fallback_gbps) || m.pcie_fallback_gbps <= 0)
+      throw std::logic_error("accepted bad pcie-fallback");
+    for (const xkb::tdl::Link& l : m.links) {
+      if (l.a < 0 || l.b < 0 ||
+          l.a >= static_cast<int>(m.nodes.size()) ||
+          l.b >= static_cast<int>(m.nodes.size()) || l.a == l.b)
+        throw std::logic_error("accepted out-of-range link endpoint");
+      if (!std::isfinite(l.bw_gbps) || l.bw_gbps <= 0)
+        throw std::logic_error("accepted bad link bandwidth");
+      if (!std::isfinite(l.hostbw_gbps) || l.hostbw_gbps <= 0)
+        throw std::logic_error("accepted bad host bandwidth");
+      if (!std::isfinite(l.lat_s) || l.lat_s < 0)
+        throw std::logic_error("accepted bad link latency");
+      if (l.rank < 1)
+        throw std::logic_error("accepted bad link rank");
+    }
+    // Canonical writer fixed point: write -> parse -> write is identity.
+    const std::string once = xkb::tdl::write_tpo(m);
+    const std::string twice =
+        xkb::tdl::write_tpo(xkb::tdl::parse_tpo(once, "fuzz.tpo"));
+    if (once != twice) throw std::logic_error("tpo round-trip mismatch");
+    // A validated machine must route without throwing (validate() already
+    // guaranteed every device reaches a host).
+    (void)xkb::topo::Topology::from_machine(m);
+  } catch (const std::invalid_argument&) {
+    // The one sanctioned failure mode.
+  }
+  return 0;
+}

@@ -5,6 +5,8 @@
 // compared field-by-field as a second, coarser witness.
 #include <gtest/gtest.h>
 
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "baselines/library_model.hpp"
@@ -28,13 +30,15 @@ std::vector<Preset> presets() {
 }
 
 BenchResult run_once(const rt::HeuristicConfig& heur, Blas3 routine,
-                     const fault::FaultPlan& plan = {}) {
+                     const fault::FaultPlan& plan = {},
+                     topo::Topology topo = topo::Topology::dgx1()) {
   BenchConfig cfg;
   cfg.routine = routine;
   cfg.n = 8192;
   cfg.tile = 2048;
   cfg.check.enabled = true;
   cfg.fault_plan = plan;
+  cfg.topology = std::move(topo);
   auto model = make_xkblas(heur);
   BenchResult res = model->run(cfg);
   EXPECT_TRUE(res.supported);
@@ -72,6 +76,24 @@ TEST(Determinism, TrsmIsBitIdenticalAcrossRerunsForEveryPreset) {
     BenchResult b = run_once(p.heur, Blas3::kTrsm);
     EXPECT_TRUE(a.check_ok) << p.name << ": " << a.check_report;
     expect_identical(a, b, p.name);
+  }
+}
+
+// The committed presets/dgx1.tpo IS the machine: routing the text file
+// must yield bit-identical event streams to the built-in builder across
+// the full heuristic preset matrix, for both a GEMM and a TRSM shape.
+// This is the tentpole safety net -- any drift between the .tpo language,
+// the routing engine and the historical tables shows up here first.
+TEST(Determinism, Dgx1TpoFileIsBitIdenticalToBuilderAcrossPresetMatrix) {
+  const std::string path = std::string(XKB_PRESET_DIR) + "/dgx1.tpo";
+  for (const Preset& p : presets()) {
+    for (const Blas3 routine : {Blas3::kGemm, Blas3::kTrsm}) {
+      BenchResult built = run_once(p.heur, routine);
+      BenchResult filed = run_once(p.heur, routine, {},
+                                   topo::Topology::from_tpo_file(path));
+      EXPECT_TRUE(filed.check_ok) << p.name << ": " << filed.check_report;
+      expect_identical(built, filed, p.name);
+    }
   }
 }
 

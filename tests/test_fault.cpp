@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -75,6 +76,42 @@ TEST(FaultPlan, MalformedInputNamesTheOffendingLine) {
     EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
         << e.what();
   }
+}
+
+// Endpoints may be .tpo device names instead of indices: the parser keeps
+// the symbolic form (index -1 until arm time) and to_text round-trips it.
+TEST(FaultPlan, NamedEndpointsParseAndRoundTrip) {
+  const std::string text =
+      "seed 5\n"
+      "brownout 0.001 gpu0 gpu3 0.25\n"
+      "link-down 0.002 gpu1 4\n"
+      "xfail 0.005 d2d gpu1 gpu2\n"
+      "device-fail 0.01 gpu5\n";
+  const fault::FaultPlan p = fault::FaultPlan::parse(text);
+  ASSERT_EQ(p.events.size(), 4u);
+  EXPECT_EQ(p.events[0].a_name, "gpu0");
+  EXPECT_EQ(p.events[0].b_name, "gpu3");
+  EXPECT_EQ(p.events[0].a, -1);
+  // Mixed name/index is fine; the index side stays numeric.
+  EXPECT_EQ(p.events[1].a_name, "gpu1");
+  EXPECT_TRUE(p.events[1].b_name.empty());
+  EXPECT_EQ(p.events[1].b, 4);
+  EXPECT_EQ(p.events[2].a_name, "gpu1");
+  EXPECT_EQ(p.events[2].b_name, "gpu2");
+  EXPECT_EQ(p.events[3].a_name, "gpu5");
+  // to_text keeps the symbolic spelling, so parse(to_text(parse(x)))
+  // is the identity on names too.
+  const fault::FaultPlan q = fault::FaultPlan::parse(p.to_text());
+  ASSERT_EQ(q.events.size(), p.events.size());
+  for (std::size_t i = 0; i < p.events.size(); ++i) {
+    EXPECT_EQ(q.events[i].a_name, p.events[i].a_name);
+    EXPECT_EQ(q.events[i].b_name, p.events[i].b_name);
+    EXPECT_EQ(q.events[i].a, p.events[i].a);
+    EXPECT_EQ(q.events[i].b, p.events[i].b);
+  }
+  // A statically-same named pair is as malformed as "0 0".
+  EXPECT_THROW(fault::FaultPlan::parse("link-down 0.1 gpu0 gpu0\n"),
+               std::invalid_argument);
 }
 
 // ------------------------------------------------------------- fixtures --
@@ -151,6 +188,92 @@ TEST(FaultEquivalence, PermanentDemotionMatchesStaticallyDegradedTopology) {
   EXPECT_DOUBLE_EQ(dynamic.seconds, statically.seconds);
   EXPECT_EQ(dynamic.transfers.d2d, statically.transfers.d2d);
   EXPECT_EQ(dynamic.transfers.h2d, statically.transfers.h2d);
+}
+
+// Named targets resolve against the armed machine's topology, so a plan
+// written with .tpo device names is bit-identical to the same plan written
+// with the indices those names resolve to.
+TEST(FaultEquivalence, NamedTargetsHashIdenticalToIndexTargets) {
+  const auto demotion_plan = [](const char* a, const char* b, const char* a2,
+                                const char* b2) {
+    std::ostringstream os;
+    os << "seed 3\nlink-down 0 " << a << " " << b << "\nlink-down 0 " << a2
+       << " " << b2 << "\n";
+    return fault::FaultPlan::parse(os.str());
+  };
+  const baselines::BenchResult by_index =
+      bench(Blas3::kGemm, true, demotion_plan("0", "1", "1", "0"));
+  ASSERT_FALSE(by_index.failed) << by_index.error;
+  const baselines::BenchResult by_name =
+      bench(Blas3::kGemm, true, demotion_plan("gpu0", "gpu1", "gpu1", "gpu0"));
+  ASSERT_FALSE(by_name.failed) << by_name.error;
+  EXPECT_EQ(by_name.event_hash, by_index.event_hash);
+  EXPECT_DOUBLE_EQ(by_name.seconds, by_index.seconds);
+}
+
+// A name the topology does not know fails at arm time (in the Runtime
+// constructor) naming the offending device, not as a silent no-op.
+TEST(FaultEffects, UnknownNamedDeviceIsDiagnosedAtArm) {
+  const fault::FaultPlan plan =
+      fault::FaultPlan::parse("seed 1\nlink-down 0.001 gpu0 gpu99\n");
+  PlatformOptions popt;
+  popt.functional = false;
+  Platform plat(topo::Topology::dgx1(), PerfModel{}, popt);
+  fault::Injector inj(plan);
+  plat.set_fault(&inj);
+  try {
+    Runtime runtime(plat, std::make_unique<OwnerComputesScheduler>(false),
+                    RuntimeOptions{});
+    FAIL() << "unknown device name accepted at arm";
+  } catch (const fault::FaultError& e) {
+    EXPECT_NE(std::string(e.what()).find("gpu99"), std::string::npos)
+        << e.what();
+  }
+}
+
+// Fault mutations are graph-edge operations on the routed pair: demote
+// steps down the link hierarchy, brownout scales bandwidth class-preserving,
+// and restore_link heals both back to the nominal snapshot exactly.
+TEST(TopologyFault, GraphEdgeDemoteBrownoutHealRoundTrip) {
+  topo::Topology t = topo::Topology::dgx1();
+  // Direct double-NVLink pair 0<->3.
+  const auto cls0 = t.link_class(0, 3);
+  const double bw0 = t.gpu_bandwidth_gbps(0, 3);
+  const int rank0 = t.p2p_perf_rank(0, 3);
+  ASSERT_EQ(cls0, topo::LinkClass::kNVLink2);
+
+  t.scale_link_bandwidth(0, 3, 0.25);
+  EXPECT_EQ(t.link_class(0, 3), cls0) << "brownout preserves class";
+  EXPECT_DOUBLE_EQ(t.gpu_bandwidth_gbps(0, 3), bw0 * 0.25);
+  t.restore_link(0, 3);
+  EXPECT_EQ(t.link_class(0, 3), cls0);
+  EXPECT_DOUBLE_EQ(t.gpu_bandwidth_gbps(0, 3), bw0);
+  EXPECT_EQ(t.p2p_perf_rank(0, 3), rank0);
+
+  EXPECT_EQ(t.demote_link(0, 3), topo::LinkClass::kNVLink1);
+  EXPECT_DOUBLE_EQ(t.gpu_bandwidth_gbps(0, 3), bw0 * 0.5);
+  EXPECT_EQ(t.demote_link(0, 3), topo::LinkClass::kPCIeP2P)
+      << "second demotion hits the PCIe floor";
+  EXPECT_DOUBLE_EQ(t.gpu_bandwidth_gbps(0, 3), t.pcie_fallback_gbps());
+  EXPECT_EQ(t.demote_link(0, 3), topo::LinkClass::kPCIeP2P)
+      << "PCIe is the floor; demotion saturates";
+  t.restore_link(0, 3);
+  EXPECT_EQ(t.link_class(0, 3), cls0);
+  EXPECT_DOUBLE_EQ(t.gpu_bandwidth_gbps(0, 3), bw0);
+  EXPECT_EQ(t.p2p_perf_rank(0, 3), rank0);
+
+  // Fabric pair 0<->6 (no direct NVLink on the DGX-1): mutation
+  // materialises a sparse override entry, healing drops it again (the
+  // nominal snapshot stays, so compare against the mutated size).
+  const double fbw0 = t.gpu_bandwidth_gbps(0, 6);
+  const std::size_t bytes0 = t.sparse_bytes();
+  t.scale_link_bandwidth(0, 6, 0.5);
+  EXPECT_DOUBLE_EQ(t.gpu_bandwidth_gbps(0, 6), fbw0 * 0.5);
+  const std::size_t bytes_mutated = t.sparse_bytes();
+  EXPECT_GT(bytes_mutated, bytes0) << "fabric override materialised";
+  t.restore_link(0, 6);
+  EXPECT_DOUBLE_EQ(t.gpu_bandwidth_gbps(0, 6), fbw0);
+  EXPECT_LT(t.sparse_bytes(), bytes_mutated) << "heal drops the override";
 }
 
 // A brownout that *is* used must slow the run down: same work, less

@@ -1,0 +1,210 @@
+// Tests of xkb::tdl, the topology description language under xkb::topo:
+// the .tpo parser's line-precise errors, the canonical writer fixed point,
+// byte-for-byte gates on the committed presets/*.tpo files, and the routed
+// quantities (class / bandwidth / latency / rank) derived from
+// shortest-bottleneck paths over a machine graph.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tdl/machine.hpp"
+#include "tdl/presets.hpp"
+#include "tdl/tpo.hpp"
+#include "topo/topology.hpp"
+
+namespace xkb::tdl {
+namespace {
+
+std::string preset_path(const std::string& name) {
+  return std::string(XKB_PRESET_DIR) + "/" + name + ".tpo";
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path);
+  EXPECT_TRUE(f.good()) << "cannot open " << path;
+  std::ostringstream os;
+  os << f.rdbuf();
+  return os.str();
+}
+
+const char* kPresets[] = {"dgx1", "pcie8", "nvswitch8", "summit",
+                          "fat_tree_2x8"};
+
+// ------------------------------------------------------------ language --
+
+TEST(Tpo, CanonicalWriterIsAFixedPoint) {
+  for (const char* name : kPresets) {
+    const Machine m = preset_machine(name);
+    const std::string once = write_tpo(m);
+    const Machine reparsed = parse_tpo(once, name);
+    EXPECT_EQ(write_tpo(reparsed), once) << name;
+  }
+}
+
+// The committed presets/*.tpo ARE the canonical writer output: regenerate
+// with `xkbsim_cli --topo <name> --dump-topo` whenever a preset builder
+// changes.  Byte-for-byte, not just semantically equal.
+TEST(Tpo, CommittedPresetsMatchBuildersByteForByte) {
+  for (const char* name : kPresets)
+    EXPECT_EQ(slurp(preset_path(name)), write_tpo(preset_machine(name)))
+        << name;
+}
+
+TEST(Tpo, ParseErrorsAreLinePrecise) {
+  const auto fails_with = [](const std::string& text, const char* needle) {
+    try {
+      parse_tpo(text, "t.tpo");
+      FAIL() << "accepted: " << text;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+    }
+  };
+  fails_with("dev gpu0\n", "machine <name>' must come first");
+  fails_with("machine m\nfrobnicate x\n", "t.tpo:2");
+  fails_with("machine m\ndev gpu0\ndev gpu0\n", "duplicate node name");
+  fails_with("machine m\ndev gpu0\ndev gpu1\nlink gpu0 gpu2 nv2 96\n",
+             "not declared");
+  fails_with("machine m\ndev gpu0\ndev gpu1\nlink gpu0 gpu1 warp 96\n",
+             "not one of nv2, nv1, pcie, nic");
+  fails_with("machine m\ndev gpu0\ndev gpu1\nlink gpu0 gpu1 nv2 nan\n",
+             "not finite");
+  fails_with("machine m\ndev gpu0\ndev gpu1\nlink gpu0 gpu1 nv2 inf\n",
+             "not finite");
+  fails_with("machine m\ndev gpu0\ndev gpu1\nlink gpu0 gpu1 nv2 -5\n",
+             "must be positive");
+  fails_with(
+      "machine m\ndev gpu0\ndev gpu1\n"
+      "link gpu0 gpu1 nv2 96\nlink gpu1 gpu0 nv1 48\n",
+      "already linked");
+  // The error names origin, line, directive and field, mirroring the .wlg
+  // parser's contract.
+  try {
+    parse_tpo("machine m\nlatency -1\n", "machines/x.tpo");
+    FAIL();
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("machines/x.tpo:2: latency: field "
+                                         "'seconds'"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Tpo, CommentsAndBlankLinesAreIgnored) {
+  const Machine m = parse_tpo(
+      "# header\n"
+      "machine tiny   # trailing comment\n"
+      "\n"
+      "host cpu\n"
+      "dev a\n"
+      "dev b\n"
+      "link a cpu pcie 16\n"
+      "link b cpu pcie 16\n"
+      "link a b nv2 96.4\n",
+      "tiny");
+  EXPECT_EQ(m.name, "tiny");
+  EXPECT_EQ(m.nodes.size(), 3u);
+  EXPECT_EQ(m.links.size(), 3u);
+}
+
+// ------------------------------------------------------------- routing --
+
+// A hand-built two-node machine: routed pair quantities come from the
+// shortest-bottleneck path, with class = weakest hop, bw = min, latency =
+// max, rank = min.
+TEST(Routing, CrossNodePathTakesBottleneckAndWeakestClass) {
+  const topo::Topology t =
+      topo::Topology::from_machine(preset_machine("fat_tree_2x8"));
+  ASSERT_EQ(t.num_gpus(), 16);
+  // Same-leaf pair: PCIe through the leaf switch.
+  EXPECT_EQ(t.link_class(0, 1), LinkClass::kPCIeP2P);
+  // Cross-node pair: the NIC uplink is both the weakest class and the
+  // bottleneck bandwidth of the gpu -> leaf -> spine -> leaf -> gpu path.
+  EXPECT_EQ(t.link_class(0, 8), LinkClass::kNIC);
+  EXPECT_DOUBLE_EQ(t.gpu_bandwidth_gbps(0, 8), 12.5);
+  // NIC never ranks above a local PCIe peer.
+  EXPECT_LE(t.p2p_perf_rank(0, 8), t.p2p_perf_rank(0, 1));
+  // Each host serves its own 8 GPUs.
+  EXPECT_EQ(t.host_link_of(0), t.host_link_of(1));
+  EXPECT_NE(t.host_link_of(0), t.host_link_of(8));
+}
+
+// Per-link latency rides the route as a MAX; links without a 'lat' option
+// inherit the machine's global default.
+TEST(Routing, PerLinkLatencyOverridesGlobalDefault) {
+  const topo::Topology t = topo::Topology::from_tpo_text(
+      "machine lat-test\n"
+      "latency 1e-05\n"
+      "host cpu\n"
+      "dev a\n"
+      "dev b\n"
+      "dev c\n"
+      "link a cpu pcie 16\n"
+      "link b cpu pcie 16\n"
+      "link c cpu pcie 16\n"
+      "link a b nv2 96.4 lat 25e-6\n"
+      "link b c nv1 48.2\n",
+      "lat-test");
+  EXPECT_DOUBLE_EQ(t.transfer_latency(), 1e-5);
+  EXPECT_DOUBLE_EQ(t.transfer_latency(0, 1), 25e-6);  // per-link override
+  EXPECT_DOUBLE_EQ(t.transfer_latency(1, 2), 1e-5);   // global default
+  // Default-latency presets report exactly the historical global value on
+  // every route -- the dgx1 hash-pinning depends on it.
+  const topo::Topology dgx = topo::Topology::dgx1();
+  for (int a = 0; a < dgx.num_gpus(); ++a) {
+    for (int b = 0; b < dgx.num_gpus(); ++b) {
+      if (a == b) continue;
+      EXPECT_DOUBLE_EQ(dgx.transfer_latency(a, b), dgx.transfer_latency());
+    }
+  }
+}
+
+// The dgx1 preset file routes to exactly the same tables as the builder --
+// the file is the machine.
+TEST(Routing, Dgx1FromFileMatchesBuilderEverywhere) {
+  const topo::Topology built = topo::Topology::dgx1();
+  const topo::Topology filed =
+      topo::Topology::from_tpo_file(preset_path("dgx1"));
+  ASSERT_EQ(filed.num_gpus(), built.num_gpus());
+  for (int a = 0; a < built.num_gpus(); ++a) {
+    EXPECT_EQ(filed.host_link_of(a), built.host_link_of(a));
+    EXPECT_DOUBLE_EQ(filed.host_bandwidth_gbps(a),
+                     built.host_bandwidth_gbps(a));
+    for (int b = 0; b < built.num_gpus(); ++b) {
+      EXPECT_EQ(filed.link_class(a, b), built.link_class(a, b));
+      EXPECT_DOUBLE_EQ(filed.gpu_bandwidth_gbps(a, b),
+                       built.gpu_bandwidth_gbps(a, b));
+      EXPECT_EQ(filed.p2p_perf_rank(a, b), built.p2p_perf_rank(a, b));
+      EXPECT_DOUBLE_EQ(filed.transfer_latency(a, b),
+                       built.transfer_latency(a, b));
+    }
+  }
+}
+
+// ------------------------------------------------------------ scale-out --
+
+// A 1024-device fat tree must stay sparse: no n*n table materialises, and
+// the routed view's footprint sits far below the dense counterfactual.
+TEST(Scale, FatTree1024StaysSparse) {
+  FatTreeSpec spec;
+  spec.nodes = 64;
+  spec.gpus_per_node = 16;
+  const topo::Topology t = topo::Topology::from_machine(fat_tree_machine(spec));
+  ASSERT_EQ(t.num_gpus(), 1024);
+  // Touch a representative set of routes (local, cross-leaf) the way the
+  // runtime would.
+  (void)t.link_class(0, 1);
+  (void)t.link_class(0, 1023);
+  (void)t.gpu_bandwidth_gbps(512, 513);
+  (void)t.p2p_perf_rank(3, 900);
+  EXPECT_LT(t.sparse_bytes(), topo::Topology::dense_bytes(1024) / 10)
+      << "sparse representation must beat the dense n*n tables by 10x+";
+  // Fabric rows are per *queried* source infra node, not per device pair.
+  EXPECT_LE(t.fabric_rows_cached(), 8u);
+}
+
+}  // namespace
+}  // namespace xkb::tdl

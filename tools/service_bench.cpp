@@ -41,6 +41,7 @@
 #include "runtime/runtime.hpp"
 #include "svc/arrivals.hpp"
 #include "svc/svc.hpp"
+#include "tdl/presets.hpp"
 #include "topo/topology.hpp"
 #include "util/json.hpp"
 #include "workload/workload.hpp"
@@ -65,6 +66,8 @@ void usage() {
       "  --policy P         fair|priority arbitration (default fair)\n"
       "  --max-running M    concurrent jobs on the runtime (default 4)\n"
       "  --queue-cap N      global admission queue bound (default 256)\n"
+      "  --topo T           machine to serve on: tdl preset name or .tpo\n"
+      "                     file (default dgx1)\n"
       "  --trace F          replay a .svt trace instead of generating\n"
       "  --emit-trace F     write the generated trace to F and exit\n"
       "  --fault-plan F     inject a FaultPlan file during the soak\n"
@@ -91,9 +94,18 @@ struct Cfg {
   std::string fault_plan_path;
   std::string json_path;
   std::string ledger_path;
+  /// Machine the service runs on: a tdl preset name or a .tpo file
+  /// ("dgx1" keeps the historical platform and hashes).
+  std::string topo = "dgx1";
   bool append = false;
   const char* mode = "soak";
 };
+
+topo::Topology make_topo(const std::string& t) {
+  if (t.size() > 4 && t.compare(t.size() - 4, 4, ".tpo") == 0)
+    return topo::Topology::from_tpo_file(t);
+  return topo::Topology::from_machine(tdl::preset_machine(t));
+}
 
 /// The canonical tenant mix for generated soaks: an interactive tenant
 /// with tight deadlines and top priority, a batch tier, and bulk
@@ -198,7 +210,7 @@ RunOut run_soak(const Cfg& cfg, const svc::ArrivalTrace& trace,
   popt.functional = false;
   popt.kernel_streams = 2;
   popt.device_capacity = 32ull << 30;
-  rt::Platform plat(topo::Topology::dgx1(), perf, popt);
+  rt::Platform plat(make_topo(cfg.topo), perf, popt);
 
   auto o = std::make_shared<obs::Observability>(plat.num_gpus());
   plat.set_obs(o.get());  // before the Runtime: it caches series pointers
@@ -523,6 +535,8 @@ int main(int argc, char** argv) {
         cfg.max_running = std::stoi(next());
       } else if (arg == "--queue-cap") {
         cfg.global_queue_cap = std::stoul(next());
+      } else if (arg == "--topo") {
+        cfg.topo = next();
       } else if (arg == "--trace") {
         cfg.trace_path = next();
       } else if (arg == "--emit-trace") {

@@ -23,6 +23,8 @@
 #include "fault/fault.hpp"
 #include "obs/ledger.hpp"
 #include "obs/report.hpp"
+#include "tdl/presets.hpp"
+#include "tdl/tpo.hpp"
 #include "trace/export.hpp"
 #include "trace/gantt.hpp"
 #include "util/selfprof.hpp"
@@ -55,7 +57,11 @@ void usage() {
       "  --n N          matrix dimension (default 32768)\n"
       "  --tile T       tile size (default 2048)\n"
       "  --lib L        %s (default xkblas)\n"
-      "  --topo T       %s (default dgx1)\n"
+      "  --topo T       %s, a tdl preset name\n"
+      "                 (fat_tree_2x8, pcie8, ...) or a .tpo machine\n"
+      "                 description file (default dgx1)\n"
+      "  --dump-topo    print the selected topology as canonical .tpo text\n"
+      "                 and exit (generator for the committed presets)\n"
       "  --no-heur      disable the optimistic D2D heuristic (xkblas)\n"
       "  --no-topo      disable topology-aware source selection (xkblas)\n"
       "  --scenario S   %s (default data-on-host)\n"
@@ -163,8 +169,18 @@ topo::Topology parse_topo(const std::string& t) {
   if (t == "pcie") return topo::Topology::pcie_only(8);
   if (t == "nvswitch") return topo::Topology::nvswitch(8);
   if (t == "summit") return topo::Topology::summit_like();
-  throw std::invalid_argument("unknown topology '" + t +
-                              "' (accepted: " + kTopos + ")");
+  // Anything ending in .tpo is a machine description file.
+  if (t.size() > 4 && t.compare(t.size() - 4, 4, ".tpo") == 0)
+    return topo::Topology::from_tpo_file(t);
+  // Fall through to the tdl preset registry (fat_tree_2x8, pcie8, ...), so
+  // every preset a .tpo file can be generated from is also runnable.
+  try {
+    return topo::Topology::from_machine(tdl::preset_machine(t));
+  } catch (const std::invalid_argument&) {
+    throw std::invalid_argument("unknown topology '" + t +
+                                "' (accepted: " + kTopos +
+                                "|<tdl preset>|<file.tpo>)");
+  }
 }
 
 bool parse_scenario(const std::string& s) {
@@ -180,7 +196,8 @@ int main(int argc, char** argv) {
   std::string routine = "gemm", lib = "xkblas", topo_name = "dgx1";
   std::size_t n = 32768, tile = 2048;
   bool no_heur = false, no_topo = false, dod = false, gantt = false,
-       csv = false, check = false, hash = false, selfprof = false;
+       csv = false, check = false, hash = false, selfprof = false,
+       dump_topo = false;
   std::string trace_json, metrics_out, ledger_out, flight_out,
       fault_plan_file;
   std::string workload, workload_file;
@@ -200,6 +217,7 @@ int main(int argc, char** argv) {
       else if (arg == "--tile") tile = parse_size(arg, next());
       else if (arg == "--lib") lib = next();
       else if (arg == "--topo") topo_name = next();
+      else if (arg == "--dump-topo") dump_topo = true;
       else if (arg == "--no-heur") no_heur = true;
       else if (arg == "--no-topo") no_topo = true;
       else if (arg == "--data-on-device") dod = true;
@@ -253,6 +271,10 @@ int main(int argc, char** argv) {
     if (no_topo) heur.source = rt::SourcePolicy::kFirstValid;
 
     const topo::Topology topology = parse_topo(topo_name);
+    if (dump_topo) {
+      std::printf("%s", tdl::write_tpo(topology.machine()).c_str());
+      return 0;
+    }
     fault::FaultPlan fault_plan;
     if (!fault_plan_file.empty())
       fault_plan = fault::FaultPlan::parse_file(fault_plan_file);
